@@ -1,0 +1,43 @@
+// Ablation for the paper's footnote 4: assigning the *same* pre-dequeuing
+// budget to every task of a query minimises resource demand. We jitter the
+// per-task ordering budgets (mean preserved) and measure the maximum load
+// that still meets the SLO: more jitter should never help, and generally
+// hurts.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workloads/tailbench.h"
+
+using namespace tailguard;
+
+int main() {
+  bench::title("Ablation (footnote 4)",
+               "equal vs jittered per-task budgets under TF-EDFQ");
+
+  SimConfig cfg;
+  cfg.num_servers = 100;
+  cfg.fanout =
+      std::make_shared<CategoricalFanout>(CategoricalFanout::paper_mix());
+  cfg.service_time = make_service_time_model(TailbenchApp::kMasstree);
+  cfg.classes = {{.slo_ms = 1.0, .percentile = 99.0}};
+  cfg.policy = Policy::kTfEdf;
+  cfg.num_queries = bench::queries(120000);
+  cfg.seed = 7;
+
+  MaxLoadOptions opt;
+  opt.tolerance = 0.01;
+
+  std::printf("%-22s %12s\n", "task budget jitter", "max load");
+  for (double jitter : {0.0, 0.25, 0.5, 1.0, 2.0}) {
+    cfg.task_budget_jitter = jitter;
+    std::printf("+/- %3.0f%% of budget    %11.1f%%\n", jitter * 100.0,
+                find_max_load(cfg, opt) * 100.0);
+  }
+
+  bench::note(
+      "expected shape: small jitter is statistically flat (the max-load "
+      "search has ~+/-2 point noise at p99), but beyond ~+/-50% of the "
+      "budget the max load collapses — empirical support for footnote 4's "
+      "equal-budget optimality argument");
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Ablation for §III.B.2's estimation pipeline (offline single-server
+// profile + periodical online updating) on a heterogeneous cluster where
+// half the servers are 2x slower than the profiled one.
+//
+// Two questions, answered separately:
+//   1. Does online updating actually learn the heterogeneous CDFs?
+//      (micro view: the x99u estimates converge to the slow group's truth)
+//   2. Does estimation fidelity matter end-to-end?
+//      (macro view: max load and tails across exact / frozen-single-profile
+//      / online estimators)
+//
+// The expected macro answer is "barely" — which is not a bug but the
+// paper's own §IV.E observation: the SaS testbed deliberately feeds
+// TailGuard *inaccurate shared* CDFs and finds it still wins, because EDF
+// ordering only needs the relative deadline order, which survives CDF
+// miscalibration that preserves monotonicity.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/deadline.h"
+#include "dist/piecewise_linear_quantile.h"
+#include "workloads/tailbench.h"
+
+using namespace tailguard;
+
+namespace {
+
+DistributionPtr make_slow_masstree() {
+  const auto base = make_service_time_model(TailbenchApp::kMasstree);
+  const auto& plq = dynamic_cast<const PiecewiseLinearQuantile&>(*base);
+  std::vector<QuantileAnchor> anchors(plq.anchors().begin(),
+                                      plq.anchors().end());
+  for (auto& a : anchors) a.q *= 2.0;
+  return std::make_shared<PiecewiseLinearQuantile>(
+      anchors, "Masstree service time (2x slow)");
+}
+
+}  // namespace
+
+int main() {
+  bench::title("Ablation (§III.B.2)",
+               "single-server offline profile + online updating");
+
+  const auto fast = make_service_time_model(TailbenchApp::kMasstree);
+  const auto slow = make_slow_masstree();
+
+  // --- 1. micro: convergence of the learned CDF --------------------------
+  bench::section(
+      "online convergence: slow server seeded with the fast profile");
+  {
+    Rng rng(5);
+    auto streaming = std::make_shared<StreamingCdfModel>([&] {
+      StreamingCdfModel::Options opt;
+      opt.histogram.min_value = 1e-3;
+      opt.histogram.max_value = 100.0;
+      opt.histogram.buckets_per_decade = 200;
+      opt.histogram.decay_every = 20000;  // age out the stale profile
+      opt.histogram.decay_factor = 0.5;
+      opt.refresh_every = 1000;
+      return opt;
+    }());
+    std::vector<double> profile(20000);
+    for (auto& x : profile) x = fast->sample(rng);
+    streaming->seed(profile);
+
+    const double truth_1 = slow->quantile(0.99);
+    const double truth_100 = slow->quantile(std::pow(0.99, 0.01));
+    std::printf("%-24s %14s %14s\n", "observations absorbed",
+                "x99u(1) est/true", "x99u(100) est/true");
+    std::size_t absorbed = 0;
+    for (std::size_t target : {0u, 2000u, 20000u, 100000u, 400000u}) {
+      for (; absorbed < target; ++absorbed)
+        streaming->observe(slow->sample(rng));
+      std::printf("%-24zu %6.3f / %5.3f %8.3f / %5.3f\n", target,
+                  streaming->quantile(0.99), truth_1,
+                  streaming->quantile(std::pow(0.99, 0.01)), truth_100);
+    }
+  }
+
+  // --- 2. macro: end-to-end sensitivity ----------------------------------
+  constexpr std::size_t kServers = 100;
+  SimConfig cfg;
+  cfg.num_servers = kServers;
+  cfg.fanout =
+      std::make_shared<CategoricalFanout>(CategoricalFanout::paper_mix());
+  cfg.per_server_service.assign(kServers, fast);
+  for (std::size_t s = kServers / 2; s < kServers; ++s)
+    cfg.per_server_service[s] = slow;
+  cfg.classes = {{.slo_ms = 1.6, .percentile = 99.0},
+                 {.slo_ms = 2.4, .percentile = 99.0}};
+  cfg.class_probabilities = {0.5, 0.5};
+  cfg.policy = Policy::kTfEdf;
+  cfg.num_queries = bench::queries(150000);
+  cfg.seed = 7;
+
+  const struct {
+    const char* name;
+    EstimationMode mode;
+  } modes[] = {
+      {"exact oracle", EstimationMode::kExact},
+      {"single profile, frozen", EstimationMode::kOfflineSingleProfile},
+      {"single profile + online", EstimationMode::kOnlineFromSingleProfile},
+  };
+
+  MaxLoadOptions opt;
+  opt.tolerance = 0.01;
+
+  bench::section("end-to-end sensitivity (50/50 fast/2x-slow cluster)");
+  std::printf("%-26s %10s %12s %12s\n", "estimator", "max load", "cls0/kf100",
+              "cls1/kf100");
+  for (const auto& m : modes) {
+    cfg.estimation = m.mode;
+    const double max_load = find_max_load(cfg, opt);
+    set_load(cfg, 0.22, opt);
+    const SimResult r = run_simulation(cfg);
+    const auto* b = r.find_group(0, 100);
+    const auto* c = r.find_group(1, 100);
+    std::printf("%-26s %9.1f%% %9.2f ms %9.2f ms\n", m.name, max_load * 100.0,
+                b != nullptr ? b->tail_latency : 0.0,
+                c != nullptr ? c->tail_latency : 0.0);
+  }
+
+  bench::note(
+      "expected shape: (1) the streaming model converges from the wrong "
+      "profile to the slow group's true quantiles within ~10^5 "
+      "observations; (2) end-to-end results are nearly identical across "
+      "estimators — TF-EDFQ only needs the relative deadline ordering, "
+      "matching the paper's §IV.E finding that TailGuard performs well "
+      "with inaccurate CDFs");
+  return 0;
+}

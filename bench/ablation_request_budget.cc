@@ -1,0 +1,128 @@
+// Ablation for the request-level decomposition (paper §III.B remark,
+// Eq. 7). A request is M queries issued sequentially with a request-level
+// tail latency SLO; the queries have *heterogeneous* fanouts, which is
+// exactly the case where the budget-assignment question the paper leaves
+// open matters. Three assignments are compared by the maximum load at which
+// the request p99 still meets the SLO:
+//
+//   naive        — decompose the SLO per query first (SLO/M each), then
+//                  budget_i = SLO/M - x_p^u(kf_i): ignores Eq. 7's
+//                  sub-additivity and under-budgets the high-fanout query
+//                  (for tail-heavy workloads it can even go negative);
+//   Eq.7 equal   — T_b^R = SLO - x_p^{Ru}, split equally;
+//   Eq.7 prop.   — same total, split ∝ x_p^u(kf_i).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/request.h"
+#include "workloads/tailbench.h"
+
+using namespace tailguard;
+
+namespace {
+
+double find_max_request_load(SimConfig cfg, const MaxLoadOptions& opt) {
+  const auto feasible = [&](double load) {
+    set_load(cfg, load, opt);
+    return run_simulation(cfg).request_slo_met;
+  };
+  if (!feasible(opt.lo)) return opt.lo;
+  if (feasible(opt.hi)) return opt.hi;
+  double lo = opt.lo, hi = opt.hi;
+  while (hi - lo > opt.tolerance) {
+    const double mid = 0.5 * (lo + hi);
+    (feasible(mid) ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+}  // namespace
+
+int main() {
+  bench::title("Ablation (Eq. 7 extension)",
+               "request-level budget decomposition strategies");
+
+  const std::vector<std::uint32_t> fanouts = {1, 10, 100, 10};
+  const auto kM = fanouts.size();
+  const double request_slo = 4.0;  // ms, p99
+
+  const auto service = make_service_time_model(TailbenchApp::kMasstree);
+  DistributionCdfModel model(service);
+
+  // Unloaded quantiles per query and for the whole request.
+  std::vector<RequestQuerySpec> qspecs;
+  double sum_xu = 0.0;
+  for (std::uint32_t kf : fanouts) {
+    qspecs.push_back(RequestQuerySpec{.fanout = kf, .model = &model});
+    sum_xu += homogeneous_unloaded_quantile(model, kf, 0.99);
+  }
+  Rng mc_rng(123);
+  const double x_r =
+      estimate_request_unloaded_quantile(qspecs, 0.99, mc_rng, 200000);
+
+  bench::section("decomposition");
+  std::printf("query fanouts:                          {1, 10, 100, 10}\n");
+  std::printf("sum of per-query unloaded p99:          %.3f ms\n", sum_xu);
+  std::printf("request unloaded p99 x99uR (Eq. 7 MC):  %.3f ms  "
+              "(sub-additive: %.0f%% of the sum)\n",
+              x_r, 100.0 * x_r / sum_xu);
+  const double total_budget = request_slo - x_r;
+  std::printf("request budget T_b^R = %.1f - %.3f =     %.3f ms\n",
+              request_slo, x_r, total_budget);
+
+  // Budget assignments.
+  std::vector<TimeMs> naive;
+  for (std::uint32_t kf : fanouts)
+    naive.push_back(request_slo / static_cast<double>(kM) -
+                    homogeneous_unloaded_quantile(model, kf, 0.99));
+  const auto equal =
+      split_request_budget(total_budget, qspecs, 0.99, BudgetSplit::kEqual);
+  const auto prop = split_request_budget(total_budget, qspecs, 0.99,
+                                         BudgetSplit::kProportionalToUnloaded);
+
+  SimConfig cfg;
+  cfg.num_servers = 100;
+  cfg.classes = {{.slo_ms = request_slo, .percentile = 99.0}};
+  cfg.service_time = service;
+  cfg.policy = Policy::kTfEdf;
+  cfg.num_queries = bench::queries(20000);  // requests
+  cfg.seed = 7;
+
+  // Load conversion: one request = sum(fanouts) tasks of mean Tm each.
+  double tasks_per_request = 0.0;
+  for (std::uint32_t kf : fanouts) tasks_per_request += kf;
+  MaxLoadOptions opt;
+  opt.tolerance = 0.01;
+  opt.work_per_query = tasks_per_request * service->mean();
+
+  bench::section("max load meeting the request p99 SLO");
+  std::printf("%-34s %34s %12s\n", "strategy", "budgets per query (ms)",
+              "max load");
+  const struct {
+    const char* name;
+    std::vector<TimeMs> budgets;
+  } strategies[] = {
+      {"naive per-query decomposition", naive},
+      {"Eq. 7, equal split", equal},
+      {"Eq. 7, proportional split", prop},
+  };
+  for (const auto& s : strategies) {
+    cfg.request = SimConfig::RequestSpec{
+        .queries_per_request = kM,
+        .query_budgets = s.budgets,
+        .query_fanouts = fanouts,
+        .request_slo = {.slo_ms = request_slo, .percentile = 99.0}};
+    std::printf("%-34s  {%6.3f,%6.3f,%6.3f,%6.3f} %11.1f%%\n", s.name,
+                s.budgets[0], s.budgets[1], s.budgets[2], s.budgets[3],
+                find_max_request_load(cfg, opt) * 100.0);
+  }
+
+  bench::note(
+      "expected shape: the naive decomposition starves the fanout-100 "
+      "query (it gets the smallest budget); Eq. 7 recovers the "
+      "sub-additive slack; the proportional split directs more of it to "
+      "the expensive query and sustains the highest load — evidence for "
+      "the paper's open future-work question");
+  return 0;
+}

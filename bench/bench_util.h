@@ -1,0 +1,34 @@
+// Shared helpers for the table/figure reproduction harness.
+//
+// Every bench binary prints: the experiment id, the paper's setup, the
+// regenerated rows/series, and (where the paper publishes numbers) the
+// paper's values alongside. TAILGUARD_BENCH_SCALE scales simulated query
+// counts (e.g. 0.2 for a fast smoke run, 4 for tighter percentiles).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "sim/experiment.h"
+
+namespace tailguard::bench {
+
+inline void title(const char* experiment, const char* what) {
+  std::printf("\n");
+  std::printf("================================================================================\n");
+  std::printf("%s — %s\n", experiment, what);
+  std::printf("================================================================================\n");
+}
+
+inline void section(const std::string& name) {
+  std::printf("\n--- %s ---\n", name.c_str());
+}
+
+inline void note(const char* text) { std::printf("note: %s\n", text); }
+
+/// Scaled query count (honours TAILGUARD_BENCH_SCALE).
+inline std::size_t queries(std::size_t base) { return scaled_queries(base); }
+
+inline const char* check_mark(bool met) { return met ? "yes" : "NO"; }
+
+}  // namespace tailguard::bench

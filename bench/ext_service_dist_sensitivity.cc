@@ -1,0 +1,76 @@
+// Extension: how sensitive is TailGuard's gain to the service-time law?
+//
+// The paper evaluates three Tailbench-derived distributions and claims the
+// gain is insensitive to the workload specifics. We sweep a wider family —
+// from deterministic through light- and heavy-tailed laws, all normalised
+// to the same 0.2 ms mean — and measure the FIFO vs TailGuard max load for
+// a single class whose SLO is set the same way for every law
+// (SLO = x99u(100) + 3 * mean, i.e. comparable queueing headroom).
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/order_stats.h"
+#include "dist/standard.h"
+
+using namespace tailguard;
+
+int main() {
+  bench::title("Extension", "sensitivity of the gain to the service-time law");
+
+  const double mean = 0.2;  // ms
+  const struct {
+    const char* label;
+    DistributionPtr dist;
+  } laws[] = {
+      {"deterministic", std::make_shared<Deterministic>(mean)},
+      {"uniform(0.1,0.3)", std::make_shared<Uniform>(0.1, 0.3)},
+      {"Weibull k=2 (light tail)",
+       std::make_shared<Weibull>(Weibull::with_mean(mean, 2.0))},
+      {"exponential", std::make_shared<Exponential>(mean)},
+      {"Gamma shape=0.5", std::make_shared<Gamma>(0.5, mean / 0.5)},
+      {"Weibull k=0.7 (heavy tail)",
+       std::make_shared<Weibull>(Weibull::with_mean(mean, 0.7))},
+      {"lognormal sigma=1",
+       std::make_shared<Lognormal>(std::log(mean) - 0.5, 1.0)},
+  };
+
+  std::printf("%-28s %10s %10s %8s %8s %8s\n", "service law", "x99u(1)",
+              "x99u(100)", "FIFO", "TailGd", "gain");
+
+  MaxLoadOptions opt;
+  opt.tolerance = 0.015;
+
+  for (const auto& law : laws) {
+    DistributionCdfModel model(law.dist);
+    const double x1 = homogeneous_unloaded_quantile(model, 1, 0.99);
+    const double x100 = homogeneous_unloaded_quantile(model, 100, 0.99);
+    const double slo = x100 + 3.0 * mean;
+
+    SimConfig cfg;
+    cfg.num_servers = 100;
+    cfg.fanout =
+        std::make_shared<CategoricalFanout>(CategoricalFanout::paper_mix());
+    cfg.service_time = law.dist;
+    cfg.classes = {{.slo_ms = slo, .percentile = 99.0}};
+    cfg.num_queries = bench::queries(80000);
+    cfg.seed = 7;
+
+    cfg.policy = Policy::kFifo;
+    const double fifo = find_max_load(cfg, opt);
+    cfg.policy = Policy::kTfEdf;
+    const double tailguard = find_max_load(cfg, opt);
+    std::printf("%-28s %10.3f %10.3f %7.0f%% %7.0f%% %7.0f%%\n", law.label, x1,
+                x100, fifo * 100.0, tailguard * 100.0,
+                (tailguard / fifo - 1.0) * 100.0);
+  }
+
+  bench::note(
+      "expected shape: TailGuard never loses to FIFO; the gain grows with "
+      "the spread x99u(100) - x99u(1) relative to the queueing headroom "
+      "(zero for deterministic service, largest for heavy-tailed laws) — "
+      "supporting the paper's insensitivity claim in direction while "
+      "quantifying when fanout-awareness pays the most");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Reproduces Fig. 3: CDFs and unloaded 95th/99th percentile task tail
+// latencies of the three Tailbench workloads (Masstree, Shore, Xapian).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workloads/tailbench.h"
+
+using namespace tailguard;
+
+int main() {
+  bench::title("Figure 3", "task service-time CDFs of the Tailbench workloads");
+
+  for (TailbenchApp app : kAllTailbenchApps) {
+    const auto model = make_service_time_model(app);
+    const auto stats = paper_stats(app);
+    bench::section(to_string(app));
+
+    std::printf("%10s  %12s\n", "F(t)", "t (ms)");
+    for (double p : {0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 0.999,
+                     0.9999}) {
+      std::printf("%10.4f  %12.4f\n", p, model->quantile(p));
+    }
+
+    std::printf("\n%-34s %10s %10s\n", "", "measured", "paper");
+    std::printf("%-34s %10.3f %10.3f\n", "mean service time Tm (ms)",
+                model->mean(), stats.mean_service_ms);
+    std::printf("%-34s %10.3f %10.3f\n", "95th percentile task latency (ms)",
+                model->quantile(0.95), stats.x95u_1);
+    std::printf("%-34s %10.3f %10.3f\n", "99th percentile task latency (ms)",
+                model->quantile(0.99), stats.x99u_1);
+  }
+
+  bench::note(
+      "models are piecewise-linear quantile functions anchored at the "
+      "paper's published statistics (see DESIGN.md, Substitutions)");
+  return 0;
+}

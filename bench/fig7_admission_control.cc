@@ -1,0 +1,78 @@
+// Reproduces Fig. 7: TailGuard with query admission control on the Fig. 6
+// Masstree setup (two classes, fixed fanout 100).
+//
+// Following the paper's procedure (§IV.D): first run TailGuard *without*
+// admission control to find the maximum acceptable load and the task
+// queuing-deadline violation ratio R_th at that load; then enable admission
+// control with that R_th (window = 1000 queries / 100 000 tasks) and sweep
+// the offered load, reporting accepted/rejected load and per-class p99.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workloads/tailbench.h"
+
+using namespace tailguard;
+
+int main() {
+  bench::title("Figure 7",
+               "TailGuard with query admission control (Masstree, 2 "
+               "classes, kf=100)");
+
+  SimConfig cfg;
+  cfg.num_servers = 100;
+  cfg.fanout = std::make_shared<FixedFanout>(100);
+  cfg.service_time = make_service_time_model(TailbenchApp::kMasstree);
+  cfg.classes = {{.slo_ms = 1.0, .percentile = 99.0},
+                 {.slo_ms = 1.5, .percentile = 99.0}};
+  cfg.class_probabilities = {0.5, 0.5};
+  cfg.policy = Policy::kTfEdf;
+  cfg.num_queries = bench::queries(30000);
+  cfg.seed = 3;
+
+  // --- step 1: calibrate R_th at the maximum acceptable load ---------------
+  MaxLoadOptions opt;
+  opt.tolerance = 0.01;
+  const double max_load = find_max_load(cfg, opt);
+  set_load(cfg, max_load, opt);
+  const SimResult at_max = run_simulation(cfg);
+  const double r_th = at_max.task_deadline_miss_ratio;
+  bench::section("calibration");
+  std::printf("maximum acceptable load: %.1f%%   (paper: ~54%%)\n",
+              max_load * 100.0);
+  std::printf("task deadline violation ratio there (R_th): %.2f%%   "
+              "(paper: 1.7%%)\n",
+              r_th * 100.0);
+
+  // --- step 2: sweep offered load with admission control -------------------
+  // The paper states a 1000-query (100 000-task) window; with our shorter
+  // simulated horizon that window reacts too slowly and over-rejects, so the
+  // faithful-mechanism run here uses a 100-query window (same R_th). The
+  // window-length sensitivity itself is ablation_admission_modes.
+  bench::section("admission-control sweep (window = 100 queries)");
+  std::printf("%-12s %-12s %-12s %-14s %-14s %-9s\n", "offered", "accepted",
+              "rejected-q", "p99 class-I", "p99 class-II", "SLOs met");
+  for (double load : {0.45, 0.50, 0.55, 0.60, 0.65, 0.70}) {
+    set_load(cfg, load, opt);
+    cfg.admission =
+        AdmissionOptions{.window_tasks = 100000,
+                         .window_ms = 100.0 / cfg.arrival_rate,
+                         .miss_ratio_threshold = r_th,
+                         .mode = AdmissionMode::kOnOff};
+    const SimResult r = run_simulation(cfg);
+    const double accepted = load * r.task_admit_fraction();
+    std::printf("%10.0f%% %10.1f%% %12lu %11.2f ms %11.2f ms %9s\n",
+                load * 100.0, accepted * 100.0,
+                static_cast<unsigned long>(r.queries_rejected),
+                r.class_tail_latency(0), r.class_tail_latency(1),
+                bench::check_mark(r.all_slos_met(0.02)));
+  }
+
+  bench::note(
+      "expected shape: below the max acceptable load nothing is rejected; "
+      "above it the accepted load stays within a few points of the max "
+      "acceptable load and both classes stay at/near their SLOs (control "
+      "delay causes the residual gap the paper also reports). See "
+      "ablation_admission_modes for the proportional-throttling extension "
+      "that tightens high-overload behaviour.");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Reproduces Fig. 9: the heterogeneous Sensing-as-a-Service testbed.
+//   (a) per-cluster task post-queuing-time statistics;
+//   (b,c,d) p99 query tail latency of classes A/B/C vs Server-room cluster
+//   load for FIFO, PRIQ, T-EDFQ and TailGuard, plus max acceptable loads.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sas/testbed.h"
+
+using namespace tailguard;
+
+int main() {
+  bench::title("Figure 9", "Sensing-as-a-Service heterogeneous testbed");
+
+  // --- (a) cluster CDF statistics ------------------------------------------
+  bench::section("(a) per-cluster post-queuing time statistics (ms)");
+  std::printf("%-14s %18s %18s %18s\n", "cluster", "mean (meas/paper)",
+              "p95 (meas/paper)", "p99 (meas/paper)");
+  for (SasCluster cluster : kAllSasClusters) {
+    const auto model = make_sas_cluster_model(cluster);
+    const auto stats = sas_paper_stats(cluster);
+    std::printf("%-14s %8.0f / %6.0f %9.0f / %6.0f %9.0f / %6.0f\n",
+                to_string(cluster), model->mean(), stats.mean_ms,
+                model->quantile(0.95), stats.p95_ms, model->quantile(0.99),
+                stats.p99_ms);
+  }
+
+  // --- (b,c,d) per-class tails vs Server-room load --------------------------
+  const auto opt = [] {
+    auto o = sas_load_options();
+    o.tolerance = 0.01;
+    return o;
+  }();
+  const std::size_t n = bench::queries(60000);
+  const Policy policies[] = {Policy::kFifo, Policy::kPriq, Policy::kTEdf,
+                             Policy::kTfEdf};
+  const char* class_names[] = {"A (SLO 800 ms, fanout 1)",
+                               "B (SLO 1300 ms, fanout 4)",
+                               "C (SLO 1800 ms, fanout 32)"};
+
+  for (int cls = 0; cls < 3; ++cls) {
+    bench::section(std::string("(") + static_cast<char>('b' + cls) +
+                   ") p99 of class " + class_names[cls] +
+                   " vs Server-room load");
+    std::printf("%-10s", "policy");
+    const double loads[] = {0.30, 0.40, 0.50, 0.60, 0.70};
+    for (double load : loads) std::printf(" %9.0f%%", load * 100.0);
+    std::printf("\n");
+    for (Policy policy : policies) {
+      SimConfig cfg = make_sas_config(policy, 11, n);
+      std::printf("%-10s", to_string(policy));
+      for (double load : loads) {
+        set_load(cfg, load, opt);
+        const SimResult r = run_simulation(cfg);
+        std::printf(" %7.0fms",
+                    r.class_tail_latency(static_cast<ClassId>(cls)));
+      }
+      std::printf("\n");
+    }
+  }
+
+  bench::section("maximum Server-room load meeting all three SLOs");
+  std::printf("%-10s %10s %14s\n", "policy", "measured", "paper");
+  const double paper_max[] = {38.0, 36.0, 42.0, 48.0};
+  for (int i = 0; i < 4; ++i) {
+    SimConfig cfg = make_sas_config(policies[i], 11, n);
+    std::printf("%-10s %9.0f%% %13.0f%%\n", to_string(policies[i]),
+                find_max_load(cfg, opt) * 100.0, paper_max[i]);
+  }
+
+  bench::note(
+      "expected shape: ranking TailGuard > T-EDFQ > FIFO > PRIQ with "
+      "compressed margins — the deliberate Server-room hotspot weakens the "
+      "fanout signal (the paper's own stress-test observation). Absolute "
+      "max loads are higher than the paper's because the physical testbed "
+      "included communication/merging overheads our cluster models fold "
+      "into the service CDF only partially.");
+  return 0;
+}

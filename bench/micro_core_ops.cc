@@ -1,0 +1,119 @@
+// Microbenchmarks backing the paper's "TailGuard is lightweight" claim
+// (§III.B.2): task-queue operations for all four policies, deadline
+// estimation (cached and uncached, homogeneous and heterogeneous), and the
+// online-update path.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/admission.h"
+#include "core/deadline.h"
+#include "core/order_stats.h"
+#include "core/policy.h"
+#include "dist/standard.h"
+#include "workloads/tailbench.h"
+
+namespace tailguard {
+namespace {
+
+// ------------------------------------------------------- queue push+pop
+
+void BM_QueuePushPop(benchmark::State& state, Policy policy) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  const auto queue = make_task_queue(policy, 4);
+  Rng rng(42);
+  // Pre-fill to the target depth.
+  std::vector<QueuedTask> seed(depth);
+  for (std::size_t i = 0; i < depth; ++i) {
+    seed[i].task = i;
+    seed[i].cls = static_cast<ClassId>(rng.uniform_index(4));
+    seed[i].deadline = rng.uniform(0.0, 1000.0);
+    queue->push(seed[i]);
+  }
+  QueuedTask t;
+  t.cls = 1;
+  for (auto _ : state) {
+    t.deadline = rng.uniform(0.0, 1000.0);
+    queue->push(t);
+    benchmark::DoNotOptimize(queue->pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+BENCHMARK_CAPTURE(BM_QueuePushPop, fifo, Policy::kFifo)->Arg(100)->Arg(10000);
+BENCHMARK_CAPTURE(BM_QueuePushPop, priq, Policy::kPriq)->Arg(100)->Arg(10000);
+BENCHMARK_CAPTURE(BM_QueuePushPop, tf_edf, Policy::kTfEdf)
+    ->Arg(100)
+    ->Arg(10000);
+
+// --------------------------------------------------- deadline estimation
+
+void BM_DeadlineCached(benchmark::State& state) {
+  auto model = std::make_shared<DistributionCdfModel>(
+      make_service_time_model(TailbenchApp::kMasstree));
+  auto est = DeadlineEstimator::homogeneous(model, 100);
+  const ClassId cls = est.add_class({.slo_ms = 1.0, .percentile = 99.0});
+  std::vector<ServerId> servers(100);
+  for (ServerId s = 0; s < 100; ++s) servers[s] = s;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(est.deadline(1.0, cls, servers));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DeadlineCached);
+
+void BM_HomogeneousQuantileUncached(benchmark::State& state) {
+  DistributionCdfModel model(
+      make_service_time_model(TailbenchApp::kMasstree));
+  const auto kf = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(homogeneous_unloaded_quantile(model, kf, 0.99));
+  }
+}
+BENCHMARK(BM_HomogeneousQuantileUncached)->Arg(1)->Arg(100)->Arg(10000);
+
+void BM_HeterogeneousQuantileUncached(benchmark::State& state) {
+  DistributionCdfModel a(std::make_shared<Exponential>(1.0));
+  DistributionCdfModel b(std::make_shared<Exponential>(5.0));
+  DistributionCdfModel c(std::make_shared<Exponential>(0.2));
+  const CdfModel* models[] = {&a, &b, &c};
+  const std::uint32_t counts[] = {8, 8, 16};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        heterogeneous_unloaded_quantile(models, counts, 0.99));
+  }
+}
+BENCHMARK(BM_HeterogeneousQuantileUncached);
+
+// ---------------------------------------------------------- online update
+
+void BM_StreamingObserve(benchmark::State& state) {
+  StreamingCdfModel model;
+  Rng rng(7);
+  for (auto _ : state) {
+    model.observe(rng.uniform(0.1, 10.0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StreamingObserve);
+
+void BM_AdmissionRecordAndCheck(benchmark::State& state) {
+  AdmissionController ctl({.window_tasks = 100000,
+                           .window_ms = 1000.0,
+                           .miss_ratio_threshold = 0.017});
+  Rng rng(7);
+  TimeMs now = 0.0;
+  for (auto _ : state) {
+    now += 0.01;
+    ctl.record_task_dequeue(now, rng.bernoulli(0.02));
+    benchmark::DoNotOptimize(ctl.should_admit(now, rng.uniform()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AdmissionRecordAndCheck);
+
+}  // namespace
+}  // namespace tailguard
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Runtime testbed: the paper's "TailGuard is also implemented and tested"
+// claim, on the in-process multi-threaded runtime instead of Raspberry Pis.
+//
+// Eight worker threads execute Masstree-shaped sleep tasks scaled to ~5 ms
+// means (large relative to OS scheduler noise); two service classes with
+// fanouts 2 and 6 are driven by an open-loop Poisson load generator; the
+// four queuing policies are compared by measured per-class p99. All numbers
+// here are wall-clock.
+//
+// Caveat: on small or busy machines (the workers sleep, but wakeup latency
+// is shared), scheduler jitter adds noise that the simulator does not have;
+// this bench demonstrates the real pipeline end-to-end, while the
+// quantitative policy comparison lives in the simulation benches.
+#include <cstdio>
+#include <memory>
+#include <thread>
+
+#include "bench_util.h"
+#include "runtime/loadgen.h"
+#include "workloads/tailbench.h"
+
+using namespace tailguard;
+
+int main() {
+  bench::title("Runtime testbed",
+               "threaded TailGuard implementation under real wall-clock "
+               "load");
+
+  constexpr std::size_t kWorkers = 8;
+  constexpr double kServiceScale = 30.0;  // Masstree ms -> ~5 ms sleeps
+  const auto service_model = make_service_time_model(TailbenchApp::kMasstree);
+
+  // Mean task cost ~5.3 ms; the 50/50 class mix averages 4 tasks/query, so
+  // 8 workers saturate near ~380 q/s. Sweep ~25% and ~50% load.
+  const double rates[] = {100.0, 200.0};
+  const std::size_t queries = bench::queries(800);
+
+  std::printf(
+      "%zu workers (hardware threads: %u); class 0: fanout 2, SLO 60 ms; "
+      "class 1: fanout 6, SLO 90 ms; %zu queries per point\n",
+      kWorkers, std::thread::hardware_concurrency(), queries);
+  std::printf("%-10s", "policy");
+  for (double r : rates) std::printf("     %6.0f q/s (I p99 | II p99 | miss)", r);
+  std::printf("\n");
+
+  for (Policy policy :
+       {Policy::kFifo, Policy::kPriq, Policy::kTEdf, Policy::kTfEdf}) {
+    std::printf("%-10s", to_string(policy));
+    for (double rate : rates) {
+      ServiceOptions opt;
+      opt.num_workers = kWorkers;
+      opt.policy = policy;
+      opt.classes = {{.slo_ms = 60.0, .percentile = 99.0},
+                     {.slo_ms = 90.0, .percentile = 99.0}};
+      TailGuardService service(opt);
+
+      // Offline estimation: what a task's post-queuing time looks like.
+      Rng profile_rng(17);
+      std::vector<double> profile(3000);
+      for (auto& x : profile)
+        x = kServiceScale * service_model->sample(profile_rng);
+      service.seed_profile(profile);
+
+      LoadGenOptions lg;
+      lg.rate_qps = rate;
+      lg.num_queries = queries;
+      lg.seed = 7;
+      const auto report =
+          run_load(service, lg, [&](Rng& rng) {
+            LoadGenQuery q;
+            q.cls = rng.bernoulli(0.5) ? 0 : 1;
+            q.tasks.resize(q.cls == 0 ? 2 : 6);
+            for (auto& t : q.tasks)
+              t.simulated_service_ms =
+                  kServiceScale * service_model->sample(rng);
+            return q;
+          });
+      const auto* c0 = report.find_class(0);
+      const auto* c1 = report.find_class(1);
+      std::printf("      %7.1f ms | %7.1f ms | %4.1f%%",
+                  c0 != nullptr ? c0->p99_ms : 0.0,
+                  c1 != nullptr ? c1->p99_ms : 0.0,
+                  100.0 * report.deadline_miss_ratio);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  bench::note(
+      "expected shape: all policies keep the SLOs at these moderate loads; "
+      "the pipeline (deadline computation, EDF queues, online CDF updates, "
+      "miss accounting) runs end-to-end on real threads and real clocks. "
+      "See fig5/fig6 for the controlled policy comparison");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Reproduces Table II: mean task service time Tm and the unloaded 99th
+// percentile query tail latency x99u(kf) at fanouts 1, 10 and 100, computed
+// through the order-statistics engine (Eqs. 1-2).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/order_stats.h"
+#include "workloads/tailbench.h"
+
+using namespace tailguard;
+
+int main() {
+  bench::title("Table II",
+               "mean service time and unloaded 99th percentile query tail "
+               "latency x99u(kf)");
+
+  std::printf("%-10s %18s %18s %18s %18s\n", "Bench", "Tm (ms)", "x99u(1)",
+              "x99u(10)", "x99u(100)");
+  std::printf("%-10s %18s %18s %18s %18s\n", "", "meas / paper",
+              "meas / paper", "meas / paper", "meas / paper");
+
+  for (TailbenchApp app : kAllTailbenchApps) {
+    const auto stats = paper_stats(app);
+    DistributionCdfModel model(make_service_time_model(app));
+    const double x1 = homogeneous_unloaded_quantile(model, 1, 0.99);
+    const double x10 = homogeneous_unloaded_quantile(model, 10, 0.99);
+    const double x100 = homogeneous_unloaded_quantile(model, 100, 0.99);
+    std::printf("%-10s %8.3f / %7.3f %8.3f / %7.3f %8.3f / %7.3f %8.3f / %7.3f\n",
+                to_string(app).c_str(), model.distribution().mean(),
+                stats.mean_service_ms, x1, stats.x99u_1, x10, stats.x99u_10,
+                x100, stats.x99u_100);
+  }
+
+  bench::note("x99u(kf) = F^{-1}(0.99^{1/kf}) per Eq. 2 (homogeneous cluster)");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Reproduces Table III: the 99th percentile latency of the three query
+// types (kf = 1, 10, 100) at the maximum loads of FIFO and TailGuard for
+// the Masstree workload — showing that (a) the kf=100 type is the binding
+// constraint for both policies, and (b) TailGuard's per-type tails are more
+// balanced, which is where its extra capacity comes from.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workloads/tailbench.h"
+
+using namespace tailguard;
+
+namespace {
+struct PaperRow {
+  double slo;
+  double fifo[3];       // kf = 1, 10, 100
+  double tailguard[3];  // kf = 1, 10, 100
+};
+}  // namespace
+
+int main() {
+  bench::title("Table III",
+               "99th percentile latency (ms) per query type at the maximum "
+               "load, Masstree");
+
+  const PaperRow paper_rows[] = {
+      {0.8, {0.439, 0.394, 0.798}, {0.572, 0.745, 0.797}},
+      {1.0, {0.533, 0.731, 0.997}, {0.705, 0.941, 0.994}},
+      {1.2, {0.647, 0.889, 1.192}, {0.817, 1.098, 1.193}},
+      {1.4, {0.751, 1.061, 1.389}, {0.945, 1.262, 1.392}},
+  };
+
+  SimConfig cfg;
+  cfg.num_servers = 100;
+  cfg.fanout =
+      std::make_shared<CategoricalFanout>(CategoricalFanout::paper_mix());
+  cfg.service_time = make_service_time_model(TailbenchApp::kMasstree);
+  cfg.num_queries = bench::queries(150000);
+  cfg.seed = 7;
+
+  MaxLoadOptions opt;
+  opt.tolerance = 0.01;
+
+  std::printf("%-8s %-10s %9s %26s %26s %26s\n", "SLO", "policy", "max load",
+              "kf=1 (meas/paper)", "kf=10 (meas/paper)",
+              "kf=100 (meas/paper)");
+  for (const auto& row : paper_rows) {
+    cfg.classes = {{.slo_ms = row.slo, .percentile = 99.0}};
+    for (Policy policy : {Policy::kFifo, Policy::kTfEdf}) {
+      cfg.policy = policy;
+      const double max_load = find_max_load(cfg, opt);
+      set_load(cfg, max_load, opt);
+      const SimResult r = run_simulation(cfg);
+      const double* paper =
+          policy == Policy::kFifo ? row.fifo : row.tailguard;
+      std::printf("%-8.1f %-10s %8.0f%%", row.slo, to_string(policy),
+                  max_load * 100.0);
+      const std::uint32_t fanouts[3] = {1, 10, 100};
+      for (int i = 0; i < 3; ++i) {
+        const auto* g = r.find_group(0, fanouts[i]);
+        std::printf("      %7.3f / %7.3f", g != nullptr ? g->tail_latency : 0.0,
+                    paper[i]);
+      }
+      std::printf("\n");
+    }
+  }
+
+  bench::note(
+      "expected shape: the kf=100 type sits at the SLO for both policies "
+      "(it is the binding constraint); TailGuard's kf=1/kf=10 tails are "
+      "higher than FIFO's, i.e. resources are shifted toward the "
+      "fanout-100 queries");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Sensing-as-a-Service scenario (paper §IV.E).
+//
+// Reruns the paper's heterogeneous edge testbed — four clusters of eight
+// edge nodes with very different post-queuing-time distributions, three
+// user-facing use cases (device monitoring / area overview / long-range
+// history) — and shows how each queuing policy copes with the deliberately
+// skewed load on the Server-room cluster.
+//
+//   ./examples/sas_sensing [server_room_load_percent]
+#include <cstdio>
+#include <cstdlib>
+
+#include "sas/testbed.h"
+
+using namespace tailguard;
+
+int main(int argc, char** argv) {
+  const double load = argc > 1 ? std::atof(argv[1]) / 100.0 : 0.5;
+
+  std::printf("SaS testbed: 4 clusters x 8 edge nodes\n");
+  std::printf("%-14s %8s %8s %8s\n", "cluster", "mean", "p95", "p99");
+  for (SasCluster cluster : kAllSasClusters) {
+    const auto model = make_sas_cluster_model(cluster);
+    std::printf("%-14s %6.0fms %6.0fms %6.0fms\n", to_string(cluster),
+                model->mean(), model->quantile(0.95), model->quantile(0.99));
+  }
+
+  const auto cases = sas_use_cases();
+  std::printf("\nuse cases:\n");
+  const char* descriptions[] = {
+      "A: monitor my devices (80%% of load on the Server-room cluster)",
+      "B: area overview, one node per cluster",
+      "C: 30-day history from every node"};
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    std::printf("  %s — fanout %2u, p99 SLO %4.0f ms, %2.0f%% of queries\n",
+                descriptions[i], cases[i].fanout, cases[i].spec.slo_ms,
+                100.0 * cases[i].probability);
+  }
+
+  const auto opt = sas_load_options();
+  std::printf("\nat %.0f%% Server-room load:\n", load * 100.0);
+  std::printf("%-10s %12s %12s %12s %10s\n", "policy", "p99 A", "p99 B",
+              "p99 C", "SLOs met");
+  SimResult last;
+  for (Policy policy :
+       {Policy::kFifo, Policy::kPriq, Policy::kTEdf, Policy::kTfEdf}) {
+    SimConfig cfg = make_sas_config(policy, 99, 40000);
+    set_load(cfg, load, opt);
+    const SimResult r = run_simulation(cfg);
+    std::printf("%-10s %9.0f ms %9.0f ms %9.0f ms %10s\n", to_string(policy),
+                r.class_tail_latency(0), r.class_tail_latency(1),
+                r.class_tail_latency(2), r.all_slos_met() ? "yes" : "no");
+    last = r;
+  }
+
+  // The paper's §IV.E load-skew claim, measured: the Server-room cluster is
+  // the hotspot while the Wet-lab cluster idles.
+  std::printf("\nper-cluster utilization (TailGuard run):\n");
+  for (SasCluster cluster : kAllSasClusters) {
+    double util = 0.0;
+    const ServerId first = sas_first_node(cluster);
+    for (std::size_t n = 0; n < kSasNodesPerCluster; ++n)
+      util += last.server_utilization[first + n];
+    std::printf("  %-14s %4.0f%%\n", to_string(cluster),
+                100.0 * util / kSasNodesPerCluster);
+  }
+
+  std::printf(
+      "\nTailGuard computes each query's deadline from the product of the "
+      "per-cluster\nCDFs it actually touches (Eqs. 1-2), so a 32-node "
+      "history query is protected\nwithout starving the hot Server-room "
+      "monitoring traffic.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Trace-driven capacity planning.
+//
+// Generates a reproducible query trace (CSV on disk), replays the exact
+// same trace under every queuing policy, and reports per-type tail
+// latencies — the deterministic apples-to-apples comparison an operator
+// would run before changing the production queuing discipline.
+//
+//   ./examples/trace_capacity_planning [trace.csv]
+#include <cstdio>
+#include <string>
+
+#include "sim/experiment.h"
+#include "workloads/tailbench.h"
+#include "workloads/trace.h"
+
+using namespace tailguard;
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : "/tmp/tailguard_trace.csv";
+
+  SimConfig cfg;
+  cfg.num_servers = 100;
+  cfg.fanout =
+      std::make_shared<CategoricalFanout>(CategoricalFanout::paper_mix());
+  cfg.service_time = make_service_time_model(TailbenchApp::kMasstree);
+  cfg.classes = {{.slo_ms = 1.0, .percentile = 99.0},
+                 {.slo_ms = 1.5, .percentile = 99.0}};
+  cfg.seed = 1234;
+
+  // Materialise a 40%-load trace and write it to disk.
+  set_load(cfg, 0.40);
+  TraceSpec spec;
+  spec.num_queries = 60000;
+  spec.class_probabilities = {0.5, 0.5};
+  Rng rng(2026);
+  PoissonProcess arrivals(cfg.arrival_rate);
+  const auto trace = generate_trace(spec, arrivals, *cfg.fanout, rng);
+  write_trace_file(trace, path);
+  std::printf("wrote %zu queries (%.1f s of arrivals, 40%% load) to %s\n\n",
+              trace.size(), trace.back().arrival_ms / 1000.0, path.c_str());
+
+  // Replay the same trace under each policy.
+  cfg.trace = read_trace_file(path);
+  std::printf("%-10s", "policy");
+  std::printf(" %20s %20s %20s %9s\n", "p99 kf=1 (I/II)", "p99 kf=10 (I/II)",
+              "p99 kf=100 (I/II)", "SLOs met");
+  for (Policy policy :
+       {Policy::kFifo, Policy::kPriq, Policy::kTEdf, Policy::kTfEdf}) {
+    cfg.policy = policy;
+    const SimResult r = run_simulation(cfg);
+    std::printf("%-10s", to_string(policy));
+    for (std::uint32_t kf : {1u, 10u, 100u}) {
+      const auto* a = r.find_group(0, kf);
+      const auto* b = r.find_group(1, kf);
+      std::printf("      %6.2f / %6.2f", a != nullptr ? a->tail_latency : 0.0,
+                  b != nullptr ? b->tail_latency : 0.0);
+    }
+    std::printf(" %9s\n", r.all_slos_met() ? "yes" : "no");
+  }
+
+  std::printf(
+      "\nevery policy saw the *identical* arrival sequence (same classes, "
+      "fanouts,\ntimes), so the differences above are pure queuing-policy "
+      "effects.\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+#include "analysis/queueing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tailguard {
+
+double second_moment(const Distribution& dist, std::size_t steps) {
+  TG_CHECK_MSG(steps >= 100, "too few integration steps");
+  // E[X^2] = ∫_0^1 q(p)^2 dp; trapezoid over p with a capped upper tail.
+  const double p_max = 1.0 - 1e-9;
+  double sum = 0.0;
+  double prev = dist.quantile(0.0);
+  prev = prev * prev;
+  for (std::size_t i = 1; i <= steps; ++i) {
+    const double p =
+        std::min(p_max, static_cast<double>(i) / static_cast<double>(steps));
+    const double q = dist.quantile(p);
+    const double cur = q * q;
+    sum += 0.5 * (prev + cur) / static_cast<double>(steps);
+    prev = cur;
+  }
+  return sum;
+}
+
+double mm1_mean_sojourn(double mean_service, double rho) {
+  TG_CHECK_MSG(mean_service > 0.0, "mean service must be positive");
+  TG_CHECK_MSG(rho >= 0.0 && rho < 1.0, "utilisation must be in [0,1)");
+  return mean_service / (1.0 - rho);
+}
+
+double mm1_sojourn_quantile(double mean_service, double rho, double p) {
+  TG_CHECK_MSG(p > 0.0 && p < 1.0, "p must be in (0,1)");
+  // Sojourn time in M/M/1-FCFS is Exponential(mu - lambda).
+  return -std::log(1.0 - p) * mm1_mean_sojourn(mean_service, rho);
+}
+
+double mg1_mean_wait(const Distribution& service, double rho) {
+  TG_CHECK_MSG(rho >= 0.0 && rho < 1.0, "utilisation must be in [0,1)");
+  if (rho == 0.0) return 0.0;
+  const double s1 = service.mean();
+  TG_CHECK_MSG(s1 > 0.0, "service mean must be positive");
+  const double s2 = second_moment(service);
+  const double lambda = rho / s1;
+  return lambda * s2 / (2.0 * (1.0 - rho));
+}
+
+double mg1_wait_complementary(const Distribution& service, double rho,
+                              double t) {
+  if (t <= 0.0) return rho;
+  if (rho <= 0.0) return 0.0;
+  const double w = mg1_mean_wait(service, rho);
+  if (w <= 0.0) return 0.0;
+  // P[W > 0] = rho; conditional wait approximated exponential with mean
+  // E[W] / rho so that the unconditional mean matches P-K.
+  return rho * std::exp(-t * rho / w);
+}
+
+double mg1_sojourn_cdf(const Distribution& service, double rho, double t) {
+  if (t <= 0.0) return 0.0;
+  if (rho <= 0.0) return service.cdf(t);
+  // Sojourn = W + S with W ~ (1-rho) δ0 + rho Exp(w/rho):
+  //   F(t) = (1-rho) F_S(t) + rho ∫_0^t f_W|W>0(x) F_S(t-x) dx.
+  const double w_cond = mg1_mean_wait(service, rho) / rho;
+  const int steps = 256;
+  const double h = t / steps;
+  double integral = 0.0;
+  for (int i = 0; i <= steps; ++i) {
+    const double x = h * i;
+    const double density = std::exp(-x / w_cond) / w_cond;
+    const double weight = (i == 0 || i == steps) ? 0.5 : 1.0;
+    integral += weight * density * service.cdf(t - x);
+  }
+  integral *= h;
+  return std::clamp((1.0 - rho) * service.cdf(t) + rho * integral, 0.0, 1.0);
+}
+
+double approximate_query_tail(const Distribution& service, std::uint32_t kf,
+                              double rho, double p) {
+  TG_CHECK_MSG(kf >= 1, "fanout must be at least 1");
+  TG_CHECK_MSG(p > 0.0 && p < 1.0, "p must be in (0,1)");
+  TG_CHECK_MSG(rho >= 0.0 && rho < 1.0, "utilisation must be in [0,1)");
+  const double per_task = std::pow(p, 1.0 / static_cast<double>(kf));
+  // Bracket: unloaded per-task quantile .. generous multiple of the mean
+  // sojourn plus the service tail.
+  double lo = service.quantile(per_task);
+  double hi = lo + 10.0 * (mg1_mean_wait(service, rho) + service.mean()) /
+                       std::max(1e-6, 1.0 - rho);
+  for (int i = 0; i < 64 && mg1_sojourn_cdf(service, rho, hi) < per_task; ++i)
+    hi *= 2.0;
+  for (int i = 0; i < 100 && hi - lo > 1e-9 * std::max(1.0, hi); ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (mg1_sojourn_cdf(service, rho, mid) < per_task) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double analytic_max_load(const Distribution& service, std::uint32_t kf,
+                         double slo, double p, double tolerance) {
+  TG_CHECK_MSG(slo > 0.0, "slo must be positive");
+  const auto meets = [&](double rho) {
+    return approximate_query_tail(service, kf, rho, p) <= slo;
+  };
+  if (!meets(0.0)) return 0.0;
+  double lo = 0.0, hi = 0.999;
+  if (meets(hi)) return hi;
+  while (hi - lo > tolerance) {
+    const double mid = 0.5 * (lo + hi);
+    (meets(mid) ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+}  // namespace tailguard

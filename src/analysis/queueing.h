@@ -1,0 +1,62 @@
+// Analytical queueing approximations for capacity planning.
+//
+// The simulator answers "what load can this policy sustain" by brute force;
+// this module answers it in microseconds with classical queueing theory:
+//
+//  * M/M/1 exact sojourn-time law,
+//  * M/G/1-FCFS mean waiting time (Pollaczek-Khinchine) and an exponential
+//    tail approximation for the waiting time,
+//  * a fork-join-style approximation of the fanout-kf query tail latency
+//    under FCFS: per-task sojourn CDF (numeric convolution of the
+//    approximated waiting time with the service law) raised to the kf-th
+//    power (task independence assumption, same as Eq. 1),
+//  * an analytic maximum-load estimate per query type.
+//
+// These are approximations: the independence assumption ignores the
+// correlation induced by shared queues, and the exponential waiting-tail is
+// a heavy-traffic result. Accuracy is characterised in
+// tests/analysis_test.cc and bench/ext_analytic_capacity.cc; typical error
+// against the simulator is within ~10-20% on the paper's workloads.
+#pragma once
+
+#include "dist/distribution.h"
+
+namespace tailguard {
+
+/// E[X^2] of a distribution, by numeric integration over the quantile
+/// function. Heavy-tailed laws with infinite second moment (e.g. Pareto
+/// with shape <= 2) return a large finite value driven by the integration
+/// cutoff — callers should not feed those here.
+double second_moment(const Distribution& dist, std::size_t steps = 20000);
+
+/// M/M/1-FCFS: mean sojourn time for mean service `s` at utilisation rho.
+double mm1_mean_sojourn(double mean_service, double rho);
+
+/// M/M/1-FCFS: p-quantile of the sojourn time (exact, exponential law).
+double mm1_sojourn_quantile(double mean_service, double rho, double p);
+
+/// M/G/1-FCFS mean waiting time (Pollaczek-Khinchine).
+double mg1_mean_wait(const Distribution& service, double rho);
+
+/// M/G/1-FCFS waiting-time tail, exponential (heavy-traffic) approximation:
+/// P[W > t] ~= rho * exp(-t * rho / E[W]).
+double mg1_wait_complementary(const Distribution& service, double rho,
+                              double t);
+
+/// Approximate CDF of the per-task sojourn time (wait + service) in an
+/// M/G/1-FCFS server at utilisation rho, via numeric convolution of the
+/// exponential waiting-tail approximation with the service law.
+double mg1_sojourn_cdf(const Distribution& service, double rho, double t);
+
+/// Approximate p-quantile of the fanout-kf query latency at utilisation
+/// rho: invert mg1_sojourn_cdf(t)^kf = p (Eq. 1 independence).
+double approximate_query_tail(const Distribution& service, std::uint32_t kf,
+                              double rho, double p);
+
+/// Largest utilisation at which the fanout-kf query p-quantile stays below
+/// `slo` according to the approximation. Returns 0 if even an idle system
+/// misses (slo below the unloaded quantile).
+double analytic_max_load(const Distribution& service, std::uint32_t kf,
+                         double slo, double p, double tolerance = 0.002);
+
+}  // namespace tailguard

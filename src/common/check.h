@@ -1,0 +1,53 @@
+// Lightweight precondition / invariant checking.
+//
+// TG_CHECK is always on and throws: use it to validate user-supplied
+// configuration and other cold-path preconditions (Core Guidelines I.6).
+// TG_DCHECK compiles away in NDEBUG builds: use it on hot paths where the
+// condition is an internal invariant rather than an input contract.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tailguard {
+
+/// Thrown when a TG_CHECK precondition is violated.
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+}  // namespace detail
+
+}  // namespace tailguard
+
+#define TG_CHECK(expr)                                                  \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::tailguard::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define TG_CHECK_MSG(expr, msg)                                        \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream tg_os_;                                       \
+      tg_os_ << msg;                                                   \
+      ::tailguard::detail::check_failed(#expr, __FILE__, __LINE__,     \
+                                        tg_os_.str());                 \
+    }                                                                  \
+  } while (0)
+
+#ifdef NDEBUG
+#define TG_DCHECK(expr) ((void)0)
+#else
+#define TG_DCHECK(expr) TG_CHECK(expr)
+#endif

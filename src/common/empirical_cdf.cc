@@ -1,0 +1,58 @@
+#include "common/empirical_cdf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace tailguard {
+
+EmpiricalCdf::EmpiricalCdf(std::span<const double> sample)
+    : sorted_(sample.begin(), sample.end()) {
+  TG_CHECK_MSG(!sorted_.empty(), "empirical CDF needs at least one sample");
+  std::sort(sorted_.begin(), sorted_.end());
+  mean_ = std::accumulate(sorted_.begin(), sorted_.end(), 0.0) /
+          static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::cdf(double x) const {
+  TG_CHECK(!sorted_.empty());
+  if (x < sorted_.front()) return 0.0;
+  if (x >= sorted_.back()) return 1.0;
+  // Index of the first element > x.
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  const auto idx = static_cast<std::size_t>(it - sorted_.begin());  // >= 1
+  const double n = static_cast<double>(sorted_.size());
+  // Interpolate between the step at sorted_[idx-1] and the next step, so the
+  // CDF is continuous and strictly increasing across distinct sample values
+  // (required: order-statistics inversion bisects over this function).
+  const double lo = sorted_[idx - 1];
+  const double hi = sorted_[idx];
+  const double frac = hi > lo ? (x - lo) / (hi - lo) : 0.0;
+  return (static_cast<double>(idx) + frac) / (n + 1.0);
+}
+
+double EmpiricalCdf::quantile(double p) const {
+  TG_CHECK(!sorted_.empty());
+  TG_CHECK_MSG(p >= 0.0 && p <= 1.0, "quantile prob out of range: " << p);
+  const auto n = sorted_.size();
+  if (n == 1) return sorted_.front();
+  const double h = p * static_cast<double>(n - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(h));
+  if (lo + 1 >= n) return sorted_.back();
+  const double frac = h - static_cast<double>(lo);
+  return sorted_[lo] + frac * (sorted_[lo + 1] - sorted_[lo]);
+}
+
+double EmpiricalCdf::min() const {
+  TG_CHECK(!sorted_.empty());
+  return sorted_.front();
+}
+
+double EmpiricalCdf::max() const {
+  TG_CHECK(!sorted_.empty());
+  return sorted_.back();
+}
+
+}  // namespace tailguard

@@ -1,0 +1,180 @@
+#include "common/flags.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace tailguard {
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> parts;
+  if (text.empty()) return parts;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) {
+      parts.push_back(text.substr(start));
+      return parts;
+    }
+    parts.push_back(text.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+FlagParser::FlagParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void FlagParser::add_flag(Flag flag) {
+  TG_CHECK_MSG(find(flag.name) == nullptr, "duplicate flag --" << flag.name);
+  flags_.push_back(std::move(flag));
+}
+
+const FlagParser::Flag* FlagParser::find(const std::string& name) const {
+  const auto it =
+      std::find_if(flags_.begin(), flags_.end(),
+                   [&name](const Flag& f) { return f.name == name; });
+  return it == flags_.end() ? nullptr : &*it;
+}
+
+void FlagParser::add_string(const std::string& name, std::string* out,
+                            const std::string& help) {
+  TG_CHECK(out != nullptr);
+  add_flag(Flag{name, help, "\"" + *out + "\"", false,
+                [out](const std::string& v) {
+                  *out = v;
+                  return true;
+                }});
+}
+
+void FlagParser::add_double(const std::string& name, double* out,
+                            const std::string& help) {
+  TG_CHECK(out != nullptr);
+  std::ostringstream def;
+  def << *out;
+  add_flag(Flag{name, help, def.str(), false, [out](const std::string& v) {
+                  char* end = nullptr;
+                  const double parsed = std::strtod(v.c_str(), &end);
+                  if (end == v.c_str() || *end != '\0') return false;
+                  *out = parsed;
+                  return true;
+                }});
+}
+
+void FlagParser::add_int(const std::string& name, std::int64_t* out,
+                         const std::string& help) {
+  TG_CHECK(out != nullptr);
+  add_flag(Flag{name, help, std::to_string(*out), false,
+                [out](const std::string& v) {
+                  char* end = nullptr;
+                  const long long parsed = std::strtoll(v.c_str(), &end, 10);
+                  if (end == v.c_str() || *end != '\0') return false;
+                  *out = parsed;
+                  return true;
+                }});
+}
+
+void FlagParser::add_size(const std::string& name, std::size_t* out,
+                          const std::string& help) {
+  TG_CHECK(out != nullptr);
+  add_flag(Flag{name, help, std::to_string(*out), false,
+                [out](const std::string& v) {
+                  char* end = nullptr;
+                  const unsigned long long parsed =
+                      std::strtoull(v.c_str(), &end, 10);
+                  if (end == v.c_str() || *end != '\0') return false;
+                  *out = static_cast<std::size_t>(parsed);
+                  return true;
+                }});
+}
+
+void FlagParser::add_bool(const std::string& name, bool* out,
+                          const std::string& help) {
+  TG_CHECK(out != nullptr);
+  add_flag(Flag{name, help, *out ? "true" : "false", true,
+                [out](const std::string& v) {
+                  if (v == "" || v == "true" || v == "1") {
+                    *out = true;
+                  } else if (v == "false" || v == "0") {
+                    *out = false;
+                  } else {
+                    return false;
+                  }
+                  return true;
+                }});
+}
+
+void FlagParser::add_double_list(const std::string& name,
+                                 std::vector<double>* out,
+                                 const std::string& help) {
+  TG_CHECK(out != nullptr);
+  std::ostringstream def;
+  for (std::size_t i = 0; i < out->size(); ++i)
+    def << (i ? "," : "") << (*out)[i];
+  add_flag(Flag{name, help, def.str(), false, [out](const std::string& v) {
+                  std::vector<double> parsed;
+                  for (const auto& part : split_csv(v)) {
+                    char* end = nullptr;
+                    const double x = std::strtod(part.c_str(), &end);
+                    if (end == part.c_str() || *end != '\0') return false;
+                    parsed.push_back(x);
+                  }
+                  *out = std::move(parsed);
+                  return true;
+                }});
+}
+
+void FlagParser::print_help(std::ostream& os) const {
+  os << description_ << "\n\nflags:\n";
+  for (const auto& f : flags_) {
+    os << "  --" << f.name << (f.is_bool ? "" : " <value>") << "\n        "
+       << f.help << " (default: " << f.default_repr << ")\n";
+  }
+  os << "  --help\n        print this message\n";
+}
+
+bool FlagParser::parse(int argc, const char* const* argv, std::ostream& out,
+                       std::ostream& err) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      print_help(out);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      err << "unexpected positional argument: " << arg << "\n";
+      return false;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    const Flag* flag = find(arg);
+    if (flag == nullptr) {
+      err << "unknown flag --" << arg << " (try --help)\n";
+      return false;
+    }
+    if (!has_value && !flag->is_bool) {
+      if (i + 1 >= argc) {
+        err << "flag --" << arg << " needs a value\n";
+        return false;
+      }
+      value = argv[++i];
+      has_value = true;
+    }
+    if (!flag->apply(value)) {
+      err << "bad value for --" << arg << ": \"" << value << "\"\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace tailguard

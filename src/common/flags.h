@@ -1,0 +1,66 @@
+// Minimal command-line flag parsing for the tools/ binaries.
+//
+// Supports `--name value`, `--name=value`, boolean flags (`--flag` /
+// `--flag=false`) and `--help`. Unknown flags are errors; values are
+// validated on parse. No global state — each tool builds its own parser.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tailguard {
+
+class FlagParser {
+ public:
+  explicit FlagParser(std::string program_description);
+
+  /// Registers a flag bound to `*out` (which holds the default value).
+  void add_string(const std::string& name, std::string* out,
+                  const std::string& help);
+  void add_double(const std::string& name, double* out,
+                  const std::string& help);
+  void add_int(const std::string& name, std::int64_t* out,
+               const std::string& help);
+  void add_size(const std::string& name, std::size_t* out,
+                const std::string& help);
+  void add_bool(const std::string& name, bool* out, const std::string& help);
+  /// Comma-separated list of doubles, e.g. `--loads 0.2,0.3,0.4`.
+  void add_double_list(const std::string& name, std::vector<double>* out,
+                       const std::string& help);
+
+  /// Parses argv. Returns true on success; on `--help` or error prints to
+  /// `out`/`err` and returns false (the caller should exit — with status 0
+  /// when help_requested(), non-zero otherwise).
+  bool parse(int argc, const char* const* argv, std::ostream& out,
+             std::ostream& err);
+
+  /// True when the last parse() returned false because of --help.
+  bool help_requested() const { return help_requested_; }
+
+  void print_help(std::ostream& os) const;
+
+ private:
+  struct Flag {
+    std::string name;
+    std::string help;
+    std::string default_repr;
+    bool is_bool = false;
+    /// Applies a value; returns false if malformed.
+    std::function<bool(const std::string&)> apply;
+  };
+
+  void add_flag(Flag flag);
+  const Flag* find(const std::string& name) const;
+
+  std::string description_;
+  std::vector<Flag> flags_;
+  bool help_requested_ = false;
+};
+
+/// Splits a comma-separated list; empty input gives an empty vector.
+std::vector<std::string> split_csv(const std::string& text);
+
+}  // namespace tailguard

@@ -1,0 +1,58 @@
+// Fixed-capacity moving window over boolean events.
+//
+// Backs the paper's query admission control (§III.C): the query handler
+// tracks the fraction of tasks that missed their queuing deadline over a
+// moving window and rejects queries while that ratio exceeds a threshold.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+
+namespace tailguard {
+
+class MovingWindowRatio {
+ public:
+  explicit MovingWindowRatio(std::size_t capacity)
+      : bits_(capacity, false), capacity_(capacity) {
+    TG_CHECK_MSG(capacity > 0, "window capacity must be positive");
+  }
+
+  /// Records one event (true = "hit", e.g. a deadline miss).
+  void record(bool hit) {
+    if (size_ == capacity_) {
+      if (bits_[head_]) --hits_;
+    } else {
+      ++size_;
+    }
+    bits_[head_] = hit;
+    if (hit) ++hits_;
+    head_ = (head_ + 1) % capacity_;
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t hits() const { return hits_; }
+
+  /// Fraction of true events among the last min(capacity, recorded) events;
+  /// 0 when nothing has been recorded yet.
+  double ratio() const {
+    return size_ == 0 ? 0.0
+                      : static_cast<double>(hits_) / static_cast<double>(size_);
+  }
+
+  void clear() {
+    std::fill(bits_.begin(), bits_.end(), false);
+    size_ = hits_ = head_ = 0;
+  }
+
+ private:
+  std::vector<bool> bits_;
+  std::size_t capacity_;
+  std::size_t size_ = 0;
+  std::size_t hits_ = 0;
+  std::size_t head_ = 0;
+};
+
+}  // namespace tailguard

@@ -1,0 +1,96 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// The simulator needs (a) reproducible streams keyed by a user seed, so that
+// policy comparisons use common random numbers, and (b) throughput well above
+// std::mt19937_64. xoshiro256++ (Blackman & Vigna, 2019) satisfies both; the
+// state is seeded from a user seed via SplitMix64 as its authors recommend.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace tailguard {
+
+/// SplitMix64 step: used for seeding and as a cheap stateless hash.
+inline constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256++ generator. Satisfies UniformRandomBitGenerator so it can be
+/// plugged into <random> distributions, though tailguard code mostly uses the
+/// convenience members below.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x7a1160a2d5b3c4e9ULL) { reseed(seed); }
+
+  /// Re-initialises the full 256-bit state from a 64-bit seed.
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of entropy.
+  double uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in (0, 1]; safe to pass to log().
+  double uniform_pos() { return 1.0 - uniform(); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t uniform_index(std::uint64_t bound) {
+    TG_DCHECK(bound > 0);
+    const std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>((*this)()) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Bernoulli draw.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Derives an independent child generator; useful for giving each
+  /// simulation component its own stream.
+  Rng split() {
+    std::uint64_t s = (*this)();
+    return Rng(splitmix64(s));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace tailguard

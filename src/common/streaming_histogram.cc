@@ -1,0 +1,106 @@
+#include "common/streaming_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tailguard {
+
+StreamingHistogram::StreamingHistogram(StreamingHistogramOptions options)
+    : options_(options) {
+  TG_CHECK_MSG(options_.min_value > 0.0, "log buckets need min_value > 0");
+  TG_CHECK(options_.max_value > options_.min_value);
+  TG_CHECK(options_.buckets_per_decade > 0);
+  TG_CHECK(options_.decay_factor > 0.0 && options_.decay_factor <= 1.0);
+  log_min_ = std::log(options_.min_value);
+  const double per_ln = static_cast<double>(options_.buckets_per_decade) /
+                        std::log(10.0);
+  inv_log_width_ = per_ln;
+  const double span = std::log(options_.max_value) - log_min_;
+  const auto finite = static_cast<std::size_t>(std::ceil(span * per_ln));
+  // +1 overflow bucket for observations above max_value.
+  weights_.assign(finite + 1, 0.0);
+}
+
+std::size_t StreamingHistogram::bucket_index(double x) const {
+  if (!(x > options_.min_value)) return 0;
+  if (x >= options_.max_value) return weights_.size() - 1;
+  const double pos = (std::log(x) - log_min_) * inv_log_width_;
+  auto idx = static_cast<std::size_t>(pos);
+  return std::min(idx, weights_.size() - 2);
+}
+
+double StreamingHistogram::bucket_lower(std::size_t i) const {
+  return std::exp(log_min_ + static_cast<double>(i) / inv_log_width_);
+}
+
+double StreamingHistogram::bucket_upper(std::size_t i) const {
+  if (i + 1 >= weights_.size()) return options_.max_value;
+  return std::exp(log_min_ + static_cast<double>(i + 1) / inv_log_width_);
+}
+
+void StreamingHistogram::add(double x) {
+  weights_[bucket_index(x)] += 1.0;
+  total_ += 1.0;
+  weighted_sum_ += std::max(x, options_.min_value);
+  ++observations_;
+  if (options_.decay_every != 0 && ++since_decay_ >= options_.decay_every) {
+    since_decay_ = 0;
+    for (auto& w : weights_) w *= options_.decay_factor;
+    total_ *= options_.decay_factor;
+    weighted_sum_ *= options_.decay_factor;
+  }
+}
+
+double StreamingHistogram::cdf(double x) const {
+  if (total_ <= 0.0) return 0.0;
+  if (x >= options_.max_value) return 1.0;
+  if (x <= options_.min_value) return 0.0;
+  const std::size_t idx = bucket_index(x);
+  double below = 0.0;
+  for (std::size_t i = 0; i < idx; ++i) below += weights_[i];
+  // Log-linear interpolation within the bucket containing x.
+  const double lo = bucket_lower(idx);
+  const double hi = bucket_upper(idx);
+  const double frac =
+      hi > lo ? (std::log(x) - std::log(lo)) / (std::log(hi) - std::log(lo))
+              : 1.0;
+  return (below + frac * weights_[idx]) / total_;
+}
+
+double StreamingHistogram::quantile(double p) const {
+  TG_CHECK_MSG(p >= 0.0 && p <= 1.0, "quantile prob out of range: " << p);
+  if (total_ <= 0.0) return 0.0;
+  const double target = p * total_;
+  double cum = 0.0;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    if (weights_[i] <= 0.0) continue;
+    if (cum + weights_[i] >= target) {
+      const double frac = weights_[i] > 0.0
+                              ? std::clamp((target - cum) / weights_[i], 0.0, 1.0)
+                              : 1.0;
+      const double lo = std::log(bucket_lower(i));
+      const double hi = std::log(bucket_upper(i));
+      // The geometric bucket grid may slightly overshoot max_value; clamp so
+      // the estimate never exceeds the configured domain.
+      return std::min(options_.max_value, std::exp(lo + frac * (hi - lo)));
+    }
+    cum += weights_[i];
+  }
+  return options_.max_value;
+}
+
+double StreamingHistogram::mean() const {
+  return total_ > 0.0 ? weighted_sum_ / total_ : 0.0;
+}
+
+void StreamingHistogram::clear() {
+  std::fill(weights_.begin(), weights_.end(), 0.0);
+  total_ = 0.0;
+  weighted_sum_ = 0.0;
+  observations_ = 0;
+  since_decay_ = 0;
+}
+
+}  // namespace tailguard

@@ -1,0 +1,55 @@
+#include "core/admission.h"
+
+#include "common/check.h"
+
+namespace tailguard {
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options) {
+  TG_CHECK_MSG(options.window_tasks > 0, "window must hold at least one task");
+  TG_CHECK_MSG(options.miss_ratio_threshold >= 0.0 &&
+                   options.miss_ratio_threshold <= 1.0,
+               "miss ratio threshold must be in [0,1]");
+}
+
+void AdmissionController::evict(TimeMs now) {
+  while (!window_.empty() &&
+         ((options_.window_ms > 0.0 &&
+           now - window_.front().time > options_.window_ms) ||
+          window_.size() > options_.window_tasks)) {
+    if (window_.front().missed) --misses_in_window_;
+    window_.pop_front();
+  }
+}
+
+void AdmissionController::record_task_dequeue(TimeMs now, bool missed) {
+  window_.push_back(Entry{now, missed});
+  if (missed) ++misses_in_window_;
+  evict(now);
+}
+
+double AdmissionController::miss_ratio(TimeMs now) {
+  evict(now);
+  return window_.empty() ? 0.0
+                         : static_cast<double>(misses_in_window_) /
+                               static_cast<double>(window_.size());
+}
+
+bool AdmissionController::should_admit(TimeMs now, double coin) {
+  const double ratio = miss_ratio(now);
+  const double rth = options_.miss_ratio_threshold;
+  if (ratio <= rth) return true;
+  switch (options_.mode) {
+    case AdmissionMode::kOnOff:
+      return false;
+    case AdmissionMode::kProportional: {
+      const double span = options_.proportional_gain * rth;
+      if (span <= 0.0) return false;
+      const double reject_prob = (ratio - rth) / span;
+      return coin >= reject_prob;
+    }
+  }
+  return false;
+}
+
+}  // namespace tailguard

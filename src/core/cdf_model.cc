@@ -1,0 +1,52 @@
+#include "core/cdf_model.h"
+
+#include "common/check.h"
+
+namespace tailguard {
+
+const char* to_string(Policy p) {
+  switch (p) {
+    case Policy::kFifo:
+      return "FIFO";
+    case Policy::kPriq:
+      return "PRIQ";
+    case Policy::kTEdf:
+      return "T-EDFQ";
+    case Policy::kTfEdf:
+      return "TailGuard";
+  }
+  return "?";
+}
+
+DistributionCdfModel::DistributionCdfModel(DistributionPtr dist)
+    : dist_(std::move(dist)) {
+  TG_CHECK_MSG(dist_ != nullptr, "null distribution");
+}
+
+EmpiricalCdfModel::EmpiricalCdfModel(std::span<const double> sample)
+    : ecdf_(sample) {}
+
+StreamingCdfModel::StreamingCdfModel(Options options)
+    : hist_(options.histogram), refresh_every_(options.refresh_every) {
+  TG_CHECK_MSG(refresh_every_ > 0, "refresh_every must be positive");
+}
+
+void StreamingCdfModel::seed(std::span<const double> sample) {
+  for (double x : sample) hist_.add(x);
+  ++version_;
+  since_refresh_ = 0;
+}
+
+double StreamingCdfModel::cdf(TimeMs t) const { return hist_.cdf(t); }
+
+TimeMs StreamingCdfModel::quantile(double p) const { return hist_.quantile(p); }
+
+void StreamingCdfModel::observe(TimeMs t) {
+  hist_.add(t);
+  if (++since_refresh_ >= refresh_every_) {
+    since_refresh_ = 0;
+    ++version_;
+  }
+}
+
+}  // namespace tailguard

@@ -1,0 +1,139 @@
+#include "core/deadline.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace tailguard {
+
+namespace {
+// FNV-1a over a small integer sequence; cache keys only need to separate the
+// (class, group-composition) combinations that actually occur.
+std::uint64_t hash_key(ClassId cls, std::span<const std::uint32_t> counts) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(cls);
+  for (std::uint32_t c : counts) mix(c);
+  return h;
+}
+}  // namespace
+
+DeadlineEstimator::DeadlineEstimator(
+    std::vector<std::shared_ptr<CdfModel>> server_models) {
+  TG_CHECK_MSG(!server_models.empty(), "need at least one server");
+  server_group_.reserve(server_models.size());
+  for (auto& model : server_models) {
+    TG_CHECK_MSG(model != nullptr, "null server model");
+    const auto it = std::find(models_.begin(), models_.end(), model);
+    if (it == models_.end()) {
+      server_group_.push_back(static_cast<std::uint32_t>(models_.size()));
+      models_.push_back(std::move(model));
+    } else {
+      server_group_.push_back(
+          static_cast<std::uint32_t>(it - models_.begin()));
+    }
+  }
+  group_counts_.assign(models_.size(), 0);
+}
+
+DeadlineEstimator DeadlineEstimator::homogeneous(
+    std::shared_ptr<CdfModel> model, std::size_t n_servers) {
+  TG_CHECK_MSG(n_servers >= 1, "need at least one server");
+  return DeadlineEstimator(
+      std::vector<std::shared_ptr<CdfModel>>(n_servers, std::move(model)));
+}
+
+ClassId DeadlineEstimator::add_class(ClassSpec spec) {
+  TG_CHECK_MSG(spec.slo_ms > 0.0, "class SLO must be positive");
+  TG_CHECK_MSG(spec.percentile > 0.0 && spec.percentile < 100.0,
+               "percentile must be in (0,100): " << spec.percentile);
+  classes_.push_back(spec);
+  return static_cast<ClassId>(classes_.size() - 1);
+}
+
+const ClassSpec& DeadlineEstimator::class_spec(ClassId cls) const {
+  TG_CHECK_MSG(cls < classes_.size(), "unknown class " << cls);
+  return classes_[cls];
+}
+
+std::uint64_t DeadlineEstimator::version_sum() const {
+  std::uint64_t sum = 0;
+  for (const auto& m : models_) sum += m->version();
+  return sum;
+}
+
+TimeMs DeadlineEstimator::unloaded_query_quantile(
+    ClassId cls, std::span<const ServerId> servers) {
+  const ClassSpec& spec = class_spec(cls);
+  TG_CHECK_MSG(!servers.empty(), "query must fan out to at least one server");
+  const double prob = spec.percentile / 100.0;
+
+  std::fill(group_counts_.begin(), group_counts_.end(), 0);
+  for (ServerId s : servers) {
+    TG_CHECK_MSG(s < server_group_.size(), "unknown server " << s);
+    ++group_counts_[server_group_[s]];
+  }
+
+  if (models_.size() == 1) {
+    // Homogeneous cluster: closed form, cache by fanout.
+    const auto kf = static_cast<std::uint32_t>(servers.size());
+    return unloaded_query_quantile(cls, kf);
+  }
+
+  const std::uint64_t key = hash_key(cls, group_counts_);
+  return cache_.get_or_compute(key, version_sum(), [&] {
+    // Build the compact (model, count) representation for the groups hit.
+    std::vector<const CdfModel*> models;
+    std::vector<std::uint32_t> counts;
+    models.reserve(models_.size());
+    counts.reserve(models_.size());
+    for (std::size_t g = 0; g < models_.size(); ++g) {
+      if (group_counts_[g] == 0) continue;
+      models.push_back(models_[g].get());
+      counts.push_back(group_counts_[g]);
+    }
+    return heterogeneous_unloaded_quantile(models, counts, prob);
+  });
+}
+
+TimeMs DeadlineEstimator::unloaded_query_quantile(ClassId cls,
+                                                  std::uint32_t fanout) {
+  TG_CHECK_MSG(models_.size() == 1,
+               "fanout-only lookup requires a homogeneous cluster");
+  const ClassSpec& spec = class_spec(cls);
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(cls) << 32) | fanout;
+  return cache_.get_or_compute(key, version_sum(), [&] {
+    return homogeneous_unloaded_quantile(*models_[0], fanout,
+                                         spec.percentile / 100.0);
+  });
+}
+
+TimeMs DeadlineEstimator::budget(ClassId cls,
+                                 std::span<const ServerId> servers) {
+  return class_spec(cls).slo_ms - unloaded_query_quantile(cls, servers);
+}
+
+TimeMs DeadlineEstimator::deadline(TimeMs t0, ClassId cls,
+                                   std::span<const ServerId> servers) {
+  return t0 + budget(cls, servers);
+}
+
+TimeMs DeadlineEstimator::slo_deadline(TimeMs t0, ClassId cls) const {
+  return t0 + class_spec(cls).slo_ms;
+}
+
+void DeadlineEstimator::observe_post_queuing(ServerId server, TimeMs t) {
+  TG_CHECK_MSG(server < server_group_.size(), "unknown server " << server);
+  models_[server_group_[server]]->observe(t);
+}
+
+const CdfModel& DeadlineEstimator::model_of(ServerId server) const {
+  TG_CHECK_MSG(server < server_group_.size(), "unknown server " << server);
+  return *models_[server_group_[server]];
+}
+
+}  // namespace tailguard

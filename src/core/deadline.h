@@ -1,0 +1,82 @@
+// Task queuing deadline estimation (paper §III.B) — the heart of TailGuard.
+//
+// For a query of class c (SLO x_p^SLO) with fanout kf arriving at t_0 and
+// fanning out to a known server set, the task pre-dequeuing time budget and
+// the task queuing deadline are
+//
+//   T_b = x_p^SLO - x_p^u(kf)      and      t_D = t_0 + T_b        (Eq. 6)
+//
+// where x_p^u is the unloaded p-th percentile query latency from the
+// order-statistics engine. The estimator owns one CdfModel per task server
+// (servers sharing a model form a homogeneous *group*, which is both the
+// paper's deployment assumption and what makes caching effective), performs
+// the offline seeding and online updating of §III.B.2 through those models,
+// and memoises x_p^u per (class, group-composition).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/order_stats.h"
+
+namespace tailguard {
+
+class DeadlineEstimator {
+ public:
+  /// One model per server; servers may share a model (shared_ptr identity
+  /// defines the homogeneous groups).
+  explicit DeadlineEstimator(
+      std::vector<std::shared_ptr<CdfModel>> server_models);
+
+  /// Convenience: `n_servers` servers all sharing `model` — the paper's
+  /// homogeneous-cluster configuration.
+  static DeadlineEstimator homogeneous(std::shared_ptr<CdfModel> model,
+                                       std::size_t n_servers);
+
+  /// Registers a service class; returns its id (dense, starting at 0).
+  ClassId add_class(ClassSpec spec);
+
+  std::size_t num_classes() const { return classes_.size(); }
+  std::size_t num_servers() const { return server_group_.size(); }
+  const ClassSpec& class_spec(ClassId cls) const;
+
+  /// Unloaded p-th percentile query latency x_p^u for a query of class `cls`
+  /// that fans out to exactly `servers` (Eqs. 1-2; memoised).
+  TimeMs unloaded_query_quantile(ClassId cls, std::span<const ServerId> servers);
+
+  /// Homogeneous fast path: x_p^u(kf) when all servers share one model.
+  /// Only valid for single-group estimators.
+  TimeMs unloaded_query_quantile(ClassId cls, std::uint32_t fanout);
+
+  /// Task pre-dequeuing time budget T_b = x_p^SLO - x_p^u. May be negative
+  /// when the SLO is tighter than the unloaded tail itself — such tasks sort
+  /// ahead of everything (they are already late on arrival).
+  TimeMs budget(ClassId cls, std::span<const ServerId> servers);
+
+  /// TailGuard task queuing deadline t_D = t_0 + T_b (Eq. 6).
+  TimeMs deadline(TimeMs t0, ClassId cls, std::span<const ServerId> servers);
+
+  /// T-EDFQ deadline: t_0 + x_p^SLO — SLO-aware but fanout-unaware (§III.A).
+  TimeMs slo_deadline(TimeMs t0, ClassId cls) const;
+
+  /// Online updating process: feeds one observed post-queuing time into the
+  /// model of `server`. Quantile caches invalidate automatically when the
+  /// model's version advances.
+  void observe_post_queuing(ServerId server, TimeMs t);
+
+  const CdfModel& model_of(ServerId server) const;
+  std::size_t num_groups() const { return models_.size(); }
+
+ private:
+  std::uint64_t version_sum() const;
+
+  std::vector<std::shared_ptr<CdfModel>> models_;  // one per group
+  std::vector<std::uint32_t> server_group_;        // server -> group index
+  std::vector<ClassSpec> classes_;
+  UnloadedQuantileCache cache_;
+  // Scratch reused across calls to avoid per-query allocation.
+  std::vector<std::uint32_t> group_counts_;
+};
+
+}  // namespace tailguard

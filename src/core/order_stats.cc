@@ -1,0 +1,94 @@
+#include "core/order_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace tailguard {
+
+TimeMs homogeneous_unloaded_quantile(const CdfModel& model, std::uint32_t kf,
+                                     double prob) {
+  TG_CHECK_MSG(kf >= 1, "fanout must be at least 1");
+  TG_CHECK_MSG(prob > 0.0 && prob < 1.0, "prob must be in (0,1): " << prob);
+  // F(t)^kf = prob  =>  F(t) = prob^{1/kf}  (Eq. 2 specialised to Eq. 1 with
+  // identical factors).
+  const double per_task = std::pow(prob, 1.0 / static_cast<double>(kf));
+  return model.quantile(per_task);
+}
+
+namespace {
+
+TimeMs invert_product_cdf(std::span<const CdfModel* const> models,
+                          std::span<const std::uint32_t> counts, double prob) {
+  TG_CHECK_MSG(!models.empty(), "need at least one model");
+  TG_CHECK_MSG(prob > 0.0 && prob < 1.0, "prob must be in (0,1): " << prob);
+  std::uint64_t total_tasks = 0;
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    TG_CHECK_MSG(models[i] != nullptr, "null model at index " << i);
+    total_tasks += counts.empty() ? 1 : counts[i];
+  }
+  TG_CHECK_MSG(total_tasks >= 1, "need at least one task");
+
+  const auto count_of = [&](std::size_t i) -> double {
+    return counts.empty() ? 1.0 : static_cast<double>(counts[i]);
+  };
+
+  // log F_Q(t) = Σ_i counts[i] * log F_i(t); we bisect on that.
+  const double log_target = std::log(prob);
+  const auto log_product = [&](TimeMs t) -> double {
+    double lp = 0.0;
+    for (std::size_t i = 0; i < models.size(); ++i) {
+      const double f = models[i]->cdf(t);
+      if (f <= 0.0) return -std::numeric_limits<double>::infinity();
+      lp += count_of(i) * std::log(f);
+    }
+    return lp;
+  };
+
+  // Bracket. Lower bound: the max over models of their `prob` quantile —
+  // F_Q(t) <= min_i F_i(t) <= prob there, so the root is at or above it.
+  // Upper bound: max over models of the per-task quantile prob^{1/total},
+  // since F_i(t) >= prob^{count_i/total} for all i implies F_Q(t) >= prob.
+  const double per_task = std::pow(prob, 1.0 / static_cast<double>(total_tasks));
+  TimeMs lo = 0.0;
+  TimeMs hi = 0.0;
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    lo = std::max(lo, models[i]->quantile(prob));
+    hi = std::max(hi, models[i]->quantile(per_task));
+  }
+  if (hi <= lo) return hi;
+  // Guard against models whose quantile() is approximate (e.g. streaming
+  // histograms): widen until the bracket actually straddles the target.
+  for (int i = 0; i < 64 && log_product(hi) < log_target; ++i)
+    hi += std::max(1e-9, hi - lo);
+
+  for (int iter = 0; iter < 200 && hi - lo > 1e-12 * std::max(1.0, hi);
+       ++iter) {
+    const TimeMs mid = 0.5 * (lo + hi);
+    if (log_product(mid) < log_target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+TimeMs heterogeneous_unloaded_quantile(std::span<const CdfModel* const> models,
+                                       double prob) {
+  return invert_product_cdf(models, {}, prob);
+}
+
+TimeMs heterogeneous_unloaded_quantile(std::span<const CdfModel* const> models,
+                                       std::span<const std::uint32_t> counts,
+                                       double prob) {
+  TG_CHECK_MSG(models.size() == counts.size(),
+               "models/counts length mismatch");
+  return invert_product_cdf(models, counts, prob);
+}
+
+}  // namespace tailguard

@@ -1,0 +1,72 @@
+// Order-statistics engine: Eqs. (1) and (2) of the paper.
+//
+// The unloaded query latency is the maximum of the kf constituent task
+// latencies, so its CDF is the product of the per-server unloaded CDFs:
+//
+//   F_Q^u(t) = Π_l F_l^u(t)            over the servers the query fans out to
+//   x_p^u    = F_Q^{u,-1}(p/100)
+//
+// Homogeneous clusters admit the closed form x_p^u(kf) = F^{-1}((p/100)^{1/kf});
+// heterogeneous server sets are inverted by bisection. Because queries with
+// the same (class, server-composition) share the same x_p^u, results are
+// memoised in a caller-keyed cache that invalidates when any referenced model
+// reports a new version (online updating).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cdf_model.h"
+#include "core/types.h"
+
+namespace tailguard {
+
+/// x_p^u(kf) for kf i.i.d. tasks drawn from `model`. `prob` in (0, 1), e.g.
+/// 0.99 for the 99th percentile.
+TimeMs homogeneous_unloaded_quantile(const CdfModel& model, std::uint32_t kf,
+                                     double prob);
+
+/// x_p^u for one task on each model in `models` (a model may appear more than
+/// once if several tasks hit equivalent servers). Inverts Π F_l(t) = prob by
+/// bisection; the bracket is derived from per-model quantiles.
+TimeMs heterogeneous_unloaded_quantile(std::span<const CdfModel* const> models,
+                                       double prob);
+
+/// As above but with multiplicities: `counts[i]` tasks on `models[i]`.
+TimeMs heterogeneous_unloaded_quantile(std::span<const CdfModel* const> models,
+                                       std::span<const std::uint32_t> counts,
+                                       double prob);
+
+/// Memo for unloaded-quantile lookups. Keys are caller-chosen 64-bit values
+/// (e.g. hash of (class, group-count vector)); entries are dropped whenever
+/// the observed model-version sum changes, which covers online updates.
+class UnloadedQuantileCache {
+ public:
+  /// Returns the cached value for `key` or computes it via `compute()` and
+  /// caches it. `version_sum` must change whenever any underlying model does
+  /// (sum of CdfModel::version() works).
+  template <typename ComputeFn>
+  TimeMs get_or_compute(std::uint64_t key, std::uint64_t version_sum,
+                        ComputeFn&& compute) {
+    if (version_sum != version_sum_) {
+      map_.clear();
+      version_sum_ = version_sum;
+    }
+    auto it = map_.find(key);
+    if (it != map_.end()) return it->second;
+    const TimeMs v = compute();
+    map_.emplace(key, v);
+    return v;
+  }
+
+  std::size_t size() const { return map_.size(); }
+  void clear() { map_.clear(); }
+
+ private:
+  std::unordered_map<std::uint64_t, TimeMs> map_;
+  std::uint64_t version_sum_ = ~0ULL;
+};
+
+}  // namespace tailguard

@@ -1,0 +1,103 @@
+#include "core/policy.h"
+
+#include "common/check.h"
+
+namespace tailguard {
+
+// -------------------------------------------------------------------- FIFO
+
+void FifoTaskQueue::push(QueuedTask task) {
+  task.seq = next_seq_++;
+  queue_.push_back(task);
+}
+
+QueuedTask FifoTaskQueue::pop() {
+  TG_CHECK_MSG(!queue_.empty(), "pop from empty FIFO queue");
+  QueuedTask t = queue_.front();
+  queue_.pop_front();
+  return t;
+}
+
+const QueuedTask& FifoTaskQueue::peek() const {
+  TG_CHECK_MSG(!queue_.empty(), "peek into empty FIFO queue");
+  return queue_.front();
+}
+
+// -------------------------------------------------------------------- PRIQ
+
+ClassPriorityTaskQueue::ClassPriorityTaskQueue(std::size_t num_classes)
+    : per_class_(num_classes) {
+  TG_CHECK_MSG(num_classes >= 1, "PRIQ needs at least one class");
+}
+
+void ClassPriorityTaskQueue::push(QueuedTask task) {
+  TG_CHECK_MSG(task.cls < per_class_.size(),
+               "task class " << task.cls << " out of range");
+  task.seq = next_seq_++;
+  per_class_[task.cls].push_back(task);
+  ++size_;
+}
+
+std::size_t ClassPriorityTaskQueue::first_nonempty() const {
+  for (std::size_t c = 0; c < per_class_.size(); ++c)
+    if (!per_class_[c].empty()) return c;
+  TG_CHECK_MSG(false, "pop/peek on empty PRIQ queue");
+  return 0;
+}
+
+QueuedTask ClassPriorityTaskQueue::pop() {
+  const std::size_t c = first_nonempty();
+  QueuedTask t = per_class_[c].front();
+  per_class_[c].pop_front();
+  --size_;
+  return t;
+}
+
+const QueuedTask& ClassPriorityTaskQueue::peek() const {
+  return per_class_[first_nonempty()].front();
+}
+
+// --------------------------------------------------------------------- EDF
+
+EdfTaskQueue::EdfTaskQueue(Policy reported_policy)
+    : reported_policy_(reported_policy) {
+  TG_CHECK_MSG(
+      reported_policy == Policy::kTEdf || reported_policy == Policy::kTfEdf,
+      "EdfTaskQueue reports only the EDF policies");
+}
+
+void EdfTaskQueue::push(QueuedTask task) {
+  task.seq = next_seq_++;
+  heap_.push(task);
+}
+
+QueuedTask EdfTaskQueue::pop() {
+  TG_CHECK_MSG(!heap_.empty(), "pop from empty EDF queue");
+  QueuedTask t = heap_.top();
+  heap_.pop();
+  return t;
+}
+
+const QueuedTask& EdfTaskQueue::peek() const {
+  TG_CHECK_MSG(!heap_.empty(), "peek into empty EDF queue");
+  return heap_.top();
+}
+
+// ----------------------------------------------------------------- factory
+
+std::unique_ptr<TaskQueue> make_task_queue(Policy policy,
+                                           std::size_t num_classes) {
+  switch (policy) {
+    case Policy::kFifo:
+      return std::make_unique<FifoTaskQueue>();
+    case Policy::kPriq:
+      return std::make_unique<ClassPriorityTaskQueue>(num_classes);
+    case Policy::kTEdf:
+    case Policy::kTfEdf:
+      return std::make_unique<EdfTaskQueue>(policy);
+  }
+  TG_CHECK_MSG(false, "unknown policy");
+  return nullptr;
+}
+
+}  // namespace tailguard

@@ -1,0 +1,35 @@
+#include "core/query_tracker.h"
+
+#include "common/check.h"
+
+namespace tailguard {
+
+QueryId QueryTracker::begin_query(TimeMs t0, ClassId cls, std::uint32_t fanout,
+                                  TimeMs deadline) {
+  TG_CHECK_MSG(fanout >= 1, "query must spawn at least one task");
+  const QueryId id = next_id_++;
+  states_.emplace(id, QueryState{.t0 = t0,
+                                 .cls = cls,
+                                 .fanout = fanout,
+                                 .remaining = fanout,
+                                 .deadline = deadline});
+  return id;
+}
+
+bool QueryTracker::complete_task(QueryId id, QueryState* finished) {
+  const auto it = states_.find(id);
+  TG_CHECK_MSG(it != states_.end(), "unknown query " << id);
+  TG_CHECK_MSG(it->second.remaining > 0, "query " << id << " over-completed");
+  if (--it->second.remaining > 0) return false;
+  if (finished != nullptr) *finished = it->second;
+  states_.erase(it);
+  return true;
+}
+
+const QueryState& QueryTracker::state(QueryId id) const {
+  const auto it = states_.find(id);
+  TG_CHECK_MSG(it != states_.end(), "unknown query " << id);
+  return it->second;
+}
+
+}  // namespace tailguard

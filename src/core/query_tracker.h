@@ -1,0 +1,43 @@
+// In-flight query bookkeeping shared by the simulator and the runtime.
+//
+// Models the query-handler side of Fig. 2: a query spawns kf tasks; the
+// query finishes when the last task result has been merged, and the query
+// response time is that completion time minus t_0.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/types.h"
+
+namespace tailguard {
+
+struct QueryState {
+  TimeMs t0 = 0.0;             ///< arrival time
+  ClassId cls = 0;             ///< service class
+  std::uint32_t fanout = 0;    ///< number of tasks spawned
+  std::uint32_t remaining = 0; ///< tasks not yet merged
+  TimeMs deadline = 0.0;       ///< shared task queuing deadline t_D
+};
+
+class QueryTracker {
+ public:
+  /// Registers a new query; returns its id.
+  QueryId begin_query(TimeMs t0, ClassId cls, std::uint32_t fanout,
+                      TimeMs deadline);
+
+  /// Merges one task result. Returns true when this was the last outstanding
+  /// task; `finished` (if non-null) receives the final state before erase.
+  bool complete_task(QueryId id, QueryState* finished = nullptr);
+
+  const QueryState& state(QueryId id) const;
+
+  std::size_t in_flight() const { return states_.size(); }
+  std::uint64_t started() const { return next_id_; }
+
+ private:
+  std::unordered_map<QueryId, QueryState> states_;
+  QueryId next_id_ = 0;
+};
+
+}  // namespace tailguard

@@ -1,0 +1,72 @@
+#include "core/request.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "core/order_stats.h"
+
+namespace tailguard {
+
+TimeMs estimate_request_unloaded_quantile(
+    std::span<const RequestQuerySpec> queries, double prob, Rng& rng,
+    std::size_t samples) {
+  TG_CHECK_MSG(!queries.empty(), "request needs at least one query");
+  TG_CHECK_MSG(prob > 0.0 && prob < 1.0, "prob must be in (0,1)");
+  TG_CHECK_MSG(samples >= 100, "too few Monte Carlo samples");
+  for (const auto& q : queries) {
+    TG_CHECK_MSG(q.model != nullptr, "null model in request query");
+    TG_CHECK_MSG(q.fanout >= 1, "fanout must be at least 1");
+  }
+
+  std::vector<double> sums(samples, 0.0);
+  for (const auto& q : queries) {
+    const double inv_kf = 1.0 / static_cast<double>(q.fanout);
+    for (std::size_t s = 0; s < samples; ++s) {
+      // Unloaded query latency: max of kf i.i.d. draws, sampled exactly via
+      // U^(1/kf) (the CDF of the max of kf uniforms).
+      const double u = std::pow(rng.uniform_pos(), inv_kf);
+      sums[s] += q.model->quantile(u);
+    }
+  }
+  return percentile(sums, prob * 100.0);
+}
+
+std::vector<TimeMs> split_request_budget(
+    TimeMs total_budget, std::span<const RequestQuerySpec> queries,
+    double prob, BudgetSplit split) {
+  TG_CHECK_MSG(!queries.empty(), "request needs at least one query");
+  const auto m = queries.size();
+  std::vector<TimeMs> budgets(m, 0.0);
+  switch (split) {
+    case BudgetSplit::kEqual: {
+      const TimeMs share = total_budget / static_cast<double>(m);
+      std::fill(budgets.begin(), budgets.end(), share);
+      break;
+    }
+    case BudgetSplit::kProportionalToUnloaded: {
+      std::vector<double> weights(m, 0.0);
+      double total_weight = 0.0;
+      for (std::size_t i = 0; i < m; ++i) {
+        TG_CHECK_MSG(queries[i].model != nullptr, "null model");
+        weights[i] = homogeneous_unloaded_quantile(*queries[i].model,
+                                                   queries[i].fanout, prob);
+        TG_CHECK_MSG(weights[i] >= 0.0, "negative unloaded quantile");
+        total_weight += weights[i];
+      }
+      if (total_weight <= 0.0) {
+        // Degenerate: fall back to equal split.
+        const TimeMs share = total_budget / static_cast<double>(m);
+        std::fill(budgets.begin(), budgets.end(), share);
+      } else {
+        for (std::size_t i = 0; i < m; ++i)
+          budgets[i] = total_budget * weights[i] / total_weight;
+      }
+      break;
+    }
+  }
+  return budgets;
+}
+
+}  // namespace tailguard

@@ -1,0 +1,52 @@
+// Request-level task decomposition (paper §III.B "remark" — Eq. 7).
+//
+// A request is M queries issued *sequentially* (query i+1 cannot start until
+// query i finishes). The request response time is the sum of query response
+// times, and the paper shows the pre-dequeuing budget is additive:
+//
+//   T_b^R = x_p^{R,SLO} - x_p^{Ru} = Σ_i T_{b,i}                     (Eq. 7)
+//
+// where x_p^{Ru} is the p-th percentile of the *sum* of unloaded query
+// latencies. The open problem the paper leaves for future work is how to
+// split T_b^R across the M queries; we implement the two natural strategies
+// and an ablation bench (ablation_request_budget) compares them.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/cdf_model.h"
+#include "core/types.h"
+
+namespace tailguard {
+
+/// One constituent query of a request: `fanout` tasks on servers that share
+/// `model` (homogeneous per query; queries may differ).
+struct RequestQuerySpec {
+  std::uint32_t fanout = 1;
+  const CdfModel* model = nullptr;
+};
+
+/// Estimates x_p^{Ru}, the p-th percentile of the sum over queries of the
+/// unloaded query latency, by Monte Carlo. Each query latency is sampled
+/// exactly via inverse transform on its order-statistics CDF:
+/// F_Q(t) = F(t)^kf  =>  t = F^{-1}(U^{1/kf}).
+TimeMs estimate_request_unloaded_quantile(
+    std::span<const RequestQuerySpec> queries, double prob, Rng& rng,
+    std::size_t samples = 100000);
+
+/// How to split the request budget T_b^R across the M queries.
+enum class BudgetSplit {
+  kEqual,                  ///< T_{b,i} = T_b^R / M
+  kProportionalToUnloaded, ///< T_{b,i} ∝ x_p^u(kf_i)
+};
+
+/// Splits `total_budget` across the queries. The returned budgets sum to
+/// `total_budget` (Eq. 7's additivity), so the request SLO is met whenever
+/// each query's tasks are dequeued within its share.
+std::vector<TimeMs> split_request_budget(
+    TimeMs total_budget, std::span<const RequestQuerySpec> queries,
+    double prob, BudgetSplit split);
+
+}  // namespace tailguard

@@ -1,0 +1,39 @@
+// Fundamental vocabulary types of the TailGuard core.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace tailguard {
+
+/// All times in this library are double milliseconds (the paper's evaluation
+/// operates between ~0.1 ms task service times and ~1.8 s SLOs).
+using TimeMs = double;
+
+inline constexpr TimeMs kNoTime = -std::numeric_limits<TimeMs>::infinity();
+
+using QueryId = std::uint64_t;
+using TaskId = std::uint64_t;
+using ServerId = std::uint32_t;
+using ClassId = std::uint32_t;
+
+/// A service class: queries of this class must meet the `percentile`-th
+/// percentile latency SLO of `slo_ms` (paper: x_p^SLO).
+struct ClassSpec {
+  TimeMs slo_ms = 0.0;
+  double percentile = 99.0;
+
+  friend bool operator==(const ClassSpec&, const ClassSpec&) = default;
+};
+
+/// The four task-queuing policies evaluated in the paper (§III.A).
+enum class Policy {
+  kFifo,   ///< first-in-first-out
+  kPriq,   ///< strict class priority, FIFO within a class
+  kTEdf,   ///< EDF with t_D = t_0 + x_p^SLO (fanout-unaware)
+  kTfEdf,  ///< TailGuard: EDF with t_D = t_0 + x_p^SLO - x_p^u(kf)
+};
+
+const char* to_string(Policy p);
+
+}  // namespace tailguard

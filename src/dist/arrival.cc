@@ -1,0 +1,35 @@
+#include "dist/arrival.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tailguard {
+
+PoissonProcess::PoissonProcess(double rate) : rate_(rate) {
+  TG_CHECK_MSG(rate > 0.0, "arrival rate must be positive");
+}
+
+double PoissonProcess::next_interarrival(Rng& rng) const {
+  return -std::log(rng.uniform_pos()) / rate_;
+}
+
+std::unique_ptr<ArrivalProcess> PoissonProcess::with_rate(double rate) const {
+  return std::make_unique<PoissonProcess>(rate);
+}
+
+ParetoProcess::ParetoProcess(double rate, double shape)
+    : rate_(rate), shape_(shape), inter_(Pareto::with_mean(1.0 / rate, shape)) {
+  TG_CHECK_MSG(rate > 0.0, "arrival rate must be positive");
+  TG_CHECK_MSG(shape > 1.0, "Pareto arrivals need shape > 1 for a finite mean");
+}
+
+double ParetoProcess::next_interarrival(Rng& rng) const {
+  return inter_.sample(rng);
+}
+
+std::unique_ptr<ArrivalProcess> ParetoProcess::with_rate(double rate) const {
+  return std::make_unique<ParetoProcess>(rate, shape_);
+}
+
+}  // namespace tailguard

@@ -1,0 +1,63 @@
+// Query arrival processes (paper §IV.A).
+//
+// The paper drives the simulation with a Poisson arrival process by default
+// and a burstier Pareto renewal process for the sensitivity case (Fig. 5b).
+// Both are renewal processes fully characterised by their inter-arrival
+// distribution; the mean rate is the tuning knob that sets the offered load.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "dist/standard.h"
+
+namespace tailguard {
+
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  /// Draws the time until the next arrival (>= 0).
+  virtual double next_interarrival(Rng& rng) const = 0;
+
+  /// Mean arrivals per unit time.
+  virtual double rate() const = 0;
+
+  /// Returns a copy with a different mean rate (used by load sweeps).
+  virtual std::unique_ptr<ArrivalProcess> with_rate(double rate) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Poisson process: exponential inter-arrivals.
+class PoissonProcess final : public ArrivalProcess {
+ public:
+  explicit PoissonProcess(double rate);
+  double next_interarrival(Rng& rng) const override;
+  double rate() const override { return rate_; }
+  std::unique_ptr<ArrivalProcess> with_rate(double rate) const override;
+  std::string name() const override { return "Poisson"; }
+
+ private:
+  double rate_;
+};
+
+/// Pareto renewal process: Pareto(shape) inter-arrivals scaled to the target
+/// mean rate. shape in (1, 2] gives the heavy-tailed burstiness the paper
+/// uses to stress arrival sensitivity; default 1.5 (infinite variance).
+class ParetoProcess final : public ArrivalProcess {
+ public:
+  explicit ParetoProcess(double rate, double shape = 1.5);
+  double next_interarrival(Rng& rng) const override;
+  double rate() const override { return rate_; }
+  double shape() const { return shape_; }
+  std::unique_ptr<ArrivalProcess> with_rate(double rate) const override;
+  std::string name() const override { return "Pareto"; }
+
+ private:
+  double rate_;
+  double shape_;
+  Pareto inter_;
+};
+
+}  // namespace tailguard

@@ -1,0 +1,37 @@
+// Abstract interface for scalar probability distributions.
+//
+// Everything the reproduction needs from a distribution is: draw samples
+// (workload generation), evaluate F(x) (order statistics, Eq. 1), invert F
+// (quantiles, Eq. 2) and know the mean (load normalisation).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+
+namespace tailguard {
+
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  /// Draws one sample. The default implementation uses inverse-transform
+  /// sampling via quantile(); subclasses may override with a faster method.
+  virtual double sample(Rng& rng) const { return quantile(rng.uniform_pos()); }
+
+  /// F(x) = P[X <= x].
+  virtual double cdf(double x) const = 0;
+
+  /// Inverse CDF; p in [0, 1].
+  virtual double quantile(double p) const = 0;
+
+  virtual double mean() const = 0;
+
+  /// Human-readable name for reports.
+  virtual std::string name() const = 0;
+};
+
+using DistributionPtr = std::shared_ptr<const Distribution>;
+
+}  // namespace tailguard

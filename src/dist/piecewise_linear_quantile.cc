@@ -1,0 +1,65 @@
+#include "dist/piecewise_linear_quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tailguard {
+
+PiecewiseLinearQuantile::PiecewiseLinearQuantile(
+    std::vector<QuantileAnchor> anchors, std::string name)
+    : anchors_(std::move(anchors)), name_(std::move(name)) {
+  TG_CHECK_MSG(anchors_.size() >= 2, "need at least two anchors");
+  TG_CHECK_MSG(anchors_.front().p == 0.0, "first anchor must be at p=0");
+  TG_CHECK_MSG(anchors_.back().p == 1.0, "last anchor must be at p=1");
+  for (std::size_t i = 1; i < anchors_.size(); ++i) {
+    TG_CHECK_MSG(anchors_[i].p > anchors_[i - 1].p,
+                 "anchor probabilities must be strictly increasing at index "
+                     << i);
+    TG_CHECK_MSG(anchors_[i].q >= anchors_[i - 1].q,
+                 "anchor values must be non-decreasing at index " << i);
+  }
+  double m = 0.0;
+  for (std::size_t i = 1; i < anchors_.size(); ++i) {
+    m += (anchors_[i].p - anchors_[i - 1].p) * 0.5 *
+         (anchors_[i].q + anchors_[i - 1].q);
+  }
+  mean_ = m;
+}
+
+double PiecewiseLinearQuantile::quantile(double p) const {
+  TG_CHECK_MSG(p >= 0.0 && p <= 1.0, "quantile prob out of range: " << p);
+  // First anchor with anchor.p >= p.
+  const auto it = std::lower_bound(
+      anchors_.begin(), anchors_.end(), p,
+      [](const QuantileAnchor& a, double prob) { return a.p < prob; });
+  if (it == anchors_.begin()) return it->q;
+  const auto& hi = *it;
+  const auto& lo = *(it - 1);
+  const double frac = (p - lo.p) / (hi.p - lo.p);
+  return lo.q + frac * (hi.q - lo.q);
+}
+
+double PiecewiseLinearQuantile::cdf(double x) const {
+  if (x <= anchors_.front().q) return 0.0;
+  if (x >= anchors_.back().q) return 1.0;
+  // First anchor with anchor.q > x (upper bound over values).
+  const auto it = std::upper_bound(
+      anchors_.begin(), anchors_.end(), x,
+      [](double v, const QuantileAnchor& a) { return v < a.q; });
+  TG_DCHECK(it != anchors_.begin() && it != anchors_.end());
+  const auto& hi = *it;
+  const auto& lo = *(it - 1);
+  if (hi.q <= lo.q) return hi.p;  // flat segment: jump in the CDF
+  const double frac = (x - lo.q) / (hi.q - lo.q);
+  return lo.p + frac * (hi.p - lo.p);
+}
+
+double PiecewiseLinearQuantile::sample(Rng& rng) const {
+  return quantile(rng.uniform());
+}
+
+double PiecewiseLinearQuantile::mean() const { return mean_; }
+
+}  // namespace tailguard

@@ -1,0 +1,158 @@
+// Standard parametric distributions: deterministic, uniform, exponential,
+// Pareto, lognormal, and finite mixtures.
+#pragma once
+
+#include <vector>
+
+#include "dist/distribution.h"
+
+namespace tailguard {
+
+/// Point mass at `value`.
+class Deterministic final : public Distribution {
+ public:
+  explicit Deterministic(double value);
+  double sample(Rng&) const override { return value_; }
+  double cdf(double x) const override { return x >= value_ ? 1.0 : 0.0; }
+  double quantile(double) const override { return value_; }
+  double mean() const override { return value_; }
+  std::string name() const override;
+
+ private:
+  double value_;
+};
+
+/// Uniform on [lo, hi).
+class Uniform final : public Distribution {
+ public:
+  Uniform(double lo, double hi);
+  double sample(Rng& rng) const override { return rng.uniform(lo_, hi_); }
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  double mean() const override { return 0.5 * (lo_ + hi_); }
+  std::string name() const override;
+
+ private:
+  double lo_, hi_;
+};
+
+/// Exponential with the given mean (not rate).
+class Exponential final : public Distribution {
+ public:
+  explicit Exponential(double mean);
+  double sample(Rng& rng) const override;
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  double mean() const override { return mean_; }
+  std::string name() const override;
+
+ private:
+  double mean_;
+};
+
+/// Pareto (type I) with scale x_m > 0 and shape alpha > 0.
+/// Mean is x_m * alpha / (alpha - 1) for alpha > 1, else infinite.
+class Pareto final : public Distribution {
+ public:
+  Pareto(double scale, double shape);
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  double mean() const override;
+  std::string name() const override;
+
+  /// Convenience: a Pareto with the given mean and shape alpha > 1.
+  static Pareto with_mean(double mean, double shape);
+
+ private:
+  double scale_, shape_;
+};
+
+/// Lognormal: ln X ~ Normal(mu, sigma^2).
+class Lognormal final : public Distribution {
+ public:
+  Lognormal(double mu, double sigma);
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  double mean() const override;
+  std::string name() const override;
+
+ private:
+  double mu_, sigma_;
+};
+
+/// Weibull with shape k > 0 and scale lambda > 0.
+/// k < 1 gives a heavier-than-exponential tail, k > 1 a lighter one.
+class Weibull final : public Distribution {
+ public:
+  Weibull(double shape, double scale);
+  double sample(Rng& rng) const override;
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  double mean() const override;
+  std::string name() const override;
+
+  /// Convenience: Weibull with the given mean and shape.
+  static Weibull with_mean(double mean, double shape);
+
+ private:
+  double shape_, scale_;
+};
+
+/// Gamma with shape alpha > 0 and scale theta > 0 (mean = alpha * theta).
+/// Sampling uses Marsaglia-Tsang; the CDF uses the regularized lower
+/// incomplete gamma function (series + continued-fraction evaluation).
+class Gamma final : public Distribution {
+ public:
+  Gamma(double shape, double scale);
+  double sample(Rng& rng) const override;
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  double mean() const override { return shape_ * scale_; }
+  std::string name() const override;
+
+ private:
+  double shape_, scale_;
+};
+
+/// Affine transform of a base distribution: Y = shift + factor * X
+/// (factor > 0). Handy for "the same workload, k times slower" models.
+class Scaled final : public Distribution {
+ public:
+  Scaled(DistributionPtr base, double factor, double shift = 0.0);
+  double sample(Rng& rng) const override;
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  double mean() const override;
+  std::string name() const override;
+
+ private:
+  DistributionPtr base_;
+  double factor_, shift_;
+};
+
+/// Regularized lower incomplete gamma function P(a, x); exposed for tests.
+double regularized_gamma_p(double a, double x);
+
+/// Finite mixture of component distributions with given weights.
+class Mixture final : public Distribution {
+ public:
+  Mixture(std::vector<DistributionPtr> components, std::vector<double> weights);
+  double sample(Rng& rng) const override;
+  double cdf(double x) const override;
+  /// Numeric inversion of the mixture CDF by bisection.
+  double quantile(double p) const override;
+  double mean() const override;
+  std::string name() const override;
+
+ private:
+  std::vector<DistributionPtr> components_;
+  std::vector<double> weights_;  // normalised, cumulative in cum_
+  std::vector<double> cum_;
+};
+
+/// Inverts an arbitrary monotone CDF by bisection on [lo, hi].
+/// Exposed for reuse by Mixture and the order-statistics engine.
+double invert_cdf_bisect(const Distribution& d, double p, double lo, double hi,
+                         int max_iter = 200, double tol = 1e-12);
+
+}  // namespace tailguard

@@ -1,0 +1,96 @@
+#include "runtime/loadgen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <map>
+#include <thread>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace tailguard {
+
+const ClassLoadStats* LoadGenReport::find_class(ClassId cls) const {
+  for (const auto& c : per_class)
+    if (c.cls == cls) return &c;
+  return nullptr;
+}
+
+LoadGenReport run_load(TailGuardService& service, const LoadGenOptions& options,
+                       const QueryFactory& factory) {
+  TG_CHECK_MSG(options.rate_qps > 0.0, "rate must be positive");
+  TG_CHECK_MSG(options.num_queries > 0, "need at least one query");
+  TG_CHECK_MSG(factory != nullptr, "need a query factory");
+
+  Rng rng(options.seed);
+  std::unique_ptr<ArrivalProcess> arrivals;
+  const double rate_per_ms = options.rate_qps / 1000.0;
+  if (options.pareto_arrivals) {
+    arrivals = std::make_unique<ParetoProcess>(rate_per_ms,
+                                               options.pareto_shape);
+  } else {
+    arrivals = std::make_unique<PoissonProcess>(rate_per_ms);
+  }
+
+  struct Pending {
+    ClassId cls = 0;
+    bool measured = false;
+    std::future<QueryResult> future;
+  };
+  std::vector<Pending> pending;
+  pending.reserve(options.num_queries);
+
+  const auto warmup = static_cast<std::size_t>(
+      options.warmup_fraction * static_cast<double>(options.num_queries));
+
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  auto next_submit = start;
+  for (std::size_t i = 0; i < options.num_queries; ++i) {
+    next_submit += std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double, std::milli>(
+            arrivals->next_interarrival(rng)));
+    std::this_thread::sleep_until(next_submit);
+    LoadGenQuery query = factory(rng);
+    Pending p;
+    p.cls = query.cls;
+    p.measured = i >= warmup;
+    p.future = service.submit(query.cls, std::move(query.tasks));
+    pending.push_back(std::move(p));
+  }
+
+  LoadGenReport report;
+  report.submitted = options.num_queries;
+  std::map<ClassId, std::vector<double>> latencies;
+  for (auto& p : pending) {
+    const QueryResult r = p.future.get();
+    if (!r.admitted) {
+      ++report.rejected;
+      continue;
+    }
+    if (p.measured) latencies[p.cls].push_back(r.latency_ms);
+  }
+  const auto end = Clock::now();
+  report.elapsed_s = std::chrono::duration<double>(end - start).count();
+  report.achieved_qps =
+      report.elapsed_s > 0.0
+          ? static_cast<double>(options.num_queries) / report.elapsed_s
+          : 0.0;
+  report.deadline_miss_ratio = service.deadline_miss_ratio();
+
+  for (auto& [cls, values] : latencies) {
+    std::sort(values.begin(), values.end());
+    ClassLoadStats stats;
+    stats.cls = cls;
+    stats.queries = values.size();
+    stats.p50_ms = percentile_sorted(values, 50.0);
+    stats.p95_ms = percentile_sorted(values, 95.0);
+    stats.p99_ms = percentile_sorted(values, 99.0);
+    stats.mean_ms = mean_of(values);
+    report.per_class.push_back(stats);
+  }
+  return report;
+}
+
+}  // namespace tailguard

@@ -1,0 +1,72 @@
+// Sequential request execution on the threaded runtime (paper Fig. 1 +
+// §III.B remark).
+//
+// A *request* is M queries issued strictly in sequence — query i+1 cannot
+// start before query i's results are merged. Eq. 7 makes the pre-dequeuing
+// budget additive across the request, so the caller decomposes the request
+// SLO into per-query budgets (core/request.h::split_request_budget) and the
+// runner imposes budget i on query i via TailGuardService::submit's budget
+// override.
+//
+//   auto budgets = split_request_budget(request_budget, specs, 0.99,
+//                                       BudgetSplit::kProportionalToUnloaded);
+//   auto future = submit_request(service, std::move(plans), budgets);
+//   RequestResult r = future.get();
+//
+// The returned future is a std::async handle: it must be kept alive until
+// the request finishes (its destructor joins), and the service must outlive
+// it.
+#pragma once
+
+#include <future>
+#include <vector>
+
+#include "common/check.h"
+#include "core/request.h"
+#include "runtime/service.h"
+
+namespace tailguard {
+
+/// One query of a request.
+struct RequestQueryPlan {
+  ClassId cls = 0;
+  std::vector<ServiceTaskSpec> tasks;
+};
+
+struct RequestResult {
+  /// False if any constituent query was rejected by admission control; the
+  /// remaining queries are then not issued (the request fails as a whole).
+  bool admitted = true;
+  TimeMs latency_ms = 0.0;  ///< first submit -> last merge
+  std::vector<QueryResult> queries;
+};
+
+/// Issues the plans sequentially with the given per-query budgets.
+/// `budgets.size()` must equal `plans.size()`.
+inline std::future<RequestResult> submit_request(
+    TailGuardService& service, std::vector<RequestQueryPlan> plans,
+    std::vector<TimeMs> budgets) {
+  TG_CHECK_MSG(!plans.empty(), "request needs at least one query");
+  TG_CHECK_MSG(plans.size() == budgets.size(),
+               "one budget per request query required");
+  return std::async(std::launch::async, [&service, plans = std::move(plans),
+                                         budgets = std::move(budgets)]() mutable {
+    RequestResult result;
+    const TimeMs t0 = service.now_ms();
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+      QueryResult q =
+          service.submit(plans[i].cls, std::move(plans[i].tasks), budgets[i])
+              .get();
+      const bool rejected = !q.admitted;
+      result.queries.push_back(std::move(q));
+      if (rejected) {
+        result.admitted = false;
+        break;
+      }
+    }
+    result.latency_ms = service.now_ms() - t0;
+    return result;
+  });
+}
+
+}  // namespace tailguard

@@ -1,0 +1,230 @@
+#include "runtime/service.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/check.h"
+
+namespace tailguard {
+
+namespace {
+std::vector<std::shared_ptr<CdfModel>> make_worker_models(
+    const ServiceOptions& options) {
+  std::vector<std::shared_ptr<CdfModel>> models;
+  models.reserve(options.num_workers);
+  for (std::size_t i = 0; i < options.num_workers; ++i)
+    models.push_back(
+        std::make_shared<StreamingCdfModel>(options.model_options));
+  return models;
+}
+}  // namespace
+
+TailGuardService::TailGuardService(ServiceOptions options)
+    : options_(std::move(options)),
+      epoch_(std::chrono::steady_clock::now()),
+      estimator_(make_worker_models(options_)),
+      rng_(options_.seed) {
+  TG_CHECK_MSG(options_.num_workers >= 1, "need at least one worker");
+  TG_CHECK_MSG(!options_.classes.empty(), "need at least one service class");
+  for (const auto& spec : options_.classes) estimator_.add_class(spec);
+  if (options_.admission) admission_.emplace(*options_.admission);
+
+  const auto clock = [this] { return now_ms(); };
+  const auto on_complete = [this](ServerId worker, const RuntimeTask& task,
+                                  TimeMs dequeue_ms, TimeMs complete_ms) {
+    on_task_complete(worker, task, dequeue_ms, complete_ms);
+  };
+  workers_.reserve(options_.num_workers);
+  for (std::size_t i = 0; i < options_.num_workers; ++i)
+    workers_.push_back(std::make_unique<Worker>(
+        static_cast<ServerId>(i), options_.policy, options_.classes.size(),
+        clock, on_complete));
+}
+
+TailGuardService::~TailGuardService() {
+  // Workers are declared last, so they are destroyed first: each drains its
+  // queue and joins, firing the remaining completions while the rest of the
+  // service state is still alive.
+  for (auto& w : workers_) w->shutdown();
+}
+
+TimeMs TailGuardService::now_ms() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void TailGuardService::seed_profile(std::span<const double> samples_ms) {
+  std::lock_guard lock(mu_);
+  for (std::size_t w = 0; w < workers_.size(); ++w)
+    for (double s : samples_ms)
+      estimator_.observe_post_queuing(static_cast<ServerId>(w), s);
+}
+
+std::vector<ServerId> TailGuardService::pick_workers(std::size_t count) {
+  TG_CHECK_MSG(count <= workers_.size(),
+               "query fanout " << count << " exceeds worker count "
+                               << workers_.size());
+  std::vector<std::pair<std::size_t, ServerId>> load;
+  load.reserve(workers_.size());
+  for (const auto& w : workers_) load.emplace_back(w->queue_depth(), w->id());
+  // Random tie-break so equally-loaded workers share tasks evenly.
+  for (auto& [depth, id] : load)
+    depth = depth * workers_.size() + rng_.uniform_index(workers_.size());
+  std::sort(load.begin(), load.end());
+  std::vector<ServerId> picked;
+  picked.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) picked.push_back(load[i].second);
+  return picked;
+}
+
+std::future<QueryResult> TailGuardService::submit(
+    ClassId cls, std::vector<ServiceTaskSpec> tasks,
+    std::optional<TimeMs> budget_override) {
+  TG_CHECK_MSG(!tasks.empty(), "query must contain at least one task");
+  TG_CHECK_MSG(cls < options_.classes.size(), "unknown class " << cls);
+
+  const TimeMs t0 = now_ms();
+  std::promise<QueryResult> promise;
+  std::future<QueryResult> future = promise.get_future();
+
+  std::vector<ServerId> placement(tasks.size());
+  std::vector<RuntimeTask> runtime_tasks(tasks.size());
+  TimeMs order_deadline = 0.0;
+  TimeMs tail_deadline = 0.0;
+  QueryId qid = 0;
+
+  {
+    std::lock_guard lock(mu_);
+
+    // Placement: explicit workers are honoured; the rest go to the
+    // least-loaded workers, distinct where possible.
+    std::vector<std::size_t> unassigned;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      if (tasks[i].worker) {
+        TG_CHECK_MSG(*tasks[i].worker < workers_.size(),
+                     "unknown worker " << *tasks[i].worker);
+        placement[i] = *tasks[i].worker;
+      } else {
+        unassigned.push_back(i);
+      }
+    }
+    if (!unassigned.empty()) {
+      const auto picked = pick_workers(unassigned.size());
+      for (std::size_t j = 0; j < unassigned.size(); ++j)
+        placement[unassigned[j]] = picked[j];
+    }
+
+    // Admission decision (paper §III.C).
+    if (admission_ && !admission_->should_admit(t0)) {
+      admission_->count_rejected();
+      ++rejected_;
+      QueryResult r;
+      r.cls = cls;
+      r.fanout = static_cast<std::uint32_t>(tasks.size());
+      r.admitted = false;
+      promise.set_value(r);
+      return future;
+    }
+    if (admission_) admission_->count_admitted();
+
+    // Task queuing deadline: Eq. 6, or the caller-imposed budget (Eq. 7
+    // request decomposition).
+    tail_deadline = budget_override ? t0 + *budget_override
+                                    : estimator_.deadline(t0, cls, placement);
+    switch (options_.policy) {
+      case Policy::kTfEdf:
+        order_deadline = tail_deadline;
+        break;
+      case Policy::kTEdf:
+        order_deadline = estimator_.slo_deadline(t0, cls);
+        break;
+      case Policy::kFifo:
+      case Policy::kPriq:
+        order_deadline = t0;
+        break;
+    }
+
+    qid = tracker_.begin_query(t0, cls, static_cast<std::uint32_t>(tasks.size()),
+                               tail_deadline);
+    PendingQuery pending;
+    pending.promise = std::move(promise);
+    pending.result.id = qid;
+    pending.result.cls = cls;
+    pending.result.fanout = static_cast<std::uint32_t>(tasks.size());
+    pending.result.deadline_budget = tail_deadline - t0;
+    pending_.emplace(qid, std::move(pending));
+
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      runtime_tasks[i].id = next_task_id_++;
+      runtime_tasks[i].query = qid;
+      runtime_tasks[i].cls = cls;
+      runtime_tasks[i].work = std::move(tasks[i].work);
+      runtime_tasks[i].simulated_service_ms = tasks[i].simulated_service_ms;
+    }
+  }
+
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    workers_[placement[i]]->submit(std::move(runtime_tasks[i]), t0,
+                                   order_deadline);
+  return future;
+}
+
+void TailGuardService::on_task_complete(ServerId worker,
+                                        const RuntimeTask& task,
+                                        TimeMs dequeue_ms,
+                                        TimeMs complete_ms) {
+  std::promise<QueryResult> to_fulfill;
+  QueryResult result;
+  bool finished = false;
+  {
+    std::lock_guard lock(mu_);
+    const QueryState& qs = tracker_.state(task.query);
+    const bool missed = dequeue_ms > qs.deadline;
+    ++tasks_done_;
+    if (missed) ++tasks_missed_;
+    if (admission_) admission_->record_task_dequeue(dequeue_ms, missed);
+
+    // Online updating (§III.B.2): post-queuing time = completion - dequeue.
+    estimator_.observe_post_queuing(worker, complete_ms - dequeue_ms);
+
+    auto it = pending_.find(task.query);
+    TG_CHECK_MSG(it != pending_.end(), "no pending entry for query");
+    if (missed) ++it->second.result.tasks_missed_deadline;
+
+    QueryState final_state;
+    if (tracker_.complete_task(task.query, &final_state)) {
+      finished = true;
+      ++completed_;
+      it->second.result.latency_ms = complete_ms - final_state.t0;
+      result = it->second.result;
+      to_fulfill = std::move(it->second.promise);
+      pending_.erase(it);
+    }
+  }
+  if (finished) to_fulfill.set_value(result);
+}
+
+std::uint64_t TailGuardService::completed_queries() const {
+  std::lock_guard lock(mu_);
+  return completed_;
+}
+
+std::uint64_t TailGuardService::rejected_queries() const {
+  std::lock_guard lock(mu_);
+  return rejected_;
+}
+
+double TailGuardService::deadline_miss_ratio() const {
+  std::lock_guard lock(mu_);
+  return tasks_done_ == 0 ? 0.0
+                          : static_cast<double>(tasks_missed_) /
+                                static_cast<double>(tasks_done_);
+}
+
+const CdfModel& TailGuardService::worker_model(ServerId worker) const {
+  std::lock_guard lock(mu_);
+  return estimator_.model_of(worker);
+}
+
+}  // namespace tailguard

@@ -1,0 +1,138 @@
+// TailGuardService — the in-process, multi-threaded TailGuard runtime.
+//
+// This is the "implemented and tested" counterpart of the paper's testbed
+// software: a central query handler (Fig. 2) that fans queries out to worker
+// threads, computes task queuing deadlines from per-worker CDF models,
+// updates those models online from observed post-queuing times (§III.B.2),
+// and optionally applies query admission control (§III.C).
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   ServiceOptions opt;
+//   opt.num_workers = 8;
+//   opt.policy = Policy::kTfEdf;
+//   opt.classes = {{.slo_ms = 20.0, .percentile = 99.0}};
+//   TailGuardService svc(opt);
+//   svc.seed_profile(offline_samples);                  // offline estimation
+//   auto fut = svc.submit(/*cls=*/0, tasks);            // fan out
+//   QueryResult r = fut.get();                          // merged result
+#pragma once
+
+#include <chrono>
+#include <future>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/admission.h"
+#include "core/deadline.h"
+#include "core/query_tracker.h"
+#include "runtime/worker.h"
+
+namespace tailguard {
+
+struct ServiceOptions {
+  std::size_t num_workers = 4;
+  Policy policy = Policy::kTfEdf;
+  /// Service classes ordered by priority (class 0 tightest, as PRIQ expects).
+  std::vector<ClassSpec> classes;
+  /// Streaming-model knobs for the per-worker CDFs.
+  StreamingCdfModel::Options model_options = {
+      .histogram = {.min_value = 1e-3,
+                    .max_value = 1e6,
+                    .buckets_per_decade = 100,
+                    .decay_every = 0,
+                    .decay_factor = 0.5},
+      .refresh_every = 500};
+  /// Admission control; disabled when unset.
+  std::optional<AdmissionOptions> admission;
+  std::uint64_t seed = 42;
+};
+
+/// One task of a submitted query.
+struct ServiceTaskSpec {
+  /// Target worker; unset means the handler picks the least-loaded workers,
+  /// distinct per query.
+  std::optional<ServerId> worker;
+  std::function<void()> work;
+  TimeMs simulated_service_ms = 0.0;
+};
+
+struct QueryResult {
+  QueryId id = 0;
+  ClassId cls = 0;
+  std::uint32_t fanout = 0;
+  bool admitted = true;
+  TimeMs latency_ms = 0.0;       ///< submit -> last merge
+  TimeMs deadline_budget = 0.0;  ///< T_b assigned at submit
+  std::uint32_t tasks_missed_deadline = 0;
+};
+
+class TailGuardService {
+ public:
+  explicit TailGuardService(ServiceOptions options);
+  /// Blocks until all in-flight queries finish, then stops the workers.
+  ~TailGuardService();
+
+  TailGuardService(const TailGuardService&) = delete;
+  TailGuardService& operator=(const TailGuardService&) = delete;
+
+  /// Offline estimation: seeds every worker's CDF model with a profiled
+  /// post-queuing-time sample (ms).
+  void seed_profile(std::span<const double> samples_ms);
+
+  /// Submits a query of class `cls` with one entry per task. The future
+  /// resolves when all task results are merged (or immediately with
+  /// admitted=false when admission control rejects the query).
+  ///
+  /// `budget_override` replaces the Eq. 6 pre-dequeuing budget with an
+  /// explicit one (the task deadline becomes now + budget). Request-level
+  /// decomposition (Eq. 7) uses this to impose per-query budgets computed
+  /// by split_request_budget(); see runtime/request_runner.h.
+  std::future<QueryResult> submit(ClassId cls,
+                                  std::vector<ServiceTaskSpec> tasks,
+                                  std::optional<TimeMs> budget_override = {});
+
+  /// Monotonic service clock (ms since construction).
+  TimeMs now_ms() const;
+
+  std::uint64_t completed_queries() const;
+  std::uint64_t rejected_queries() const;
+  double deadline_miss_ratio() const;
+  std::size_t num_workers() const { return workers_.size(); }
+
+  /// Read access to a worker's CDF model (e.g. to inspect learned quantiles).
+  const CdfModel& worker_model(ServerId worker) const;
+
+ private:
+  struct PendingQuery {
+    std::promise<QueryResult> promise;
+    QueryResult result;
+  };
+
+  void on_task_complete(ServerId worker, const RuntimeTask& task,
+                        TimeMs dequeue_ms, TimeMs complete_ms);
+  std::vector<ServerId> pick_workers(std::size_t count);
+
+  ServiceOptions options_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mu_;
+  DeadlineEstimator estimator_;
+  QueryTracker tracker_;
+  std::unordered_map<QueryId, PendingQuery> pending_;
+  std::optional<AdmissionController> admission_;
+  Rng rng_;
+  TaskId next_task_id_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t tasks_done_ = 0;
+  std::uint64_t tasks_missed_ = 0;
+  std::condition_variable drain_cv_;
+
+  // Workers last: their threads must stop before the state above dies, and
+  // member destruction order (reverse declaration) guarantees it.
+  std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+}  // namespace tailguard

@@ -1,0 +1,80 @@
+#include "runtime/worker.h"
+
+#include <chrono>
+
+#include "common/check.h"
+
+namespace tailguard {
+
+Worker::Worker(ServerId id, Policy policy, std::size_t num_classes,
+               ClockFn clock, CompletionFn on_complete)
+    : id_(id),
+      clock_(std::move(clock)),
+      on_complete_(std::move(on_complete)),
+      queue_(make_task_queue(policy, num_classes)) {
+  TG_CHECK_MSG(clock_ != nullptr, "worker needs a clock");
+  TG_CHECK_MSG(on_complete_ != nullptr, "worker needs a completion callback");
+  thread_ = std::thread([this] { run(); });
+}
+
+Worker::~Worker() {
+  shutdown();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Worker::submit(RuntimeTask task, TimeMs enqueue_ms,
+                    TimeMs order_deadline) {
+  QueuedTask qt;
+  qt.task = task.id;
+  qt.query = task.query;
+  qt.cls = task.cls;
+  qt.enqueue_time = enqueue_ms;
+  qt.deadline = order_deadline;
+  {
+    std::lock_guard lock(mu_);
+    TG_CHECK_MSG(!shutdown_, "submit after shutdown");
+    payloads_.emplace(task.id, std::move(task));
+    queue_->push(qt);
+  }
+  cv_.notify_one();
+}
+
+void Worker::shutdown() {
+  {
+    std::lock_guard lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t Worker::queue_depth() const {
+  std::lock_guard lock(mu_);
+  return queue_->size();
+}
+
+void Worker::run() {
+  for (;;) {
+    RuntimeTask task;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_->empty(); });
+      if (queue_->empty()) return;  // shutdown with drained queue
+      const QueuedTask qt = queue_->pop();
+      const auto it = payloads_.find(qt.task);
+      TG_CHECK_MSG(it != payloads_.end(), "missing payload for task");
+      task = std::move(it->second);
+      payloads_.erase(it);
+    }
+    const TimeMs dequeue_ms = clock_();
+    if (task.work) {
+      task.work();
+    } else if (task.simulated_service_ms > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          task.simulated_service_ms));
+    }
+    const TimeMs complete_ms = clock_();
+    on_complete_(id_, task, dequeue_ms, complete_ms);
+  }
+}
+
+}  // namespace tailguard

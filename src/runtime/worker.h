@@ -1,0 +1,76 @@
+// A task-server worker thread for the in-process TailGuard runtime.
+//
+// Each worker models one task server of Fig. 2: a single execution thread
+// fronted by one policy queue (the same TaskQueue implementations the
+// simulator uses, so the queuing semantics are identical). Tasks carry
+// either a real closure or a simulated service duration.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "core/policy.h"
+
+namespace tailguard {
+
+/// Work payload of one task.
+struct RuntimeTask {
+  TaskId id = 0;
+  QueryId query = 0;
+  ClassId cls = 0;
+  /// Real work to run; when empty the worker busy-sleeps for
+  /// `simulated_service_ms` instead.
+  std::function<void()> work;
+  TimeMs simulated_service_ms = 0.0;
+};
+
+class Worker {
+ public:
+  /// Called on the worker thread after each task finishes.
+  /// `dequeue_ms`/`complete_ms` are on the caller-provided clock.
+  using CompletionFn = std::function<void(
+      ServerId worker, const RuntimeTask& task, TimeMs dequeue_ms,
+      TimeMs complete_ms)>;
+  /// Monotonic clock in milliseconds shared across the service.
+  using ClockFn = std::function<TimeMs()>;
+
+  Worker(ServerId id, Policy policy, std::size_t num_classes, ClockFn clock,
+         CompletionFn on_complete);
+
+  /// Drains the queue, then joins.
+  ~Worker();
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  /// Enqueues a task. `order_deadline` is the policy ordering key (t_D for
+  /// TF-EDFQ, t_0 + SLO for T-EDFQ; ignored by FIFO/PRIQ).
+  void submit(RuntimeTask task, TimeMs enqueue_ms, TimeMs order_deadline);
+
+  /// Stops accepting work and finishes what is queued.
+  void shutdown();
+
+  ServerId id() const { return id_; }
+  std::size_t queue_depth() const;
+
+ private:
+  void run();
+
+  ServerId id_;
+  ClockFn clock_;
+  CompletionFn on_complete_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unique_ptr<TaskQueue> queue_;
+  std::unordered_map<TaskId, RuntimeTask> payloads_;
+  bool shutdown_ = false;
+
+  std::thread thread_;
+};
+
+}  // namespace tailguard

@@ -1,0 +1,195 @@
+#include "sas/testbed.h"
+
+#include "common/check.h"
+#include "dist/piecewise_linear_quantile.h"
+
+namespace tailguard {
+
+const char* to_string(SasCluster cluster) {
+  switch (cluster) {
+    case SasCluster::kServerRoom:
+      return "Server-room";
+    case SasCluster::kWetLab:
+      return "Wet-lab";
+    case SasCluster::kFaculty:
+      return "Faculty";
+    case SasCluster::kGta:
+      return "GTA";
+  }
+  return "?";
+}
+
+ServerId sas_first_node(SasCluster cluster) {
+  return static_cast<ServerId>(static_cast<std::uint32_t>(cluster) *
+                               kSasNodesPerCluster);
+}
+
+SasClusterStats sas_paper_stats(SasCluster cluster) {
+  switch (cluster) {
+    case SasCluster::kServerRoom:
+      return {.mean_ms = 82.0, .p95_ms = 235.0, .p99_ms = 300.0};
+    case SasCluster::kWetLab:
+      return {.mean_ms = 31.0, .p95_ms = 112.0, .p99_ms = 136.0};
+    case SasCluster::kFaculty:
+      return {.mean_ms = 92.0, .p95_ms = 226.0, .p99_ms = 306.0};
+    case SasCluster::kGta:
+      return {.mean_ms = 91.0, .p95_ms = 228.0, .p99_ms = 304.0};
+  }
+  TG_CHECK_MSG(false, "unknown cluster");
+  return {};
+}
+
+DistributionPtr make_sas_cluster_model(SasCluster cluster) {
+  // Anchors at p95/p99 come straight from Fig. 9a; bulk anchors reproduce
+  // the plotted CDF shape with the mean within ~3% of the paper's number
+  // (verified by tests/sas_test.cc).
+  switch (cluster) {
+    case SasCluster::kServerRoom:
+      return std::make_shared<PiecewiseLinearQuantile>(
+          std::vector<QuantileAnchor>{{0.0, 10.0},
+                                      {0.50, 60.0},
+                                      {0.75, 100.0},
+                                      {0.90, 170.0},
+                                      {0.95, 235.0},
+                                      {0.99, 300.0},
+                                      {0.999, 360.0},
+                                      {1.0, 400.0}},
+          "Server-room post-queuing time");
+    case SasCluster::kWetLab:
+      return std::make_shared<PiecewiseLinearQuantile>(
+          std::vector<QuantileAnchor>{{0.0, 4.0},
+                                      {0.50, 18.0},
+                                      {0.75, 38.0},
+                                      {0.90, 70.0},
+                                      {0.95, 112.0},
+                                      {0.99, 136.0},
+                                      {0.999, 160.0},
+                                      {1.0, 180.0}},
+          "Wet-lab post-queuing time");
+    case SasCluster::kFaculty:
+      return std::make_shared<PiecewiseLinearQuantile>(
+          std::vector<QuantileAnchor>{{0.0, 12.0},
+                                      {0.50, 72.0},
+                                      {0.75, 118.0},
+                                      {0.90, 180.0},
+                                      {0.95, 226.0},
+                                      {0.99, 306.0},
+                                      {0.999, 370.0},
+                                      {1.0, 410.0}},
+          "Faculty post-queuing time");
+    case SasCluster::kGta:
+      return std::make_shared<PiecewiseLinearQuantile>(
+          std::vector<QuantileAnchor>{{0.0, 12.0},
+                                      {0.50, 71.0},
+                                      {0.75, 117.0},
+                                      {0.90, 180.0},
+                                      {0.95, 228.0},
+                                      {0.99, 304.0},
+                                      {0.999, 368.0},
+                                      {1.0, 408.0}},
+          "GTA post-queuing time");
+  }
+  TG_CHECK_MSG(false, "unknown cluster");
+  return {};
+}
+
+std::array<SasUseCase, 3> sas_use_cases() {
+  return {SasUseCase{.spec = {.slo_ms = 800.0, .percentile = 99.0},
+                     .fanout = 1,
+                     .probability = 0.5},
+          SasUseCase{.spec = {.slo_ms = 1300.0, .percentile = 99.0},
+                     .fanout = 4,
+                     .probability = 0.4},
+          SasUseCase{.spec = {.slo_ms = 1800.0, .percentile = 99.0},
+                     .fanout = 32,
+                     .probability = 0.1}};
+}
+
+SimConfig make_sas_config(Policy policy, std::uint64_t seed,
+                          std::size_t num_queries) {
+  SimConfig cfg;
+  cfg.num_servers = kSasNumNodes;
+  cfg.policy = policy;
+  cfg.seed = seed;
+  cfg.num_queries = num_queries;
+
+  const auto cases = sas_use_cases();
+  for (const auto& uc : cases) {
+    cfg.classes.push_back(uc.spec);
+    cfg.class_probabilities.push_back(uc.probability);
+  }
+
+  // Per-node service model: all 8 nodes of a cluster share their cluster's
+  // distribution object, so the deadline estimator groups them automatically.
+  cfg.per_server_service.reserve(kSasNumNodes);
+  for (SasCluster cluster : kAllSasClusters) {
+    const DistributionPtr model = make_sas_cluster_model(cluster);
+    for (std::size_t n = 0; n < kSasNodesPerCluster; ++n)
+      cfg.per_server_service.push_back(model);
+  }
+
+  // Fixed fanout per class.
+  cfg.class_fanout = [cases](Rng&, ClassId cls) {
+    TG_CHECK_MSG(cls < cases.size(), "unknown SaS class " << cls);
+    return cases[cls].fanout;
+  };
+
+  // Placement per use case (see header).
+  cfg.placement = [](Rng& rng, ClassId cls, std::uint32_t kf,
+                     std::vector<ServerId>& out) {
+    out.clear();
+    switch (cls) {
+      case 0: {  // class A: single node, 80% on the Server-room cluster
+        TG_CHECK(kf == 1);
+        if (rng.bernoulli(0.8)) {
+          out.push_back(sas_first_node(SasCluster::kServerRoom) +
+                        static_cast<ServerId>(
+                            rng.uniform_index(kSasNodesPerCluster)));
+        } else {
+          // A random node of one of the other three clusters.
+          const auto cluster_idx = 1 + rng.uniform_index(kSasNumClusters - 1);
+          out.push_back(static_cast<ServerId>(
+              cluster_idx * kSasNodesPerCluster +
+              rng.uniform_index(kSasNodesPerCluster)));
+        }
+        break;
+      }
+      case 1: {  // class B: one random node per cluster
+        TG_CHECK(kf == kSasNumClusters);
+        for (SasCluster cluster : kAllSasClusters)
+          out.push_back(sas_first_node(cluster) +
+                        static_cast<ServerId>(
+                            rng.uniform_index(kSasNodesPerCluster)));
+        break;
+      }
+      case 2: {  // class C: every node
+        TG_CHECK(kf == kSasNumNodes);
+        for (ServerId s = 0; s < kSasNumNodes; ++s) out.push_back(s);
+        break;
+      }
+      default:
+        TG_CHECK_MSG(false, "unknown SaS class " << cls);
+    }
+  };
+
+  return cfg;
+}
+
+MaxLoadOptions sas_load_options() {
+  // Expected Server-room tasks per query:
+  //   class A: 0.5 * 0.8 = 0.40
+  //   class B: 0.4 * 1   = 0.40
+  //   class C: 0.1 * 8   = 0.80   => 1.6 tasks
+  const auto cases = sas_use_cases();
+  const double sr_tasks = cases[0].probability * 0.8 +
+                          cases[1].probability * 1.0 +
+                          cases[2].probability * kSasNodesPerCluster;
+  const double sr_mean =
+      make_sas_cluster_model(SasCluster::kServerRoom)->mean();
+  MaxLoadOptions opt;
+  opt.work_per_query = sr_tasks * sr_mean;
+  opt.capacity_servers = kSasNodesPerCluster;
+  return opt;
+}
+
+}  // namespace tailguard

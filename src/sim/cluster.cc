@@ -1,0 +1,46 @@
+#include "sim/cluster.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tailguard {
+
+std::vector<DistributionPtr> homogeneous_cluster(DistributionPtr base,
+                                                 std::size_t n) {
+  TG_CHECK_MSG(base != nullptr, "null base distribution");
+  TG_CHECK_MSG(n >= 1, "cluster needs at least one server");
+  return std::vector<DistributionPtr>(n, std::move(base));
+}
+
+std::vector<DistributionPtr> grouped_cluster(
+    const std::vector<std::pair<DistributionPtr, std::size_t>>& groups) {
+  TG_CHECK_MSG(!groups.empty(), "need at least one group");
+  std::vector<DistributionPtr> servers;
+  for (const auto& [model, count] : groups) {
+    TG_CHECK_MSG(model != nullptr, "null group distribution");
+    TG_CHECK_MSG(count >= 1, "empty group");
+    servers.insert(servers.end(), count, model);
+  }
+  return servers;
+}
+
+std::vector<DistributionPtr> cluster_with_stragglers(DistributionPtr base,
+                                                     std::size_t n,
+                                                     double fraction,
+                                                     double slowdown) {
+  TG_CHECK_MSG(base != nullptr, "null base distribution");
+  TG_CHECK_MSG(n >= 1, "cluster needs at least one server");
+  TG_CHECK_MSG(fraction >= 0.0 && fraction <= 1.0,
+               "straggler fraction must be in [0,1]");
+  TG_CHECK_MSG(slowdown >= 1.0, "slowdown must be >= 1");
+  auto servers = homogeneous_cluster(base, n);
+  const auto stragglers = static_cast<std::size_t>(
+      std::ceil(fraction * static_cast<double>(n)));
+  if (stragglers == 0 || slowdown == 1.0) return servers;
+  const auto slow = std::make_shared<Scaled>(std::move(base), slowdown);
+  for (std::size_t s = n - stragglers; s < n; ++s) servers[s] = slow;
+  return servers;
+}
+
+}  // namespace tailguard

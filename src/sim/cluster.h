@@ -1,0 +1,34 @@
+// Helpers for building per-server service-time layouts.
+//
+// The paper's simulations use a homogeneous cluster; its testbed uses four
+// homogeneous groups; and its motivation (§I-II) cites stragglers from
+// skewed workloads and resource variation. These builders cover all three
+// shapes. Servers that share a DistributionPtr share a CDF model in the
+// deadline estimator (same-object grouping).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "dist/standard.h"
+
+namespace tailguard {
+
+/// n servers, all drawing service times from `base`.
+std::vector<DistributionPtr> homogeneous_cluster(DistributionPtr base,
+                                                 std::size_t n);
+
+/// Concatenated homogeneous groups: {model, count} pairs in node order.
+std::vector<DistributionPtr> grouped_cluster(
+    const std::vector<std::pair<DistributionPtr, std::size_t>>& groups);
+
+/// A homogeneous cluster where `ceil(fraction * n)` servers (placed at the
+/// end of the id range) are stragglers running `slowdown`x slower — the
+/// outlier scenario of the paper's §I. The stragglers share one Scaled
+/// model, so a fanout-aware estimator sees their true CDF.
+std::vector<DistributionPtr> cluster_with_stragglers(DistributionPtr base,
+                                                     std::size_t n,
+                                                     double fraction,
+                                                     double slowdown);
+
+}  // namespace tailguard

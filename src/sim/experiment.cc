@@ -1,0 +1,69 @@
+#include "sim/experiment.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace tailguard {
+
+void set_load(SimConfig& config, double load, const MaxLoadOptions& opt) {
+  TG_CHECK_MSG(load > 0.0 && load < 1.0, "load must be in (0,1): " << load);
+  const double capacity = opt.capacity_servers > 0.0
+                              ? opt.capacity_servers
+                              : static_cast<double>(config.num_servers);
+  const double work = opt.work_per_query > 0.0
+                          ? opt.work_per_query
+                          : expected_work_per_query(config);
+  config.arrival_rate = load * capacity / work;
+}
+
+double find_max_load(SimConfig config, const MaxLoadOptions& opt) {
+  TG_CHECK_MSG(opt.lo > 0.0 && opt.hi < 1.0 && opt.lo < opt.hi,
+               "bad search interval");
+  const auto feasible = [&](double load) {
+    set_load(config, load, opt);
+    return run_simulation(config).all_slos_met(opt.slo_epsilon);
+  };
+
+  if (!feasible(opt.lo)) return opt.lo;
+  if (feasible(opt.hi)) return opt.hi;
+
+  double lo = opt.lo;  // feasible
+  double hi = opt.hi;  // infeasible
+  while (hi - lo > opt.tolerance) {
+    const double mid = 0.5 * (lo + hi);
+    if (feasible(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::vector<LoadPoint> sweep_loads(SimConfig config,
+                                   const std::vector<double>& loads,
+                                   const MaxLoadOptions& opt) {
+  std::vector<LoadPoint> points;
+  points.reserve(loads.size());
+  for (double load : loads) {
+    set_load(config, load, opt);
+    points.push_back(LoadPoint{load, run_simulation(config)});
+  }
+  return points;
+}
+
+std::size_t scaled_queries(std::size_t base) {
+  double scale = 1.0;
+  if (const char* env = std::getenv("TAILGUARD_BENCH_SCALE")) {
+    char* end = nullptr;
+    const double parsed = std::strtod(env, &end);
+    if (end != env && parsed > 0.0) scale = std::clamp(parsed, 0.05, 100.0);
+  }
+  const auto scaled =
+      static_cast<std::size_t>(static_cast<double>(base) * scale);
+  return std::max<std::size_t>(scaled, 1000);
+}
+
+}  // namespace tailguard

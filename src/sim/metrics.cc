@@ -1,0 +1,19 @@
+#include "sim/metrics.h"
+
+#include "common/stats.h"
+
+namespace tailguard {
+
+TimeMs LatencySample::percentile(double pct) const {
+  return tailguard::percentile(values_, pct);
+}
+
+TimeMs LatencySample::mean() const { return mean_of(values_); }
+
+void MetricsCollector::record_query(ClassId cls, std::uint32_t fanout,
+                                    TimeMs latency) {
+  groups_[GroupKey{cls, fanout}].add(latency);
+  ++queries_;
+}
+
+}  // namespace tailguard

@@ -1,0 +1,72 @@
+// Latency metrics grouped by (service class, query fanout).
+//
+// The paper's evaluation always reports per-type tail latency: meeting an
+// SLO "as a whole" does not imply each query type meets it (§IV.B), so every
+// experiment checks the p-th percentile for each (class, fanout) group.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.h"
+
+namespace tailguard {
+
+/// Accumulates raw latency samples for one group.
+class LatencySample {
+ public:
+  void add(TimeMs latency) { values_.push_back(latency); }
+  std::size_t count() const { return values_.size(); }
+  TimeMs percentile(double pct) const;
+  TimeMs mean() const;
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::vector<double> values_;
+};
+
+struct GroupKey {
+  ClassId cls = 0;
+  std::uint32_t fanout = 0;
+
+  friend bool operator==(const GroupKey&, const GroupKey&) = default;
+};
+
+struct GroupKeyHash {
+  std::size_t operator()(const GroupKey& k) const {
+    return (static_cast<std::size_t>(k.cls) << 32) ^ k.fanout;
+  }
+};
+
+class MetricsCollector {
+ public:
+  void record_query(ClassId cls, std::uint32_t fanout, TimeMs latency);
+
+  /// Task dequeue accounting for the deadline-miss ratio.
+  void record_task_dequeue(bool missed_deadline) {
+    ++tasks_dequeued_;
+    if (missed_deadline) ++tasks_missed_;
+  }
+
+  std::uint64_t queries_recorded() const { return queries_; }
+  std::uint64_t tasks_dequeued() const { return tasks_dequeued_; }
+  double task_deadline_miss_ratio() const {
+    return tasks_dequeued_ == 0 ? 0.0
+                                : static_cast<double>(tasks_missed_) /
+                                      static_cast<double>(tasks_dequeued_);
+  }
+
+  const std::unordered_map<GroupKey, LatencySample, GroupKeyHash>& groups()
+      const {
+    return groups_;
+  }
+
+ private:
+  std::unordered_map<GroupKey, LatencySample, GroupKeyHash> groups_;
+  std::uint64_t queries_ = 0;
+  std::uint64_t tasks_dequeued_ = 0;
+  std::uint64_t tasks_missed_ = 0;
+};
+
+}  // namespace tailguard

@@ -1,0 +1,703 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "core/query_tracker.h"
+#include "dist/arrival.h"
+
+namespace tailguard {
+
+namespace {
+
+struct Event {
+  TimeMs time = 0.0;
+  enum Kind : std::uint8_t {
+    kArrival = 0,
+    kTaskEnqueue = 1,    // task reaches its server after dispatch delay
+    kTaskDone = 2,       // server finishes its current task
+    kResultArrival = 3,  // result reaches the query handler
+  } kind = kArrival;
+  ServerId server = 0;
+  std::uint32_t payload = 0;  // index into the payload pool, if any
+
+  // Min-heap ordering; kind/server break time ties deterministically.
+  friend bool operator>(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time > b.time;
+    if (a.kind != b.kind) return a.kind > b.kind;
+    if (a.server != b.server) return a.server > b.server;
+    return a.payload > b.payload;
+  }
+};
+
+// Payload carried by kTaskEnqueue (the task in flight) and kResultArrival
+// (the completed task's accounting), pooled with a freelist.
+struct EventPayload {
+  QueuedTask task;         // kTaskEnqueue
+  QueryId query = 0;       // kResultArrival
+  TimeMs dequeue_time = 0; // kResultArrival
+  bool missed = false;     // kResultArrival
+  bool recorded = false;   // kResultArrival
+  std::uint32_t next_free = 0;
+};
+
+class PayloadPool {
+ public:
+  std::uint32_t alloc() {
+    if (free_head_ != kNone) {
+      const std::uint32_t idx = free_head_;
+      free_head_ = pool_[idx].next_free;
+      return idx;
+    }
+    pool_.emplace_back();
+    return static_cast<std::uint32_t>(pool_.size() - 1);
+  }
+
+  EventPayload& operator[](std::uint32_t idx) { return pool_[idx]; }
+
+  void free(std::uint32_t idx) {
+    pool_[idx].next_free = free_head_;
+    free_head_ = idx;
+  }
+
+ private:
+  static constexpr std::uint32_t kNone = ~0u;
+  std::vector<EventPayload> pool_;
+  std::uint32_t free_head_ = kNone;
+};
+
+struct ServerState {
+  std::unique_ptr<TaskQueue> queue;
+  DistributionPtr service;
+  bool busy = false;
+  QueuedTask current;
+  TimeMs current_started = 0.0;
+  bool current_recorded = false;  // post-warmup accounting for current task
+  bool current_missed = false;    // dequeued past its deadline
+  TimeMs busy_since = 0.0;
+  double busy_accum = 0.0;
+};
+
+// Builds the per-server CDF models for the deadline estimator according to
+// the estimation mode, preserving the "servers with the same service-time
+// distribution share a model" grouping.
+std::vector<std::shared_ptr<CdfModel>> build_models(
+    const std::vector<DistributionPtr>& per_server, EstimationMode mode,
+    std::size_t offline_samples, Rng& rng) {
+  // Single-profile modes seed everything from server 0's distribution
+  // (§III.B.2: profile one task server offline).
+  const bool single_profile =
+      mode == EstimationMode::kOfflineSingleProfile ||
+      mode == EstimationMode::kOnlineFromSingleProfile;
+  std::vector<double> profile;
+  if (single_profile) {
+    profile.resize(offline_samples);
+    for (auto& x : profile) x = per_server.front()->sample(rng);
+  }
+
+  const auto make_streaming_options = [&](const Distribution& dist) {
+    StreamingCdfModel::Options opt;
+    const double hi = dist.quantile(0.9999);
+    const double lo = dist.quantile(0.001);
+    opt.histogram.min_value = std::max(1e-6, lo / 10.0);
+    opt.histogram.max_value =
+        std::max(hi * 100.0, opt.histogram.min_value * 10.0);
+    opt.histogram.buckets_per_decade = 200;
+    // Age out roughly half the window every 50k observations so the model
+    // tracks drift without forgetting the tail too fast.
+    opt.histogram.decay_every = 50000;
+    opt.histogram.decay_factor = 0.5;
+    opt.refresh_every = 2000;
+    return opt;
+  };
+
+  std::vector<DistributionPtr> distinct;
+  std::vector<std::shared_ptr<CdfModel>> group_models;
+  std::vector<std::shared_ptr<CdfModel>> result;
+  result.reserve(per_server.size());
+  for (const auto& dist : per_server) {
+    auto it = std::find(distinct.begin(), distinct.end(), dist);
+    if (it == distinct.end()) {
+      distinct.push_back(dist);
+      std::shared_ptr<CdfModel> model;
+      switch (mode) {
+        case EstimationMode::kExact:
+          model = std::make_shared<DistributionCdfModel>(dist);
+          break;
+        case EstimationMode::kOfflineEmpirical: {
+          std::vector<double> sample(offline_samples);
+          for (auto& x : sample) x = dist->sample(rng);
+          model = std::make_shared<EmpiricalCdfModel>(sample);
+          break;
+        }
+        case EstimationMode::kOfflineSingleProfile:
+          model = std::make_shared<EmpiricalCdfModel>(profile);
+          break;
+        case EstimationMode::kOnlineStreaming: {
+          auto streaming =
+              std::make_shared<StreamingCdfModel>(make_streaming_options(*dist));
+          std::vector<double> sample(offline_samples);
+          for (auto& x : sample) x = dist->sample(rng);
+          streaming->seed(sample);
+          model = std::move(streaming);
+          break;
+        }
+        case EstimationMode::kOnlineFromSingleProfile: {
+          // Histogram range must accommodate the (unknown) true latencies,
+          // not just the profiled server's: widen generously.
+          auto opt = make_streaming_options(*per_server.front());
+          opt.histogram.max_value *= 100.0;
+          auto streaming = std::make_shared<StreamingCdfModel>(opt);
+          streaming->seed(profile);
+          model = std::move(streaming);
+          break;
+        }
+      }
+      group_models.push_back(std::move(model));
+      result.push_back(group_models.back());
+    } else {
+      result.push_back(
+          group_models[static_cast<std::size_t>(it - distinct.begin())]);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+double expected_work_per_query(const SimConfig& config) {
+  TG_CHECK_MSG(config.fanout != nullptr, "fanout model is required");
+  double mean_service = 0.0;
+  if (!config.per_server_service.empty()) {
+    for (const auto& d : config.per_server_service) {
+      TG_CHECK_MSG(d != nullptr, "null per-server service distribution");
+      mean_service += d->mean();
+    }
+    mean_service /= static_cast<double>(config.per_server_service.size());
+  } else {
+    TG_CHECK_MSG(config.service_time != nullptr,
+                 "service-time distribution is required");
+    mean_service = config.service_time->mean();
+  }
+  return config.fanout->mean() * mean_service;
+}
+
+double rate_for_load(const SimConfig& config, double load) {
+  TG_CHECK_MSG(load > 0.0 && load < 1.0, "load must be in (0,1): " << load);
+  return load * static_cast<double>(config.num_servers) /
+         expected_work_per_query(config);
+}
+
+bool SimResult::all_slos_met(double epsilon) const {
+  for (const auto& g : groups) {
+    if (g.queries == 0) continue;
+    if (g.tail_latency > g.slo * (1.0 + epsilon)) return false;
+  }
+  return true;
+}
+
+double SimResult::task_admit_fraction() const {
+  const auto total = tasks_admitted + tasks_rejected;
+  return total == 0 ? 1.0
+                    : static_cast<double>(tasks_admitted) /
+                          static_cast<double>(total);
+}
+
+const GroupResult* SimResult::find_group(ClassId cls,
+                                         std::uint32_t fanout) const {
+  for (const auto& g : groups)
+    if (g.cls == cls && g.fanout == fanout) return &g;
+  return nullptr;
+}
+
+TimeMs SimResult::class_tail_latency(ClassId cls) const {
+  for (const auto& c : class_results)
+    if (c.cls == cls) return c.tail_latency;
+  return 0.0;
+}
+
+SimResult run_simulation(const SimConfig& config) {
+  const bool use_trace = !config.trace.empty();
+  const bool request_mode = config.request.has_value();
+  const std::size_t total_arrivals =
+      use_trace ? config.trace.size() : config.num_queries;
+
+  TG_CHECK_MSG(config.num_servers >= 1, "need at least one server");
+  TG_CHECK_MSG(!config.classes.empty(), "need at least one service class");
+  TG_CHECK_MSG(total_arrivals > 0, "need at least one query");
+  if (!use_trace) {
+    TG_CHECK_MSG(config.arrival_rate > 0.0, "arrival rate must be positive");
+    const bool request_fanouts =
+        request_mode && !config.request->query_fanouts.empty();
+    TG_CHECK_MSG(request_fanouts || config.fanout != nullptr ||
+                     config.class_fanout != nullptr,
+                 "a fanout model or class_fanout function is required");
+  }
+  TG_CHECK_MSG(
+      config.class_probabilities.empty() ||
+          config.class_probabilities.size() == config.classes.size(),
+      "class_probabilities size must match classes");
+  if (request_mode) {
+    TG_CHECK_MSG(!use_trace, "request mode does not combine with trace replay");
+    TG_CHECK_MSG(config.request->queries_per_request >= 1,
+                 "requests need at least one query");
+    TG_CHECK_MSG(config.request->query_budgets.size() ==
+                     config.request->queries_per_request,
+                 "one budget per request query required");
+    TG_CHECK_MSG(config.request->query_fanouts.empty() ||
+                     config.request->query_fanouts.size() ==
+                         config.request->queries_per_request,
+                 "query_fanouts must be empty or one per request query");
+  }
+  TG_CHECK_MSG(config.task_budget_jitter >= 0.0,
+               "task budget jitter must be non-negative");
+
+  Rng rng(config.seed);
+  Rng estimation_rng = rng.split();
+
+  // --- per-server service-time distributions -----------------------------
+  std::vector<DistributionPtr> per_server = config.per_server_service;
+  if (per_server.empty()) {
+    TG_CHECK_MSG(config.service_time != nullptr,
+                 "service-time distribution is required");
+    per_server.assign(config.num_servers, config.service_time);
+  }
+  TG_CHECK_MSG(per_server.size() == config.num_servers,
+               "per_server_service size must equal num_servers");
+
+  // --- deadline estimator --------------------------------------------------
+  DeadlineEstimator estimator(build_models(per_server, config.estimation,
+                                           config.offline_seed_samples,
+                                           estimation_rng));
+  for (const auto& spec : config.classes) estimator.add_class(spec);
+
+  // --- arrival process ------------------------------------------------------
+  std::unique_ptr<ArrivalProcess> arrivals;
+  if (!use_trace) {
+    switch (config.arrival_kind) {
+      case ArrivalKind::kPoisson:
+        arrivals = std::make_unique<PoissonProcess>(config.arrival_rate);
+        break;
+      case ArrivalKind::kPareto:
+        arrivals = std::make_unique<ParetoProcess>(config.arrival_rate,
+                                                   config.pareto_shape);
+        break;
+    }
+  }
+
+  // --- class mix -------------------------------------------------------------
+  std::vector<double> class_cum;
+  if (!config.class_probabilities.empty()) {
+    double total = 0.0;
+    for (double p : config.class_probabilities) {
+      TG_CHECK_MSG(p >= 0.0, "negative class probability");
+      total += p;
+    }
+    TG_CHECK_MSG(total > 0.0, "class probabilities must not all be zero");
+    double cum = 0.0;
+    for (double p : config.class_probabilities) {
+      cum += p / total;
+      class_cum.push_back(cum);
+    }
+    class_cum.back() = 1.0;
+  }
+
+  // --- servers ---------------------------------------------------------------
+  std::vector<ServerState> servers(config.num_servers);
+  for (std::size_t s = 0; s < config.num_servers; ++s) {
+    servers[s].queue = make_task_queue(config.policy, config.classes.size());
+    servers[s].service = per_server[s];
+  }
+
+  // --- default placement: uniform distinct servers ----------------------------
+  std::vector<ServerId> perm(config.num_servers);
+  for (std::size_t s = 0; s < config.num_servers; ++s)
+    perm[s] = static_cast<ServerId>(s);
+  auto default_placement = [&perm](Rng& r, ClassId, std::uint32_t kf,
+                                   std::vector<ServerId>& out) {
+    TG_CHECK_MSG(kf <= perm.size(),
+                 "fanout " << kf << " exceeds cluster size " << perm.size());
+    for (std::uint32_t i = 0; i < kf; ++i) {
+      const auto j =
+          i + static_cast<std::size_t>(r.uniform_index(perm.size() - i));
+      std::swap(perm[i], perm[j]);
+    }
+    out.assign(perm.begin(), perm.begin() + kf);
+  };
+  const auto& place = config.placement
+                          ? config.placement
+                          : std::function<void(Rng&, ClassId, std::uint32_t,
+                                               std::vector<ServerId>&)>(
+                                default_placement);
+
+  // --- bookkeeping -------------------------------------------------------------
+  QueryTracker tracker;
+  std::vector<bool> record_query_flag;  // indexed by admitted QueryId
+  MetricsCollector metrics;
+  std::optional<AdmissionController> admission;
+  if (config.admission) admission.emplace(*config.admission);
+
+  // Request mode state.
+  struct RequestState {
+    TimeMs t0 = 0.0;
+    std::size_t next_query = 0;  // index of the next query to issue
+    bool record = false;
+  };
+  std::unordered_map<std::uint64_t, RequestState> requests;
+  std::unordered_map<QueryId, std::uint64_t> query_request;
+  std::vector<double> request_latencies;
+  std::uint64_t next_request_id = 0;
+
+  const auto warmup_offered = static_cast<std::size_t>(
+      config.warmup_fraction * static_cast<double>(total_arrivals));
+
+  SimResult result;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+  std::size_t offered = 0;
+  TimeMs now = 0.0;
+
+  const auto scale_at = [&config](TimeMs t, ServerId sid) {
+    return config.service_scale ? config.service_scale(t, sid) : 1.0;
+  };
+
+  PayloadPool payloads;
+  // With a result-path delay, the query handler only learns about a dequeue
+  // (and its deadline miss, piggybacked on the result — §III.C) when the
+  // result arrives; with central queuing it knows immediately.
+  const bool defer_result_accounting = config.result_delay != nullptr;
+
+  // Starts `task` on idle server `sid` at time `t`.
+  const auto start_task = [&](ServerState& sv, ServerId sid, QueuedTask task,
+                              TimeMs t) {
+    TG_DCHECK(!sv.busy);
+    sv.busy = true;
+    sv.busy_since = t;
+    sv.current = task;
+    sv.current_started = t;
+    sv.current_recorded =
+        task.query < record_query_flag.size() && record_query_flag[task.query];
+    sv.current_missed = t > tracker.state(task.query).deadline + 1e-12;
+    if (!defer_result_accounting) {
+      if (admission) admission->record_task_dequeue(t, sv.current_missed);
+      if (sv.current_recorded) metrics.record_task_dequeue(sv.current_missed);
+    }
+    const TimeMs service = task.service_time * scale_at(t, sid);
+    events.push(Event{t + service, Event::kTaskDone, sid});
+  };
+
+  // Hands a task to its server's queue (or straight into service). The
+  // queue-empty check matters: inside the completion handler the server is
+  // momentarily idle *with* a non-empty queue (the head is popped after the
+  // result is processed), and a request-chained follow-up task must not
+  // jump that queue.
+  const auto deliver_task = [&](QueuedTask task, ServerId sid, TimeMs t) {
+    ServerState& sv = servers[sid];
+    if (sv.busy || !sv.queue->empty()) {
+      sv.queue->push(task);
+    } else {
+      start_task(sv, sid, task, t);
+    }
+  };
+
+  std::vector<ServerId> chosen;
+  chosen.reserve(config.num_servers);
+
+  // Draws a class id from the configured mix.
+  const auto sample_class = [&]() -> ClassId {
+    if (class_cum.empty()) return 0;
+    const double u = rng.uniform();
+    const auto it = std::upper_bound(class_cum.begin(), class_cum.end(), u);
+    return static_cast<ClassId>(
+        std::min<std::size_t>(static_cast<std::size_t>(it - class_cum.begin()),
+                              class_cum.size() - 1));
+  };
+
+  // Issues one query at time `t`: places tasks, computes deadlines, registers
+  // with the tracker and enqueues/starts the tasks. `request_id` links the
+  // query to a request (request mode); `request_query_idx` selects the
+  // request budget.
+  const auto issue_query = [&](TimeMs t, ClassId cls, std::uint32_t kf,
+                               bool record,
+                               std::uint64_t request_id = ~0ULL,
+                               std::size_t request_query_idx = 0) {
+    place(rng, cls, kf, chosen);
+    TG_DCHECK(chosen.size() == kf);
+
+    // Queuing deadline for statistics (and EDF ordering). In request mode
+    // the budget comes from the request decomposition; otherwise Eq. 6.
+    TimeMs budget = 0.0;
+    if (request_mode) {
+      budget = config.request->query_budgets[request_query_idx];
+    } else {
+      budget = estimator.budget(cls, chosen);
+    }
+    const TimeMs tail_deadline = t + budget;
+
+    const QueryId qid = tracker.begin_query(t, cls, kf, tail_deadline);
+    TG_DCHECK(qid == record_query_flag.size());
+    record_query_flag.push_back(record);
+    if (request_id != ~0ULL) query_request.emplace(qid, request_id);
+
+    TimeMs order_deadline = 0.0;
+    switch (config.policy) {
+      case Policy::kTfEdf:
+        order_deadline = tail_deadline;
+        break;
+      case Policy::kTEdf:
+        order_deadline = request_mode
+                             ? t + config.request->request_slo.slo_ms
+                             : estimator.slo_deadline(t, cls);
+        break;
+      case Policy::kFifo:
+      case Policy::kPriq:
+        order_deadline = t;  // unused for ordering
+        break;
+    }
+
+    for (std::uint32_t k = 0; k < kf; ++k) {
+      const ServerId sid = chosen[k];
+      QueuedTask task;
+      task.query = qid;
+      task.cls = cls;
+      task.enqueue_time = t;
+      task.deadline = order_deadline;
+      if (config.policy == Policy::kTfEdf && config.task_budget_jitter > 0.0) {
+        // Footnote-4 ablation: individually jittered ordering budgets.
+        const double u = rng.uniform(-1.0, 1.0);
+        task.deadline = t + budget * (1.0 + config.task_budget_jitter * u);
+      }
+      // Pre-sample the service demand (common random numbers across
+      // policies).
+      task.service_time = servers[sid].service->sample(rng);
+      if (config.dispatch_delay != nullptr) {
+        const std::uint32_t idx = payloads.alloc();
+        payloads[idx].task = task;
+        events.push(Event{t + config.dispatch_delay->sample(rng),
+                          Event::kTaskEnqueue, sid, idx});
+      } else {
+        deliver_task(task, sid, t);
+      }
+    }
+  };
+
+  // Handles a task result reaching the query handler at time `t`: feeds the
+  // online estimator, records deferred accounting, merges the result and —
+  // in request mode — issues the request's next query.
+  const auto handle_result = [&](TimeMs t, QueryId query, ServerId server,
+                                 TimeMs dequeue_time, bool missed,
+                                 bool recorded) {
+    if (config.estimation == EstimationMode::kOnlineStreaming ||
+        config.estimation == EstimationMode::kOnlineFromSingleProfile)
+      estimator.observe_post_queuing(server, t - dequeue_time);
+
+    if (defer_result_accounting) {
+      if (admission) admission->record_task_dequeue(t, missed);
+      if (recorded) metrics.record_task_dequeue(missed);
+    }
+
+    QueryState finished;
+    if (!tracker.complete_task(query, &finished)) return;
+    if (recorded)
+      metrics.record_query(finished.cls, finished.fanout, t - finished.t0);
+
+    if (request_mode) {
+      const auto link = query_request.find(query);
+      TG_CHECK_MSG(link != query_request.end(), "query without request");
+      const std::uint64_t rid = link->second;
+      query_request.erase(link);
+      auto rit = requests.find(rid);
+      TG_CHECK_MSG(rit != requests.end(), "unknown request");
+      RequestState& req = rit->second;
+      if (req.next_query < config.request->queries_per_request) {
+        const std::size_t qidx = req.next_query++;
+        const ClassId next_cls = sample_class();
+        const std::uint32_t next_kf =
+            !config.request->query_fanouts.empty()
+                ? config.request->query_fanouts[qidx]
+                : (config.class_fanout ? config.class_fanout(rng, next_cls)
+                                       : config.fanout->sample(rng));
+        issue_query(t, next_cls, next_kf, req.record, rid, qidx);
+      } else {
+        if (req.record) request_latencies.push_back(t - req.t0);
+        requests.erase(rit);
+      }
+    }
+  };
+
+  events.push(Event{use_trace ? config.trace.front().arrival_ms
+                              : arrivals->next_interarrival(rng),
+                    Event::kArrival, 0});
+  ++offered;
+
+  while (!events.empty()) {
+    const Event ev = events.top();
+    events.pop();
+    now = ev.time;
+
+    if (ev.kind == Event::kArrival) {
+      const std::size_t arrival_idx = offered - 1;
+      // Schedule the next arrival first so the process is independent of
+      // admission decisions.
+      if (offered < total_arrivals) {
+        events.push(Event{use_trace ? config.trace[offered].arrival_ms
+                                    : now + arrivals->next_interarrival(rng),
+                          Event::kArrival, 0});
+        ++offered;
+      }
+
+      // Query (or first-query-of-request) attributes.
+      ClassId cls = 0;
+      std::uint32_t kf = 1;
+      if (use_trace) {
+        const QueryRecord& rec = config.trace[arrival_idx];
+        TG_CHECK_MSG(rec.class_id < config.classes.size(),
+                     "trace class " << rec.class_id << " unknown");
+        cls = rec.class_id;
+        kf = rec.fanout;
+      } else {
+        cls = sample_class();
+        if (request_mode && !config.request->query_fanouts.empty()) {
+          kf = config.request->query_fanouts[0];
+        } else {
+          kf = config.class_fanout ? config.class_fanout(rng, cls)
+                                   : config.fanout->sample(rng);
+        }
+      }
+
+      // Admission decision (per arrival: per query, or per request).
+      if (admission && !admission->should_admit(now, rng.uniform())) {
+        admission->count_rejected();
+        ++result.queries_rejected;
+        result.tasks_rejected += kf;
+        continue;
+      }
+      if (admission) admission->count_admitted();
+      ++result.queries_admitted;
+      result.tasks_admitted += kf;
+
+      const bool record = arrival_idx + 1 > warmup_offered;
+      if (request_mode) {
+        const std::uint64_t rid = next_request_id++;
+        requests.emplace(rid,
+                         RequestState{.t0 = now, .next_query = 1,
+                                      .record = record});
+        issue_query(now, cls, kf, record, rid, 0);
+      } else {
+        issue_query(now, cls, kf, record);
+      }
+    } else if (ev.kind == Event::kTaskEnqueue) {
+      // A dispatched task reaches its server.
+      const QueuedTask task = payloads[ev.payload].task;
+      payloads.free(ev.payload);
+      deliver_task(task, ev.server, now);
+    } else if (ev.kind == Event::kTaskDone) {
+      // Task completion on ev.server.
+      ServerState& sv = servers[ev.server];
+      TG_DCHECK(sv.busy);
+      const QueuedTask done = sv.current;
+      const TimeMs dequeue_time = sv.current_started;
+      const bool missed = sv.current_missed;
+      const bool recorded = sv.current_recorded;
+
+      // Free the server before the result handling possibly issues
+      // follow-up queries that could land on this very server.
+      sv.busy = false;
+      sv.busy_accum += now - sv.busy_since;
+
+      if (config.result_delay != nullptr) {
+        const std::uint32_t idx = payloads.alloc();
+        payloads[idx].query = done.query;
+        payloads[idx].dequeue_time = dequeue_time;
+        payloads[idx].missed = missed;
+        payloads[idx].recorded = recorded;
+        events.push(Event{now + config.result_delay->sample(rng),
+                          Event::kResultArrival, ev.server, idx});
+      } else {
+        handle_result(now, done.query, ev.server, dequeue_time, missed,
+                      recorded);
+      }
+
+      if (!sv.queue->empty() && !sv.busy) {
+        QueuedTask next = sv.queue->pop();
+        start_task(sv, ev.server, next, now);
+      }
+    } else {
+      // A task result reaches the query handler.
+      const EventPayload payload = payloads[ev.payload];
+      payloads.free(ev.payload);
+      handle_result(now, payload.query, ev.server, payload.dequeue_time,
+                    payload.missed, payload.recorded);
+    }
+  }
+
+  // --- collect results ----------------------------------------------------
+  result.queries_offered = result.queries_admitted + result.queries_rejected;
+  result.end_time = now;
+  result.task_deadline_miss_ratio = metrics.task_deadline_miss_ratio();
+
+  double busy_total = 0.0;
+  result.server_utilization.reserve(servers.size());
+  for (const auto& sv : servers) {
+    busy_total += sv.busy_accum;
+    result.server_utilization.push_back(now > 0.0 ? sv.busy_accum / now : 0.0);
+  }
+  result.measured_utilization =
+      now > 0.0 ? busy_total / (static_cast<double>(config.num_servers) * now)
+                : 0.0;
+
+  std::vector<GroupKey> keys;
+  keys.reserve(metrics.groups().size());
+  for (const auto& [key, sample] : metrics.groups()) keys.push_back(key);
+  std::sort(keys.begin(), keys.end(),
+            [](const GroupKey& a, const GroupKey& b) {
+              return a.cls != b.cls ? a.cls < b.cls : a.fanout < b.fanout;
+            });
+
+  std::vector<std::vector<double>> per_class_values(config.classes.size());
+  for (const GroupKey& key : keys) {
+    const LatencySample& sample = metrics.groups().at(key);
+    const ClassSpec& spec = config.classes[key.cls];
+    GroupResult g;
+    g.cls = key.cls;
+    g.fanout = key.fanout;
+    g.queries = sample.count();
+    g.tail_latency = sample.percentile(spec.percentile);
+    g.mean_latency = sample.mean();
+    g.slo = spec.slo_ms;
+    g.met = g.tail_latency <= spec.slo_ms;
+    result.groups.push_back(g);
+    auto& acc = per_class_values[key.cls];
+    acc.insert(acc.end(), sample.values().begin(), sample.values().end());
+  }
+
+  for (std::size_t cls = 0; cls < config.classes.size(); ++cls) {
+    if (per_class_values[cls].empty()) continue;
+    const ClassSpec& spec = config.classes[cls];
+    ClassResult c;
+    c.cls = static_cast<ClassId>(cls);
+    c.queries = per_class_values[cls].size();
+    c.tail_latency = percentile(per_class_values[cls], spec.percentile);
+    c.mean_latency = mean_of(per_class_values[cls]);
+    c.slo = spec.slo_ms;
+    c.met = c.tail_latency <= spec.slo_ms;
+    result.class_results.push_back(c);
+  }
+
+  if (request_mode && !request_latencies.empty()) {
+    const ClassSpec& rslo = config.request->request_slo;
+    result.requests_recorded = request_latencies.size();
+    result.request_tail_latency =
+        percentile(request_latencies, rslo.percentile);
+    result.request_mean_latency = mean_of(request_latencies);
+    result.request_slo_met = result.request_tail_latency <= rslo.slo_ms;
+  }
+
+  return result;
+}
+
+}  // namespace tailguard

@@ -1,0 +1,116 @@
+#include "workloads/fanout.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace tailguard {
+
+// ------------------------------------------------------------- FixedFanout
+
+FixedFanout::FixedFanout(std::uint32_t fanout) : fanout_(fanout) {
+  TG_CHECK_MSG(fanout >= 1, "fanout must be at least 1");
+}
+
+std::string FixedFanout::name() const {
+  std::ostringstream os;
+  os << "FixedFanout(" << fanout_ << ")";
+  return os.str();
+}
+
+// ------------------------------------------------------- CategoricalFanout
+
+CategoricalFanout::CategoricalFanout(std::vector<std::uint32_t> values,
+                                     std::vector<double> probabilities)
+    : values_(std::move(values)), probs_(std::move(probabilities)) {
+  TG_CHECK_MSG(!values_.empty(), "categorical fanout needs values");
+  TG_CHECK_MSG(values_.size() == probs_.size(),
+               "value/probability count mismatch");
+  TG_CHECK_MSG(std::is_sorted(values_.begin(), values_.end()),
+               "fanout values must be ascending");
+  double total = 0.0;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    TG_CHECK_MSG(values_[i] >= 1, "fanout must be at least 1");
+    TG_CHECK_MSG(probs_[i] >= 0.0, "probabilities must be non-negative");
+    total += probs_[i];
+  }
+  TG_CHECK_MSG(total > 0.0, "probabilities must not all be zero");
+  double cum = 0.0;
+  mean_ = 0.0;
+  cum_.reserve(probs_.size());
+  for (std::size_t i = 0; i < probs_.size(); ++i) {
+    probs_[i] /= total;
+    mean_ += probs_[i] * values_[i];
+    cum += probs_[i];
+    cum_.push_back(cum);
+  }
+  cum_.back() = 1.0;
+}
+
+std::uint32_t CategoricalFanout::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::upper_bound(cum_.begin(), cum_.end(), u);
+  const auto idx = std::min<std::size_t>(
+      static_cast<std::size_t>(it - cum_.begin()), values_.size() - 1);
+  return values_[idx];
+}
+
+std::string CategoricalFanout::name() const {
+  std::ostringstream os;
+  os << "CategoricalFanout({";
+  for (std::size_t i = 0; i < values_.size(); ++i)
+    os << (i ? "," : "") << values_[i];
+  os << "})";
+  return os.str();
+}
+
+CategoricalFanout CategoricalFanout::paper_mix() {
+  return CategoricalFanout({1, 10, 100},
+                           {100.0 / 111.0, 10.0 / 111.0, 1.0 / 111.0});
+}
+
+// -------------------------------------------------------------- ZipfFanout
+
+ZipfFanout::ZipfFanout(std::uint32_t max_fanout, double exponent)
+    : max_(max_fanout), exponent_(exponent) {
+  TG_CHECK_MSG(max_fanout >= 1, "max fanout must be at least 1");
+  cum_.resize(max_);
+  double total = 0.0;
+  mean_ = 0.0;
+  for (std::uint32_t k = 1; k <= max_; ++k)
+    total += 1.0 / std::pow(static_cast<double>(k), exponent_);
+  double cum = 0.0;
+  for (std::uint32_t k = 1; k <= max_; ++k) {
+    const double p = 1.0 / std::pow(static_cast<double>(k), exponent_) / total;
+    mean_ += p * k;
+    cum += p;
+    cum_[k - 1] = cum;
+  }
+  cum_.back() = 1.0;
+}
+
+std::uint32_t ZipfFanout::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::upper_bound(cum_.begin(), cum_.end(), u);
+  return static_cast<std::uint32_t>(
+             std::min<std::size_t>(static_cast<std::size_t>(it - cum_.begin()),
+                                   cum_.size() - 1)) +
+         1;
+}
+
+std::vector<std::uint32_t> ZipfFanout::support() const {
+  std::vector<std::uint32_t> s(max_);
+  std::iota(s.begin(), s.end(), 1u);
+  return s;
+}
+
+std::string ZipfFanout::name() const {
+  std::ostringstream os;
+  os << "ZipfFanout(max=" << max_ << ", s=" << exponent_ << ")";
+  return os.str();
+}
+
+}  // namespace tailguard

@@ -1,0 +1,93 @@
+// Query fanout models (paper §IV.A-B).
+//
+// A query's fanout kf is the number of tasks it spawns, dispatched to kf
+// distinct task servers. The paper's main simulation uses a categorical
+// fanout law P(kf) ∝ 1/kf over {1, 10, 100} ("similar to the one observed by
+// Facebook"); the OLDI study (Fig. 6) uses a fixed fanout equal to the
+// cluster size; the SaS testbed uses per-class fixed fanouts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace tailguard {
+
+class FanoutModel {
+ public:
+  virtual ~FanoutModel() = default;
+
+  /// Draws a query fanout (>= 1).
+  virtual std::uint32_t sample(Rng& rng) const = 0;
+
+  /// Mean fanout, i.e. the expected number of tasks per query. Load
+  /// normalisation (offered load <-> arrival rate) depends on this.
+  virtual double mean() const = 0;
+
+  /// Distinct fanout values this model can produce, ascending (used to
+  /// enumerate per-fanout metric groups and to pre-warm quantile caches).
+  virtual std::vector<std::uint32_t> support() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+using FanoutModelPtr = std::shared_ptr<const FanoutModel>;
+
+/// Every query has the same fanout (OLDI: kf == cluster size).
+class FixedFanout final : public FanoutModel {
+ public:
+  explicit FixedFanout(std::uint32_t fanout);
+  std::uint32_t sample(Rng&) const override { return fanout_; }
+  double mean() const override { return fanout_; }
+  std::vector<std::uint32_t> support() const override { return {fanout_}; }
+  std::string name() const override;
+
+ private:
+  std::uint32_t fanout_;
+};
+
+/// Finite categorical distribution over fanout values.
+class CategoricalFanout final : public FanoutModel {
+ public:
+  CategoricalFanout(std::vector<std::uint32_t> values,
+                    std::vector<double> probabilities);
+
+  std::uint32_t sample(Rng& rng) const override;
+  double mean() const override { return mean_; }
+  std::vector<std::uint32_t> support() const override { return values_; }
+  std::string name() const override;
+
+  /// The paper's main mix: values {1, 10, 100} with P(kf) ∝ 1/kf, i.e.
+  /// P = {100, 10, 1}/111 — each type contributes the same expected number
+  /// of tasks.
+  static CategoricalFanout paper_mix();
+
+ private:
+  std::vector<std::uint32_t> values_;
+  std::vector<double> probs_;
+  std::vector<double> cum_;
+  double mean_;
+};
+
+/// Truncated Zipf-like fanout on {1..max}: P(k) ∝ 1/k^s. Models the
+/// Facebook-page-style fanout law (65% under 20 at s≈1) for tests and
+/// extension studies.
+class ZipfFanout final : public FanoutModel {
+ public:
+  ZipfFanout(std::uint32_t max_fanout, double exponent = 1.0);
+  std::uint32_t sample(Rng& rng) const override;
+  double mean() const override { return mean_; }
+  std::vector<std::uint32_t> support() const override;
+  std::string name() const override;
+
+ private:
+  std::uint32_t max_;
+  double exponent_;
+  std::vector<double> cum_;
+  double mean_;
+};
+
+}  // namespace tailguard

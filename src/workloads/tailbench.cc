@@ -1,0 +1,102 @@
+#include "workloads/tailbench.h"
+
+#include "common/check.h"
+
+namespace tailguard {
+
+std::string to_string(TailbenchApp app) {
+  switch (app) {
+    case TailbenchApp::kMasstree:
+      return "Masstree";
+    case TailbenchApp::kShore:
+      return "Shore";
+    case TailbenchApp::kXapian:
+      return "Xapian";
+  }
+  TG_CHECK_MSG(false, "unknown TailbenchApp");
+  return {};
+}
+
+TailbenchPaperStats paper_stats(TailbenchApp app) {
+  switch (app) {
+    case TailbenchApp::kMasstree:
+      return {.mean_service_ms = 0.176,
+              .x99u_1 = 0.219,
+              .x99u_10 = 0.247,
+              .x99u_100 = 0.473,
+              .x95u_1 = 0.210};
+    case TailbenchApp::kShore:
+      return {.mean_service_ms = 0.341,
+              .x99u_1 = 2.095,
+              .x99u_10 = 2.721,
+              .x99u_100 = 2.829,
+              .x95u_1 = 1.000};
+    case TailbenchApp::kXapian:
+      return {.mean_service_ms = 0.925,
+              .x99u_1 = 2.590,
+              .x99u_10 = 2.998,
+              .x99u_100 = 3.308,
+              .x95u_1 = 1.900};
+  }
+  TG_CHECK_MSG(false, "unknown TailbenchApp");
+  return {};
+}
+
+DistributionPtr make_service_time_model(TailbenchApp app) {
+  // Tail anchors come straight from Table II via Eq. 2:
+  //   q(0.99)   = x99u(1)
+  //   q(0.999)  = x99u(10)   (0.99^{1/10}  = 0.998997... ~= 0.999)
+  //   q(0.9999) = x99u(100)  (0.99^{1/100} = 0.9998995... ~= 0.9999)
+  // Bulk anchors (p <= 0.95) reproduce Fig. 3's CDF shape and put the mean
+  // within ~2% of Table II's Tm (verified by tests/workloads_test.cc).
+  switch (app) {
+    case TailbenchApp::kMasstree:
+      // In-memory key-value store: very tight bulk around 0.1-0.2 ms with a
+      // short tail to ~0.7 ms (Fig. 3a).
+      return std::make_shared<PiecewiseLinearQuantile>(
+          std::vector<QuantileAnchor>{{0.0, 0.100},
+                                      {0.25, 0.160},
+                                      {0.50, 0.180},
+                                      {0.75, 0.198},
+                                      {0.90, 0.207},
+                                      {0.95, 0.210},
+                                      {0.99, 0.219},
+                                      {0.999, 0.247},
+                                      {0.9999, 0.473},
+                                      {1.0, 0.700}},
+          "Masstree service time");
+    case TailbenchApp::kShore:
+      // SSD-backed transactional DB: small median (~0.2 ms) with a long tail
+      // out to ~3 ms (Fig. 3b).
+      return std::make_shared<PiecewiseLinearQuantile>(
+          std::vector<QuantileAnchor>{{0.0, 0.080},
+                                      {0.50, 0.220},
+                                      {0.75, 0.350},
+                                      {0.90, 0.600},
+                                      {0.95, 1.000},
+                                      {0.99, 2.095},
+                                      {0.999, 2.721},
+                                      {0.9999, 2.829},
+                                      {1.0, 3.000}},
+          "Shore service time");
+    case TailbenchApp::kXapian:
+      // Web search: broad bulk rising gradually from ~0.2 to ~2.5 ms
+      // (Fig. 3c).
+      return std::make_shared<PiecewiseLinearQuantile>(
+          std::vector<QuantileAnchor>{{0.0, 0.200},
+                                      {0.25, 0.480},
+                                      {0.50, 0.780},
+                                      {0.75, 1.250},
+                                      {0.90, 1.700},
+                                      {0.95, 1.900},
+                                      {0.99, 2.590},
+                                      {0.999, 2.998},
+                                      {0.9999, 3.308},
+                                      {1.0, 3.600}},
+          "Xapian service time");
+  }
+  TG_CHECK_MSG(false, "unknown TailbenchApp");
+  return {};
+}
+
+}  // namespace tailguard

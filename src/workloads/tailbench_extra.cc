@@ -1,0 +1,82 @@
+#include "workloads/tailbench_extra.h"
+
+#include "common/check.h"
+
+namespace tailguard {
+
+std::string to_string(TailbenchExtraApp app) {
+  switch (app) {
+    case TailbenchExtraApp::kSilo:
+      return "Silo";
+    case TailbenchExtraApp::kImgDnn:
+      return "Img-dnn";
+    case TailbenchExtraApp::kSpecjbb:
+      return "Specjbb";
+    case TailbenchExtraApp::kMoses:
+      return "Moses";
+    case TailbenchExtraApp::kSphinx:
+      return "Sphinx";
+  }
+  TG_CHECK_MSG(false, "unknown TailbenchExtraApp");
+  return {};
+}
+
+DistributionPtr make_extra_service_time_model(TailbenchExtraApp app) {
+  // Anchors are order-of-magnitude extrapolations (see header). Times in ms.
+  switch (app) {
+    case TailbenchExtraApp::kSilo:
+      // Key-value transactions: very fast, light tail.
+      return std::make_shared<PiecewiseLinearQuantile>(
+          std::vector<QuantileAnchor>{{0.0, 0.010},
+                                      {0.50, 0.025},
+                                      {0.90, 0.040},
+                                      {0.99, 0.060},
+                                      {0.999, 0.120},
+                                      {1.0, 0.500}},
+          "Silo service time (extrapolated)");
+    case TailbenchExtraApp::kImgDnn:
+      // Fixed-size CNN inference: narrow distribution.
+      return std::make_shared<PiecewiseLinearQuantile>(
+          std::vector<QuantileAnchor>{{0.0, 1.00},
+                                      {0.50, 1.50},
+                                      {0.90, 2.00},
+                                      {0.99, 2.50},
+                                      {0.999, 3.50},
+                                      {1.0, 6.00}},
+          "Img-dnn service time (extrapolated)");
+    case TailbenchExtraApp::kSpecjbb:
+      // Sub-ms business logic with rare long GC pauses.
+      return std::make_shared<PiecewiseLinearQuantile>(
+          std::vector<QuantileAnchor>{{0.0, 0.10},
+                                      {0.50, 0.35},
+                                      {0.90, 0.70},
+                                      {0.99, 1.20},
+                                      {0.999, 8.00},
+                                      {1.0, 40.00}},
+          "Specjbb service time (extrapolated)");
+    case TailbenchExtraApp::kMoses:
+      // Sentence translation: cost scales with sentence length.
+      return std::make_shared<PiecewiseLinearQuantile>(
+          std::vector<QuantileAnchor>{{0.0, 4.0},
+                                      {0.50, 15.0},
+                                      {0.90, 28.0},
+                                      {0.99, 40.0},
+                                      {0.999, 70.0},
+                                      {1.0, 150.0}},
+          "Moses service time (extrapolated)");
+    case TailbenchExtraApp::kSphinx:
+      // Utterance decoding: seconds, wide spread.
+      return std::make_shared<PiecewiseLinearQuantile>(
+          std::vector<QuantileAnchor>{{0.0, 300.0},
+                                      {0.50, 900.0},
+                                      {0.90, 1900.0},
+                                      {0.99, 2800.0},
+                                      {0.999, 4000.0},
+                                      {1.0, 6000.0}},
+          "Sphinx service time (extrapolated)");
+  }
+  TG_CHECK_MSG(false, "unknown TailbenchExtraApp");
+  return {};
+}
+
+}  // namespace tailguard

@@ -1,0 +1,44 @@
+// The remaining Tailbench applications, as *extrapolated* service-time
+// models.
+//
+// The paper uses three of Tailbench's eight latency-critical applications
+// (Masstree, Shore, Xapian — one per distribution-shape group) and pins
+// their statistics; see workloads/tailbench.h. The five models here cover
+// the rest of the suite so the library spans the full range of
+// latency-critical behaviours described in the Tailbench paper (Kasture &
+// Sanchez, IISWC 2016): microsecond OLTP through multi-second speech
+// recognition.
+//
+// IMPORTANT: unlike the three calibrated models, these are NOT anchored at
+// paper-published numbers — they are order-of-magnitude extrapolations from
+// Tailbench's qualitative characterisation, provided for breadth (examples,
+// stress tests, sensitivity studies). None of the paper-reproduction
+// benches depend on them.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "dist/piecewise_linear_quantile.h"
+
+namespace tailguard {
+
+enum class TailbenchExtraApp {
+  kSilo,     ///< in-memory OLTP: tens of microseconds, light tail
+  kImgDnn,   ///< handwriting recognition CNN: ~1-3 ms, fairly deterministic
+  kSpecjbb,  ///< Java middleware: sub-ms bulk with a long GC-pause tail
+  kMoses,    ///< statistical machine translation: tens of ms, moderate tail
+  kSphinx,   ///< speech recognition: ~1 s, utterance-length spread
+};
+
+inline constexpr std::array<TailbenchExtraApp, 5> kAllTailbenchExtraApps = {
+    TailbenchExtraApp::kSilo, TailbenchExtraApp::kImgDnn,
+    TailbenchExtraApp::kSpecjbb, TailbenchExtraApp::kMoses,
+    TailbenchExtraApp::kSphinx};
+
+std::string to_string(TailbenchExtraApp app);
+
+/// Builds the extrapolated service-time model (times in ms).
+DistributionPtr make_extra_service_time_model(TailbenchExtraApp app);
+
+}  // namespace tailguard

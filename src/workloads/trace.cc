@@ -1,0 +1,97 @@
+#include "workloads/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace tailguard {
+
+std::vector<QueryRecord> generate_trace(const TraceSpec& spec,
+                                        const ArrivalProcess& arrivals,
+                                        const FanoutModel& fanout, Rng& rng) {
+  std::vector<double> class_cum;
+  if (!spec.class_probabilities.empty()) {
+    double total = 0.0;
+    for (double p : spec.class_probabilities) {
+      TG_CHECK_MSG(p >= 0.0, "class probabilities must be non-negative");
+      total += p;
+    }
+    TG_CHECK_MSG(total > 0.0, "class probabilities must not all be zero");
+    double cum = 0.0;
+    for (double p : spec.class_probabilities) {
+      cum += p / total;
+      class_cum.push_back(cum);
+    }
+    class_cum.back() = 1.0;
+  }
+
+  std::vector<QueryRecord> trace;
+  trace.reserve(spec.num_queries);
+  double t = 0.0;
+  for (std::size_t i = 0; i < spec.num_queries; ++i) {
+    t += arrivals.next_interarrival(rng);
+    QueryRecord rec;
+    rec.arrival_ms = t;
+    rec.fanout = fanout.sample(rng);
+    if (!class_cum.empty()) {
+      const double u = rng.uniform();
+      const auto it = std::upper_bound(class_cum.begin(), class_cum.end(), u);
+      rec.class_id = static_cast<std::uint32_t>(std::min<std::size_t>(
+          static_cast<std::size_t>(it - class_cum.begin()),
+          class_cum.size() - 1));
+    }
+    trace.push_back(rec);
+  }
+  return trace;
+}
+
+void write_trace_csv(const std::vector<QueryRecord>& trace, std::ostream& os) {
+  os << "arrival_ms,class_id,fanout\n";
+  os.precision(17);
+  for (const auto& rec : trace)
+    os << rec.arrival_ms << ',' << rec.class_id << ',' << rec.fanout << '\n';
+}
+
+std::vector<QueryRecord> read_trace_csv(std::istream& is) {
+  std::string line;
+  TG_CHECK_MSG(static_cast<bool>(std::getline(is, line)), "empty trace file");
+  TG_CHECK_MSG(line == "arrival_ms,class_id,fanout",
+               "bad trace header: " << line);
+  std::vector<QueryRecord> trace;
+  double prev_arrival = -1.0;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    QueryRecord rec;
+    char c1 = 0, c2 = 0;
+    ls >> rec.arrival_ms >> c1 >> rec.class_id >> c2 >> rec.fanout;
+    TG_CHECK_MSG(!ls.fail() && c1 == ',' && c2 == ',',
+                 "malformed trace line " << line_no << ": " << line);
+    TG_CHECK_MSG(rec.arrival_ms >= prev_arrival,
+                 "non-monotone arrival at line " << line_no);
+    TG_CHECK_MSG(rec.fanout >= 1, "fanout < 1 at line " << line_no);
+    prev_arrival = rec.arrival_ms;
+    trace.push_back(rec);
+  }
+  return trace;
+}
+
+void write_trace_file(const std::vector<QueryRecord>& trace,
+                      const std::string& path) {
+  std::ofstream os(path);
+  TG_CHECK_MSG(os.good(), "cannot open for writing: " << path);
+  write_trace_csv(trace, os);
+  TG_CHECK_MSG(os.good(), "write failed: " << path);
+}
+
+std::vector<QueryRecord> read_trace_file(const std::string& path) {
+  std::ifstream is(path);
+  TG_CHECK_MSG(is.good(), "cannot open for reading: " << path);
+  return read_trace_csv(is);
+}
+
+}  // namespace tailguard

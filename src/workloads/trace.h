@@ -1,0 +1,47 @@
+// Query trace generation and (de)serialisation.
+//
+// The simulator can run either directly from generative models or from a
+// pre-materialised trace; traces also let examples and tests pin an exact
+// input. Format: CSV with header `arrival_ms,class_id,fanout`.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "dist/arrival.h"
+#include "workloads/fanout.h"
+
+namespace tailguard {
+
+struct QueryRecord {
+  double arrival_ms = 0.0;     ///< absolute arrival time
+  std::uint32_t class_id = 0;  ///< service class index
+  std::uint32_t fanout = 1;    ///< number of tasks spawned
+
+  friend bool operator==(const QueryRecord&, const QueryRecord&) = default;
+};
+
+struct TraceSpec {
+  std::size_t num_queries = 0;
+  /// P(class = i); empty means a single class 0.
+  std::vector<double> class_probabilities;
+};
+
+/// Generates a trace by sampling the arrival process, fanout model and class
+/// mix. Arrival times are cumulative inter-arrival sums starting at 0.
+std::vector<QueryRecord> generate_trace(const TraceSpec& spec,
+                                        const ArrivalProcess& arrivals,
+                                        const FanoutModel& fanout, Rng& rng);
+
+/// Writes/reads the CSV representation. Reading validates the header and
+/// monotone arrival times, throwing CheckFailure on malformed input.
+void write_trace_csv(const std::vector<QueryRecord>& trace, std::ostream& os);
+std::vector<QueryRecord> read_trace_csv(std::istream& is);
+
+void write_trace_file(const std::vector<QueryRecord>& trace,
+                      const std::string& path);
+std::vector<QueryRecord> read_trace_file(const std::string& path);
+
+}  // namespace tailguard

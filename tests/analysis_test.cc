@@ -1,0 +1,147 @@
+// Tests for the analytical queueing module, including cross-validation
+// against the discrete-event simulator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/queueing.h"
+#include "common/check.h"
+#include "dist/standard.h"
+#include "sim/experiment.h"
+#include "workloads/tailbench.h"
+
+namespace tailguard {
+namespace {
+
+TEST(SecondMoment, KnownValues) {
+  // Uniform(0,1): E[X^2] = 1/3. Exponential(mean m): E[X^2] = 2m^2.
+  EXPECT_NEAR(second_moment(Uniform(0.0, 1.0)), 1.0 / 3.0, 1e-4);
+  EXPECT_NEAR(second_moment(Exponential(2.0)), 8.0, 0.05);
+  EXPECT_NEAR(second_moment(Deterministic(3.0)), 9.0, 1e-9);
+}
+
+TEST(MM1, ExactForms) {
+  EXPECT_DOUBLE_EQ(mm1_mean_sojourn(1.0, 0.5), 2.0);
+  EXPECT_NEAR(mm1_sojourn_quantile(1.0, 0.5, 0.99), -std::log(0.01) * 2.0,
+              1e-12);
+  EXPECT_THROW(mm1_mean_sojourn(1.0, 1.0), CheckFailure);
+}
+
+TEST(MG1, PollaczekKhinchineExponentialReducesToMM1) {
+  // For exponential service, P-K gives E[W] = rho * s / (1 - rho).
+  Exponential service(1.0);
+  for (double rho : {0.3, 0.6, 0.9}) {
+    EXPECT_NEAR(mg1_mean_wait(service, rho), rho / (1.0 - rho),
+                0.02 * rho / (1.0 - rho))
+        << rho;
+  }
+}
+
+TEST(MG1, DeterministicServiceHalvesTheWait) {
+  // M/D/1 waits are half the M/M/1 waits at equal utilisation.
+  Deterministic det(1.0);
+  Exponential exp_s(1.0);
+  const double rho = 0.7;
+  EXPECT_NEAR(mg1_mean_wait(det, rho), 0.5 * mg1_mean_wait(exp_s, rho), 0.05);
+}
+
+TEST(MG1, WaitComplementaryBasics) {
+  Exponential service(1.0);
+  // At t=0 the complementary is P[W>0] = rho.
+  EXPECT_NEAR(mg1_wait_complementary(service, 0.4, 0.0), 0.4, 1e-12);
+  // Decreasing in t.
+  EXPECT_GT(mg1_wait_complementary(service, 0.4, 1.0),
+            mg1_wait_complementary(service, 0.4, 5.0));
+  EXPECT_DOUBLE_EQ(mg1_wait_complementary(service, 0.0, 1.0), 0.0);
+}
+
+TEST(MG1, SojournCdfMonotoneAndNormalised) {
+  Exponential service(1.0);
+  double prev = -1.0;
+  for (double t = 0.0; t <= 30.0; t += 0.5) {
+    const double f = mg1_sojourn_cdf(service, 0.6, t);
+    EXPECT_GE(f, prev - 1e-12);
+    EXPECT_LE(f, 1.0);
+    prev = f;
+  }
+  EXPECT_GT(mg1_sojourn_cdf(service, 0.6, 30.0), 0.99);
+}
+
+TEST(MG1, SojournMatchesMM1Exactly) {
+  // For exponential service the exponential-wait "approximation" is exact,
+  // so the sojourn quantile must match the M/M/1 closed form.
+  Exponential service(1.0);
+  const double rho = 0.5;
+  const double q99_expected = mm1_sojourn_quantile(1.0, rho, 0.99);
+  const double q99 = approximate_query_tail(service, 1, rho, 0.99);
+  EXPECT_NEAR(q99, q99_expected, 0.03 * q99_expected);
+}
+
+TEST(QueryTail, ZeroLoadIsUnloadedQuantile) {
+  const auto service = make_service_time_model(TailbenchApp::kMasstree);
+  const double x = approximate_query_tail(*service, 100, 0.0, 0.99);
+  EXPECT_NEAR(x, 0.473, 0.01);
+}
+
+TEST(QueryTail, IncreasesWithLoadAndFanout) {
+  Exponential service(1.0);
+  EXPECT_LT(approximate_query_tail(service, 10, 0.2, 0.99),
+            approximate_query_tail(service, 10, 0.6, 0.99));
+  EXPECT_LT(approximate_query_tail(service, 1, 0.4, 0.99),
+            approximate_query_tail(service, 100, 0.4, 0.99));
+}
+
+TEST(QueryTail, CrossValidatesAgainstSimulator) {
+  // FIFO, single class, fixed fanout: the approximation should land within
+  // ~30% of the simulated p99 at moderate load (it is conservative: the
+  // exponential conditional-wait overweights the tail at low loads).
+  const auto service = make_service_time_model(TailbenchApp::kMasstree);
+  SimConfig cfg;
+  cfg.num_servers = 100;
+  cfg.policy = Policy::kFifo;
+  cfg.classes = {{.slo_ms = 1000.0, .percentile = 99.0}};
+  cfg.fanout = std::make_shared<FixedFanout>(10);
+  cfg.service_time = service;
+  cfg.num_queries = 60000;
+  cfg.seed = 19;
+  for (double rho : {0.3, 0.5}) {
+    set_load(cfg, rho);
+    const SimResult r = run_simulation(cfg);
+    const double simulated = r.groups[0].tail_latency;
+    const double analytic = approximate_query_tail(*service, 10, rho, 0.99);
+    EXPECT_NEAR(analytic, simulated, 0.30 * simulated) << "rho=" << rho;
+    EXPECT_GT(analytic, 0.9 * simulated);  // never wildly optimistic
+  }
+}
+
+TEST(AnalyticMaxLoad, BracketsAndMonotonicity) {
+  const auto service = make_service_time_model(TailbenchApp::kMasstree);
+  // SLO below the unloaded quantile: infeasible even idle.
+  EXPECT_DOUBLE_EQ(analytic_max_load(*service, 100, 0.4, 0.99), 0.0);
+  // Looser SLOs admit more load.
+  const double tight = analytic_max_load(*service, 100, 0.8, 0.99);
+  const double loose = analytic_max_load(*service, 100, 1.4, 0.99);
+  EXPECT_GT(tight, 0.0);
+  EXPECT_GT(loose, tight);
+  EXPECT_LT(loose, 1.0);
+}
+
+TEST(AnalyticMaxLoad, TracksSimulatedFifoMaxLoad) {
+  const auto service = make_service_time_model(TailbenchApp::kMasstree);
+  SimConfig cfg;
+  cfg.num_servers = 100;
+  cfg.policy = Policy::kFifo;
+  cfg.classes = {{.slo_ms = 1.2, .percentile = 99.0}};
+  cfg.fanout = std::make_shared<FixedFanout>(10);
+  cfg.service_time = service;
+  cfg.num_queries = 40000;
+  cfg.seed = 23;
+  MaxLoadOptions opt;
+  opt.tolerance = 0.02;
+  const double simulated = find_max_load(cfg, opt);
+  const double analytic = analytic_max_load(*service, 10, 1.2, 0.99);
+  EXPECT_NEAR(analytic, simulated, 0.20 * simulated);
+}
+
+}  // namespace
+}  // namespace tailguard

@@ -1,0 +1,108 @@
+// Tests for the CdfModel implementations (core/cdf_model.h): the analytic
+// wrapper, the frozen empirical profile and the online streaming model with
+// its version counter (which drives quantile-cache invalidation).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/check.h"
+#include "core/cdf_model.h"
+#include "dist/standard.h"
+
+namespace tailguard {
+namespace {
+
+TEST(DistributionCdfModel, DelegatesToDistribution) {
+  auto exp = std::make_shared<Exponential>(2.0);
+  DistributionCdfModel model(exp);
+  EXPECT_DOUBLE_EQ(model.cdf(1.0), exp->cdf(1.0));
+  EXPECT_DOUBLE_EQ(model.quantile(0.9), exp->quantile(0.9));
+  EXPECT_EQ(&model.distribution(), exp.get());
+}
+
+TEST(DistributionCdfModel, ObserveIsNoOpAndVersionStable) {
+  DistributionCdfModel model(std::make_shared<Exponential>(1.0));
+  const double before = model.quantile(0.99);
+  model.observe(1e9);
+  EXPECT_DOUBLE_EQ(model.quantile(0.99), before);
+  EXPECT_EQ(model.version(), 0u);
+}
+
+TEST(DistributionCdfModel, RejectsNull) {
+  EXPECT_THROW(DistributionCdfModel(nullptr), CheckFailure);
+}
+
+TEST(EmpiricalCdfModel, MatchesSampleQuantiles) {
+  std::vector<double> sample{1.0, 2.0, 3.0, 4.0, 5.0};
+  EmpiricalCdfModel model(sample);
+  EXPECT_DOUBLE_EQ(model.quantile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(model.quantile(1.0), 5.0);
+  EXPECT_GT(model.cdf(4.5), model.cdf(1.5));
+}
+
+TEST(EmpiricalCdfModel, FrozenUnderObserve) {
+  std::vector<double> sample{1.0, 2.0, 3.0};
+  EmpiricalCdfModel model(sample);
+  const double before = model.quantile(0.9);
+  model.observe(100.0);
+  EXPECT_DOUBLE_EQ(model.quantile(0.9), before);
+  EXPECT_EQ(model.version(), 0u);
+}
+
+TEST(StreamingCdfModel, EmptyModelReportsZero) {
+  StreamingCdfModel model;
+  EXPECT_DOUBLE_EQ(model.quantile(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(model.cdf(1.0), 0.0);
+  EXPECT_EQ(model.observations(), 0u);
+}
+
+TEST(StreamingCdfModel, SeedBumpsVersionOnce) {
+  StreamingCdfModel model;
+  const auto v0 = model.version();
+  std::vector<double> sample(100, 2.0);
+  model.seed(sample);
+  EXPECT_EQ(model.version(), v0 + 1);
+  EXPECT_NEAR(model.quantile(0.5), 2.0, 0.1);
+}
+
+TEST(StreamingCdfModel, VersionAdvancesEveryRefreshInterval) {
+  StreamingCdfModel::Options opt;
+  opt.refresh_every = 10;
+  StreamingCdfModel model(opt);
+  const auto v0 = model.version();
+  for (int i = 0; i < 9; ++i) model.observe(1.0);
+  EXPECT_EQ(model.version(), v0);  // not yet
+  model.observe(1.0);              // 10th observation
+  EXPECT_EQ(model.version(), v0 + 1);
+  for (int i = 0; i < 10; ++i) model.observe(1.0);
+  EXPECT_EQ(model.version(), v0 + 2);
+}
+
+TEST(StreamingCdfModel, LearnsShiftedDistribution) {
+  Rng rng(3);
+  StreamingCdfModel::Options opt;
+  opt.histogram.decay_every = 2000;
+  opt.histogram.decay_factor = 0.3;
+  StreamingCdfModel model(opt);
+  Exponential a(1.0), b(10.0);
+  for (int i = 0; i < 10000; ++i) model.observe(a.sample(rng));
+  const double before = model.quantile(0.9);
+  for (int i = 0; i < 30000; ++i) model.observe(b.sample(rng));
+  const double after = model.quantile(0.9);
+  EXPECT_GT(after, 4.0 * before);
+}
+
+TEST(StreamingCdfModel, RejectsZeroRefreshInterval) {
+  StreamingCdfModel::Options opt;
+  opt.refresh_every = 0;
+  EXPECT_THROW(StreamingCdfModel{opt}, CheckFailure);
+}
+
+TEST(StreamingCdfModel, ObservationCountTracksAdds) {
+  StreamingCdfModel model;
+  for (int i = 0; i < 42; ++i) model.observe(1.0);
+  EXPECT_EQ(model.observations(), 42u);
+}
+
+}  // namespace
+}  // namespace tailguard

@@ -1,0 +1,65 @@
+// Tests for the cluster layout builders.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "sim/cluster.h"
+
+namespace tailguard {
+namespace {
+
+TEST(HomogeneousCluster, AllServersShareTheModel) {
+  auto base = std::make_shared<Exponential>(1.0);
+  const auto servers = homogeneous_cluster(base, 10);
+  ASSERT_EQ(servers.size(), 10u);
+  for (const auto& s : servers) EXPECT_EQ(s.get(), base.get());
+}
+
+TEST(GroupedCluster, ConcatenatesInOrder) {
+  auto a = std::make_shared<Exponential>(1.0);
+  auto b = std::make_shared<Exponential>(2.0);
+  const auto servers = grouped_cluster({{a, 3}, {b, 2}});
+  ASSERT_EQ(servers.size(), 5u);
+  EXPECT_EQ(servers[0].get(), a.get());
+  EXPECT_EQ(servers[2].get(), a.get());
+  EXPECT_EQ(servers[3].get(), b.get());
+  EXPECT_EQ(servers[4].get(), b.get());
+}
+
+TEST(StragglerCluster, PlacesStragglersAtTheEnd) {
+  auto base = std::make_shared<Exponential>(1.0);
+  const auto servers = cluster_with_stragglers(base, 10, 0.25, 4.0);
+  ASSERT_EQ(servers.size(), 10u);
+  // ceil(0.25 * 10) = 3 stragglers at ids 7..9.
+  for (int s = 0; s < 7; ++s) EXPECT_EQ(servers[s].get(), base.get());
+  for (int s = 7; s < 10; ++s) {
+    EXPECT_NE(servers[s].get(), base.get());
+    EXPECT_NEAR(servers[s]->mean(), 4.0, 1e-12);
+  }
+  // Stragglers share one model object (one estimator group).
+  EXPECT_EQ(servers[7].get(), servers[9].get());
+}
+
+TEST(StragglerCluster, ZeroFractionIsHomogeneous) {
+  auto base = std::make_shared<Exponential>(1.0);
+  const auto servers = cluster_with_stragglers(base, 5, 0.0, 3.0);
+  for (const auto& s : servers) EXPECT_EQ(s.get(), base.get());
+}
+
+TEST(StragglerCluster, UnitSlowdownIsHomogeneous) {
+  auto base = std::make_shared<Exponential>(1.0);
+  const auto servers = cluster_with_stragglers(base, 5, 0.5, 1.0);
+  for (const auto& s : servers) EXPECT_EQ(s.get(), base.get());
+}
+
+TEST(ClusterBuilders, Validation) {
+  auto base = std::make_shared<Exponential>(1.0);
+  EXPECT_THROW(homogeneous_cluster(nullptr, 3), CheckFailure);
+  EXPECT_THROW(homogeneous_cluster(base, 0), CheckFailure);
+  EXPECT_THROW(grouped_cluster({}), CheckFailure);
+  EXPECT_THROW(grouped_cluster({{base, 0}}), CheckFailure);
+  EXPECT_THROW(cluster_with_stragglers(base, 10, 1.5, 2.0), CheckFailure);
+  EXPECT_THROW(cluster_with_stragglers(base, 10, 0.5, 0.5), CheckFailure);
+}
+
+}  // namespace
+}  // namespace tailguard

@@ -1,0 +1,316 @@
+// Unit tests for src/common: RNG, statistics, empirical CDF, streaming
+// histogram, moving window.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/empirical_cdf.h"
+#include "common/moving_window.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/streaming_histogram.h"
+
+namespace tailguard {
+namespace {
+
+// ----------------------------------------------------------------- checks
+
+TEST(Check, ThrowsWithMessage) {
+  EXPECT_THROW(TG_CHECK(false), CheckFailure);
+  try {
+    TG_CHECK_MSG(1 == 2, "context " << 42);
+    FAIL() << "should have thrown";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("context 42"), std::string::npos);
+  }
+}
+
+TEST(Check, PassesSilently) { EXPECT_NO_THROW(TG_CHECK(1 + 1 == 2)); }
+
+// -------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformPosNeverZero) {
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) ASSERT_GT(rng.uniform_pos(), 0.0);
+}
+
+TEST(Rng, UniformIndexCoversRangeUniformly) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_index(10)];
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 100);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(99);
+  Rng child = parent.split();
+  // The child stream should not replicate the parent stream.
+  Rng parent2(99);
+  (void)parent2();  // advance past the split draw
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (child() == parent2());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(5);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+// ------------------------------------------------------------------ stats
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(Summary, MergeMatchesSequential) {
+  Rng rng(3);
+  Summary all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform();
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+}
+
+TEST(Summary, MergeIntoEmpty) {
+  Summary a, b;
+  b.add(5.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+}
+
+TEST(Percentile, NearestRank) {
+  std::vector<double> v{10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 90.0), 90.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 99.0), 100.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 100.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 10.1), 20.0);
+}
+
+TEST(Percentile, UnsortedInput) {
+  std::vector<double> v{3, 1, 2};
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 34.0), 2.0);
+}
+
+TEST(Percentile, EmptyGivesNaN) {
+  EXPECT_TRUE(std::isnan(percentile(std::vector<double>{}, 99.0)));
+}
+
+TEST(Percentile, SingleElement) {
+  std::vector<double> v{42.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 99.0), 42.0);
+}
+
+// --------------------------------------------------------- empirical CDF
+
+TEST(EmpiricalCdf, QuantileInterpolates) {
+  std::vector<double> sample{0.0, 1.0, 2.0, 3.0, 4.0};
+  EmpiricalCdf cdf(sample);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.625), 2.5);
+}
+
+TEST(EmpiricalCdf, CdfMonotone) {
+  Rng rng(17);
+  std::vector<double> sample(1000);
+  for (auto& x : sample) x = rng.uniform();
+  EmpiricalCdf cdf(sample);
+  double prev = -1.0;
+  for (double x = -0.1; x <= 1.1; x += 0.01) {
+    const double f = cdf.cdf(x);
+    EXPECT_GE(f, prev);
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+    prev = f;
+  }
+}
+
+TEST(EmpiricalCdf, CdfQuantileRoundTrip) {
+  Rng rng(23);
+  std::vector<double> sample(5000);
+  for (auto& x : sample) x = rng.uniform() * 10.0;
+  EmpiricalCdf cdf(sample);
+  for (double p : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double x = cdf.quantile(p);
+    EXPECT_NEAR(cdf.cdf(x), p, 0.01) << "p=" << p;
+  }
+}
+
+TEST(EmpiricalCdf, MatchesUniformDistribution) {
+  Rng rng(31);
+  std::vector<double> sample(200000);
+  for (auto& x : sample) x = rng.uniform();
+  EmpiricalCdf cdf(sample);
+  EXPECT_NEAR(cdf.mean(), 0.5, 0.005);
+  EXPECT_NEAR(cdf.quantile(0.99), 0.99, 0.005);
+  EXPECT_NEAR(cdf.cdf(0.35), 0.35, 0.005);
+}
+
+TEST(EmpiricalCdf, RejectsEmptySample) {
+  EXPECT_THROW(EmpiricalCdf(std::vector<double>{}), CheckFailure);
+}
+
+// ---------------------------------------------------- streaming histogram
+
+TEST(StreamingHistogram, QuantilesOfKnownSample) {
+  StreamingHistogramOptions opt;
+  opt.min_value = 1e-3;
+  opt.max_value = 1e3;
+  opt.buckets_per_decade = 300;
+  StreamingHistogram h(opt);
+  Rng rng(41);
+  for (int i = 0; i < 200000; ++i) h.add(1.0 + 9.0 * rng.uniform());
+  // Uniform(1, 10): q(p) = 1 + 9p.
+  for (double p : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(h.quantile(p), 1.0 + 9.0 * p, 0.15) << "p=" << p;
+  }
+  EXPECT_NEAR(h.mean(), 5.5, 0.05);
+}
+
+TEST(StreamingHistogram, CdfQuantileConsistent) {
+  StreamingHistogram h;
+  Rng rng(43);
+  for (int i = 0; i < 50000; ++i) h.add(std::exp(rng.uniform() * 3.0));
+  for (double p : {0.2, 0.5, 0.8, 0.95}) {
+    const double x = h.quantile(p);
+    EXPECT_NEAR(h.cdf(x), p, 0.02) << "p=" << p;
+  }
+}
+
+TEST(StreamingHistogram, EmptyReturnsZero) {
+  StreamingHistogram h;
+  EXPECT_DOUBLE_EQ(h.cdf(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(StreamingHistogram, DecayTracksDrift) {
+  StreamingHistogramOptions opt;
+  opt.decay_every = 1000;
+  opt.decay_factor = 0.3;
+  StreamingHistogram h(opt);
+  Rng rng(47);
+  // Phase 1: values around 1. Phase 2: values around 100.
+  for (int i = 0; i < 20000; ++i) h.add(0.5 + rng.uniform());
+  for (int i = 0; i < 20000; ++i) h.add(50.0 + 100.0 * rng.uniform());
+  // After decay, the median should reflect the new regime.
+  EXPECT_GT(h.quantile(0.5), 30.0);
+}
+
+TEST(StreamingHistogram, NoDecayRemembersEverything) {
+  StreamingHistogram h;
+  for (int i = 0; i < 1000; ++i) h.add(1.0);
+  EXPECT_EQ(h.observations(), 1000u);
+  EXPECT_NEAR(h.total_weight(), 1000.0, 1e-9);
+}
+
+TEST(StreamingHistogram, ClearResets) {
+  StreamingHistogram h;
+  h.add(5.0);
+  h.clear();
+  EXPECT_DOUBLE_EQ(h.total_weight(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(StreamingHistogram, OverflowBucketClamps) {
+  StreamingHistogramOptions opt;
+  opt.min_value = 0.1;
+  opt.max_value = 10.0;
+  StreamingHistogram h(opt);
+  h.add(1e9);
+  EXPECT_DOUBLE_EQ(h.cdf(10.0), 1.0);
+  EXPECT_LE(h.quantile(0.99), 10.0);
+}
+
+// ----------------------------------------------------------- moving window
+
+TEST(MovingWindowRatio, RatioOverPartialWindow) {
+  MovingWindowRatio w(10);
+  w.record(true);
+  w.record(false);
+  EXPECT_DOUBLE_EQ(w.ratio(), 0.5);
+  EXPECT_EQ(w.size(), 2u);
+}
+
+TEST(MovingWindowRatio, OldEventsExpire) {
+  MovingWindowRatio w(4);
+  for (int i = 0; i < 4; ++i) w.record(true);
+  EXPECT_DOUBLE_EQ(w.ratio(), 1.0);
+  for (int i = 0; i < 4; ++i) w.record(false);
+  EXPECT_DOUBLE_EQ(w.ratio(), 0.0);
+}
+
+TEST(MovingWindowRatio, SlidesOneAtATime) {
+  MovingWindowRatio w(4);
+  w.record(true);
+  w.record(true);
+  w.record(false);
+  w.record(false);
+  EXPECT_DOUBLE_EQ(w.ratio(), 0.5);
+  w.record(false);  // evicts a true
+  EXPECT_DOUBLE_EQ(w.ratio(), 0.25);
+  w.record(false);  // evicts the other true
+  EXPECT_DOUBLE_EQ(w.ratio(), 0.0);
+}
+
+TEST(MovingWindowRatio, EmptyRatioIsZero) {
+  MovingWindowRatio w(5);
+  EXPECT_DOUBLE_EQ(w.ratio(), 0.0);
+}
+
+TEST(MovingWindowRatio, RejectsZeroCapacity) {
+  EXPECT_THROW(MovingWindowRatio(0), CheckFailure);
+}
+
+}  // namespace
+}  // namespace tailguard

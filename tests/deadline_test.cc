@@ -1,0 +1,180 @@
+// Tests for the deadline estimator: Eq. 6, class handling, heterogeneous
+// grouping, caching and online updating.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "core/deadline.h"
+#include "dist/standard.h"
+#include "workloads/tailbench.h"
+
+namespace tailguard {
+namespace {
+
+std::shared_ptr<CdfModel> exp_model(double mean) {
+  return std::make_shared<DistributionCdfModel>(
+      std::make_shared<Exponential>(mean));
+}
+
+TEST(DeadlineEstimator, Eq6DeadlineIsArrivalPlusBudget) {
+  auto est = DeadlineEstimator::homogeneous(exp_model(1.0), 10);
+  const ClassId cls = est.add_class({.slo_ms = 50.0, .percentile = 99.0});
+  const std::vector<ServerId> servers = {0, 3, 7};
+  const TimeMs xu = est.unloaded_query_quantile(cls, servers);
+  EXPECT_NEAR(est.budget(cls, servers), 50.0 - xu, 1e-12);
+  EXPECT_NEAR(est.deadline(123.0, cls, servers), 123.0 + 50.0 - xu, 1e-12);
+}
+
+TEST(DeadlineEstimator, PaperMasstreeBudgets) {
+  // §IV.C: for Masstree with SLOs 1.0/1.5 ms and x99u(100)=0.473 ms, the
+  // class budgets are 0.527 and 1.027 ms.
+  auto model = std::make_shared<DistributionCdfModel>(
+      make_service_time_model(TailbenchApp::kMasstree));
+  auto est = DeadlineEstimator::homogeneous(model, 100);
+  const ClassId hi = est.add_class({.slo_ms = 1.0, .percentile = 99.0});
+  const ClassId lo = est.add_class({.slo_ms = 1.5, .percentile = 99.0});
+  std::vector<ServerId> all(100);
+  for (ServerId s = 0; s < 100; ++s) all[s] = s;
+  EXPECT_NEAR(est.budget(hi, all), 0.527, 0.02);
+  EXPECT_NEAR(est.budget(lo, all), 1.027, 0.02);
+}
+
+TEST(DeadlineEstimator, LargerFanoutTighterDeadline) {
+  auto est = DeadlineEstimator::homogeneous(exp_model(1.0), 100);
+  const ClassId cls = est.add_class({.slo_ms = 20.0, .percentile = 99.0});
+  std::vector<ServerId> one = {0};
+  std::vector<ServerId> many(50);
+  for (ServerId s = 0; s < 50; ++s) many[s] = s;
+  EXPECT_GT(est.deadline(0.0, cls, one), est.deadline(0.0, cls, many));
+}
+
+TEST(DeadlineEstimator, TighterSloTighterDeadline) {
+  auto est = DeadlineEstimator::homogeneous(exp_model(1.0), 10);
+  const ClassId tight = est.add_class({.slo_ms = 10.0, .percentile = 99.0});
+  const ClassId loose = est.add_class({.slo_ms = 30.0, .percentile = 99.0});
+  std::vector<ServerId> servers = {1, 2};
+  EXPECT_LT(est.deadline(0.0, tight, servers),
+            est.deadline(0.0, loose, servers));
+}
+
+TEST(DeadlineEstimator, CrossClassFanoutInversion) {
+  // The paper's key observation (§I): a *lower* class query with a large
+  // fanout can demand more resources — i.e. get an earlier deadline — than
+  // a higher class query with fanout 1. PRIQ cannot express this ordering;
+  // TF-EDFQ does.
+  auto est = DeadlineEstimator::homogeneous(exp_model(1.0), 100);
+  const ClassId high = est.add_class({.slo_ms = 8.0, .percentile = 99.0});
+  const ClassId low = est.add_class({.slo_ms = 9.0, .percentile = 99.0});
+  std::vector<ServerId> one = {0};
+  std::vector<ServerId> hundred(100);
+  for (ServerId s = 0; s < 100; ++s) hundred[s] = s;
+  // Same arrival time: the low-class high-fanout query must be served first.
+  EXPECT_LT(est.deadline(0.0, low, hundred), est.deadline(0.0, high, one));
+}
+
+TEST(DeadlineEstimator, SloDeadlineIgnoresFanout) {
+  auto est = DeadlineEstimator::homogeneous(exp_model(1.0), 10);
+  const ClassId cls = est.add_class({.slo_ms = 5.0, .percentile = 99.0});
+  EXPECT_DOUBLE_EQ(est.slo_deadline(2.0, cls), 7.0);
+}
+
+TEST(DeadlineEstimator, NegativeBudgetAllowed) {
+  // SLO tighter than the unloaded tail: the budget goes negative and the
+  // deadline falls before the arrival — the task is effectively "already
+  // late" and sorts to the front.
+  auto est = DeadlineEstimator::homogeneous(exp_model(10.0), 100);
+  const ClassId cls = est.add_class({.slo_ms = 1.0, .percentile = 99.0});
+  std::vector<ServerId> many(100);
+  for (ServerId s = 0; s < 100; ++s) many[s] = s;
+  EXPECT_LT(est.deadline(0.0, cls, many), 0.0);
+}
+
+TEST(DeadlineEstimator, HomogeneousFanoutPathMatchesServerPath) {
+  auto est = DeadlineEstimator::homogeneous(exp_model(1.5), 50);
+  const ClassId cls = est.add_class({.slo_ms = 40.0, .percentile = 99.0});
+  std::vector<ServerId> servers = {4, 9, 14, 19, 24};
+  EXPECT_NEAR(est.unloaded_query_quantile(cls, servers),
+              est.unloaded_query_quantile(cls, 5), 1e-9);
+}
+
+TEST(DeadlineEstimator, HeterogeneousGroupsByModelIdentity) {
+  auto fast = exp_model(0.1);
+  auto slow = exp_model(10.0);
+  // 4 servers: two fast, two slow.
+  DeadlineEstimator est({fast, fast, slow, slow});
+  EXPECT_EQ(est.num_groups(), 2u);
+  EXPECT_EQ(est.num_servers(), 4u);
+  const ClassId cls = est.add_class({.slo_ms = 100.0, .percentile = 99.0});
+  // A query on the two fast servers has a much smaller x_p^u than one on
+  // the two slow servers.
+  std::vector<ServerId> fast_set = {0, 1};
+  std::vector<ServerId> slow_set = {2, 3};
+  EXPECT_LT(est.unloaded_query_quantile(cls, fast_set),
+            0.1 * est.unloaded_query_quantile(cls, slow_set));
+  // Mixed set sits in between but is dominated by the slow servers.
+  std::vector<ServerId> mixed = {0, 2};
+  EXPECT_GT(est.unloaded_query_quantile(cls, mixed),
+            est.unloaded_query_quantile(cls, fast_set));
+}
+
+TEST(DeadlineEstimator, GroupCompositionNotOrderMatters) {
+  auto fast = exp_model(0.5);
+  auto slow = exp_model(5.0);
+  DeadlineEstimator est({fast, slow, fast, slow});
+  const ClassId cls = est.add_class({.slo_ms = 100.0, .percentile = 99.0});
+  std::vector<ServerId> a = {0, 1};  // fast, slow
+  std::vector<ServerId> b = {3, 2};  // slow, fast
+  EXPECT_NEAR(est.unloaded_query_quantile(cls, a),
+              est.unloaded_query_quantile(cls, b), 1e-12);
+}
+
+TEST(DeadlineEstimator, FanoutOnlyLookupRequiresHomogeneous) {
+  DeadlineEstimator est({exp_model(1.0), exp_model(2.0)});
+  est.add_class({.slo_ms = 10.0, .percentile = 99.0});
+  EXPECT_THROW(est.unloaded_query_quantile(0, 2u), CheckFailure);
+}
+
+TEST(DeadlineEstimator, OnlineUpdateShiftsDeadlines) {
+  // Streaming models: seed with a fast profile, then observe much slower
+  // post-queuing times; x_p^u must grow, i.e. budgets must shrink.
+  auto streaming = std::make_shared<StreamingCdfModel>();
+  std::vector<double> fast_profile(5000);
+  Rng rng(5);
+  Exponential fast(1.0);
+  for (auto& x : fast_profile) x = fast.sample(rng);
+  streaming->seed(fast_profile);
+
+  auto est = DeadlineEstimator::homogeneous(streaming, 4);
+  const ClassId cls = est.add_class({.slo_ms = 100.0, .percentile = 99.0});
+  std::vector<ServerId> servers = {0, 1, 2, 3};
+  const TimeMs before = est.unloaded_query_quantile(cls, servers);
+
+  Exponential slow(20.0);
+  for (int i = 0; i < 20000; ++i)
+    est.observe_post_queuing(i % 4, slow.sample(rng));
+
+  const TimeMs after = est.unloaded_query_quantile(cls, servers);
+  EXPECT_GT(after, 2.0 * before);
+}
+
+TEST(DeadlineEstimator, Validation) {
+  EXPECT_THROW(DeadlineEstimator({}), CheckFailure);
+  EXPECT_THROW(DeadlineEstimator({nullptr}), CheckFailure);
+  auto est = DeadlineEstimator::homogeneous(exp_model(1.0), 2);
+  EXPECT_THROW(est.add_class({.slo_ms = -1.0, .percentile = 99.0}),
+               CheckFailure);
+  EXPECT_THROW(est.add_class({.slo_ms = 1.0, .percentile = 100.0}),
+               CheckFailure);
+  EXPECT_THROW(est.class_spec(0), CheckFailure);  // no classes yet
+  const ClassId cls = est.add_class({.slo_ms = 1.0, .percentile = 99.0});
+  std::vector<ServerId> bad = {5};  // out of range
+  EXPECT_THROW(est.unloaded_query_quantile(cls, bad), CheckFailure);
+  std::vector<ServerId> none;
+  EXPECT_THROW(est.unloaded_query_quantile(cls, none), CheckFailure);
+  EXPECT_THROW(est.observe_post_queuing(9, 1.0), CheckFailure);
+}
+
+}  // namespace
+}  // namespace tailguard

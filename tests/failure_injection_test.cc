@@ -1,0 +1,170 @@
+// Failure-injection and degradation tests: brownouts, stragglers and load
+// spikes through the service_scale hook, plus the extrapolated Tailbench
+// models' sanity. Invariants must hold under every injected fault.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "sim/cluster.h"
+#include "sim/experiment.h"
+#include "workloads/tailbench.h"
+#include "workloads/tailbench_extra.h"
+
+namespace tailguard {
+namespace {
+
+SimConfig faulty_base() {
+  SimConfig cfg;
+  cfg.num_servers = 20;
+  cfg.policy = Policy::kTfEdf;
+  cfg.classes = {{.slo_ms = 10.0, .percentile = 99.0}};
+  cfg.fanout = std::make_shared<CategoricalFanout>(
+      std::vector<std::uint32_t>{1, 4, 16},
+      std::vector<double>{0.6, 0.3, 0.1});
+  cfg.service_time = std::make_shared<Exponential>(1.0);
+  cfg.num_queries = 20000;
+  cfg.seed = 42;
+  return cfg;
+}
+
+// A mid-run brownout (every server 3x slower for a window) must not break
+// conservation: all offered queries still complete.
+TEST(FailureInjection, BrownoutConservesQueries) {
+  SimConfig cfg = faulty_base();
+  set_load(cfg, 0.4);
+  const double horizon = cfg.num_queries / cfg.arrival_rate;
+  cfg.service_scale = [horizon](TimeMs t, ServerId) {
+    return (t > 0.4 * horizon && t < 0.6 * horizon) ? 3.0 : 1.0;
+  };
+  const SimResult r = run_simulation(cfg);
+  EXPECT_EQ(r.queries_admitted, cfg.num_queries);
+  std::uint64_t recorded = 0;
+  for (const auto& g : r.groups) recorded += g.queries;
+  EXPECT_GT(recorded, 0u);
+}
+
+// The brownout must strictly degrade the tail versus the healthy run.
+TEST(FailureInjection, BrownoutDegradesTail) {
+  SimConfig cfg = faulty_base();
+  set_load(cfg, 0.4);
+  const SimResult healthy = run_simulation(cfg);
+  const double horizon = cfg.num_queries / cfg.arrival_rate;
+  cfg.service_scale = [horizon](TimeMs t, ServerId) {
+    return (t > 0.4 * horizon && t < 0.6 * horizon) ? 3.0 : 1.0;
+  };
+  const SimResult browned = run_simulation(cfg);
+  EXPECT_GT(browned.groups[0].tail_latency, healthy.groups[0].tail_latency);
+}
+
+// A single frozen-slow server (simulating a failing node) must hurt the
+// high-fanout group far more than the fanout-1 group — the paper's §I
+// outlier argument.
+TEST(FailureInjection, SingleStragglerHitsHighFanoutHardest) {
+  SimConfig cfg = faulty_base();
+  // Load and slowdown chosen so the bad server stays stable (local
+  // utilization 0.75): otherwise its queue diverges and every group's tail
+  // is dominated by it.
+  set_load(cfg, 0.25);
+  const SimResult healthy = run_simulation(cfg);
+  cfg.service_scale = [](TimeMs, ServerId sid) {
+    return sid == 0 ? 3.0 : 1.0;
+  };
+  const SimResult degraded = run_simulation(cfg);
+  const auto ratio = [](const SimResult& r, std::uint32_t kf,
+                        const SimResult& base) {
+    return r.find_group(0, kf)->tail_latency /
+           base.find_group(0, kf)->tail_latency;
+  };
+  // kf=16 touches the bad server with prob ~16/20; kf=1 with ~1/20.
+  EXPECT_GT(ratio(degraded, 16, healthy), ratio(degraded, 1, healthy));
+}
+
+// Admission control + brownout: with the controller on, the deadline-miss
+// ratio during/after the brownout stays bounded and some queries are shed.
+TEST(FailureInjection, AdmissionShedsLoadDuringBrownout) {
+  SimConfig cfg = faulty_base();
+  set_load(cfg, 0.5);
+  const double horizon = cfg.num_queries / cfg.arrival_rate;
+  cfg.service_scale = [horizon](TimeMs t, ServerId) {
+    return (t > 0.3 * horizon && t < 0.7 * horizon) ? 4.0 : 1.0;
+  };
+  const SimResult open = run_simulation(cfg);
+  cfg.admission = AdmissionOptions{.window_tasks = 5000,
+                                   .window_ms = 100.0,
+                                   .miss_ratio_threshold = 0.02};
+  const SimResult guarded = run_simulation(cfg);
+  EXPECT_GT(guarded.queries_rejected, 0u);
+  EXPECT_LT(guarded.task_deadline_miss_ratio,
+            open.task_deadline_miss_ratio);
+}
+
+// Online estimation under permanent degradation: after the model adapts,
+// the system keeps running and deadline misses stay finite (liveness).
+TEST(FailureInjection, OnlineEstimatorSurvivesPermanentSlowdown) {
+  SimConfig cfg = faulty_base();
+  // SLO loose enough to stay feasible after the 2x slowdown (post-drift
+  // x99u(16) ~ 14.8 ms for exp(1) service); misses then reflect queueing,
+  // not a structurally impossible budget.
+  cfg.classes = {{.slo_ms = 30.0, .percentile = 99.0}};
+  cfg.estimation = EstimationMode::kOnlineStreaming;
+  set_load(cfg, 0.2);
+  const double horizon = cfg.num_queries / cfg.arrival_rate;
+  cfg.service_scale = [horizon](TimeMs t, ServerId) {
+    return t > 0.5 * horizon ? 2.0 : 1.0;
+  };
+  const SimResult r = run_simulation(cfg);
+  EXPECT_EQ(r.queries_admitted, cfg.num_queries);
+  EXPECT_LT(r.task_deadline_miss_ratio, 0.25);
+}
+
+// ------------------------------------------------ extrapolated workloads
+
+class ExtraWorkloads : public ::testing::TestWithParam<TailbenchExtraApp> {};
+
+TEST_P(ExtraWorkloads, ModelIsWellFormed) {
+  const auto model = make_extra_service_time_model(GetParam());
+  ASSERT_NE(model, nullptr);
+  EXPECT_GT(model->mean(), 0.0);
+  EXPECT_LT(model->quantile(0.5), model->quantile(0.99));
+  EXPECT_LT(model->quantile(0.99), model->quantile(0.999));
+  // Quantile/CDF round trip.
+  for (double p : {0.3, 0.9, 0.99}) {
+    EXPECT_NEAR(model->cdf(model->quantile(p)), p, 1e-9);
+  }
+}
+
+TEST_P(ExtraWorkloads, RunsThroughTheSimulator) {
+  SimConfig cfg;
+  cfg.num_servers = 10;
+  cfg.policy = Policy::kTfEdf;
+  cfg.fanout = std::make_shared<FixedFanout>(4);
+  cfg.service_time = make_extra_service_time_model(GetParam());
+  // SLO scaled to the model: x99u(4) plus headroom.
+  DistributionCdfModel model(cfg.service_time);
+  cfg.classes = {{.slo_ms = 3.0 * model.quantile(0.999), .percentile = 99.0}};
+  cfg.num_queries = 5000;
+  cfg.seed = 9;
+  set_load(cfg, 0.3);
+  const SimResult r = run_simulation(cfg);
+  EXPECT_EQ(r.queries_admitted, 5000u);
+  EXPECT_TRUE(r.all_slos_met(0.25));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllExtraApps, ExtraWorkloads,
+                         ::testing::ValuesIn(kAllTailbenchExtraApps),
+                         [](const auto& info) {
+                           std::string n = to_string(info.param);
+                           n.erase(std::remove(n.begin(), n.end(), '-'),
+                                   n.end());
+                           return n;
+                         });
+
+TEST(ExtraWorkloads, SuiteSpansFourOrdersOfMagnitude) {
+  const double silo =
+      make_extra_service_time_model(TailbenchExtraApp::kSilo)->mean();
+  const double sphinx =
+      make_extra_service_time_model(TailbenchExtraApp::kSphinx)->mean();
+  EXPECT_GT(sphinx / silo, 1e4);
+}
+
+}  // namespace
+}  // namespace tailguard

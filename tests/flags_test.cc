@@ -1,0 +1,128 @@
+// Tests for the command-line flag parser used by tools/.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.h"
+#include "common/flags.h"
+
+namespace tailguard {
+namespace {
+
+struct ParseResult {
+  bool ok = false;
+  std::string out;
+  std::string err;
+};
+
+ParseResult parse(FlagParser& parser, std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  std::ostringstream out, err;
+  ParseResult r;
+  r.ok = parser.parse(static_cast<int>(args.size()), args.data(), out, err);
+  r.out = out.str();
+  r.err = err.str();
+  return r;
+}
+
+TEST(FlagParser, ParsesEveryType) {
+  std::string s = "default";
+  double d = 1.5;
+  std::int64_t i = -3;
+  std::size_t z = 7;
+  bool b = false;
+  std::vector<double> list = {1.0};
+  FlagParser p("test");
+  p.add_string("str", &s, "");
+  p.add_double("dbl", &d, "");
+  p.add_int("int", &i, "");
+  p.add_size("size", &z, "");
+  p.add_bool("flag", &b, "");
+  p.add_double_list("list", &list, "");
+  const auto r = parse(p, {"--str", "hello", "--dbl=2.25", "--int", "-9",
+                           "--size=42", "--flag", "--list", "0.1,0.2,0.3"});
+  ASSERT_TRUE(r.ok) << r.err;
+  EXPECT_EQ(s, "hello");
+  EXPECT_DOUBLE_EQ(d, 2.25);
+  EXPECT_EQ(i, -9);
+  EXPECT_EQ(z, 42u);
+  EXPECT_TRUE(b);
+  EXPECT_EQ(list, (std::vector<double>{0.1, 0.2, 0.3}));
+}
+
+TEST(FlagParser, DefaultsSurviveWhenUnset) {
+  double d = 3.5;
+  FlagParser p("test");
+  p.add_double("dbl", &d, "");
+  ASSERT_TRUE(parse(p, {}).ok);
+  EXPECT_DOUBLE_EQ(d, 3.5);
+}
+
+TEST(FlagParser, BoolExplicitValues) {
+  bool b = true;
+  FlagParser p("test");
+  p.add_bool("flag", &b, "");
+  ASSERT_TRUE(parse(p, {"--flag=false"}).ok);
+  EXPECT_FALSE(b);
+  ASSERT_TRUE(parse(p, {"--flag=true"}).ok);
+  EXPECT_TRUE(b);
+}
+
+TEST(FlagParser, UnknownFlagFails) {
+  FlagParser p("test");
+  const auto r = parse(p, {"--nope", "1"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.err.find("unknown flag"), std::string::npos);
+}
+
+TEST(FlagParser, MissingValueFails) {
+  double d = 0.0;
+  FlagParser p("test");
+  p.add_double("dbl", &d, "");
+  const auto r = parse(p, {"--dbl"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.err.find("needs a value"), std::string::npos);
+}
+
+TEST(FlagParser, MalformedValueFails) {
+  double d = 0.0;
+  FlagParser p("test");
+  p.add_double("dbl", &d, "");
+  EXPECT_FALSE(parse(p, {"--dbl", "abc"}).ok);
+  std::vector<double> list;
+  p.add_double_list("list", &list, "");
+  EXPECT_FALSE(parse(p, {"--list", "1,x"}).ok);
+}
+
+TEST(FlagParser, PositionalArgumentFails) {
+  FlagParser p("test");
+  EXPECT_FALSE(parse(p, {"positional"}).ok);
+}
+
+TEST(FlagParser, HelpPrintsAndReturnsFalse) {
+  double d = 1.0;
+  FlagParser p("my tool description");
+  p.add_double("dbl", &d, "the knob");
+  const auto r = parse(p, {"--help"});
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.out.find("my tool description"), std::string::npos);
+  EXPECT_NE(r.out.find("--dbl"), std::string::npos);
+  EXPECT_NE(r.out.find("the knob"), std::string::npos);
+}
+
+TEST(FlagParser, DuplicateFlagRegistrationThrows) {
+  double d = 0.0;
+  FlagParser p("test");
+  p.add_double("dbl", &d, "");
+  EXPECT_THROW(p.add_double("dbl", &d, ""), CheckFailure);
+}
+
+TEST(SplitCsv, Basics) {
+  EXPECT_EQ(split_csv(""), std::vector<std::string>{});
+  EXPECT_EQ(split_csv("a"), std::vector<std::string>{"a"});
+  EXPECT_EQ(split_csv("a,b,c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split_csv("a,,c"), (std::vector<std::string>{"a", "", "c"}));
+}
+
+}  // namespace
+}  // namespace tailguard

@@ -1,0 +1,247 @@
+// Cross-module integration tests: the simulator, the order-statistics
+// engine and the workload models must agree with each other and with
+// closed-form queueing facts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+#include "core/order_stats.h"
+#include "sim/experiment.h"
+#include "workloads/tailbench.h"
+
+namespace tailguard {
+namespace {
+
+// Eqs. 1-2 against direct Monte Carlo: the p99 of the max of kf service
+// draws must match the order-statistics inversion, for every workload model
+// and fanout — the full sampling -> quantile pipeline without queueing.
+class UnloadedAgreement : public ::testing::TestWithParam<TailbenchApp> {};
+
+TEST_P(UnloadedAgreement, MonteCarloMaxMatchesOrderStatistics) {
+  const auto app = GetParam();
+  const auto service = make_service_time_model(app);
+  DistributionCdfModel model(service);
+  Rng rng(11);
+  for (std::uint32_t kf : {1u, 10u, 100u}) {
+    const std::size_t n = 60000;
+    std::vector<double> maxima(n);
+    for (auto& m : maxima) {
+      double worst = 0.0;
+      for (std::uint32_t k = 0; k < kf; ++k)
+        worst = std::max(worst, service->sample(rng));
+      m = worst;
+    }
+    const double predicted = homogeneous_unloaded_quantile(model, kf, 0.99);
+    EXPECT_NEAR(percentile(maxima, 99.0), predicted, 0.04 * predicted)
+        << to_string(app) << " kf=" << kf;
+  }
+}
+
+// At (almost) zero load, the simulated p99 per fanout group approaches the
+// unloaded prediction from above: queueing can only add latency, and at
+// rho = 0.2% it adds little even for the wait-sensitive groups.
+TEST_P(UnloadedAgreement, SimApproachesUnloadedPredictionAtLightLoad) {
+  const auto app = GetParam();
+  SimConfig cfg;
+  cfg.num_servers = 100;
+  cfg.policy = Policy::kTfEdf;
+  cfg.classes = {{.slo_ms = 1000.0, .percentile = 99.0}};
+  cfg.fanout = std::make_shared<CategoricalFanout>(
+      std::vector<std::uint32_t>{1, 100}, std::vector<double>{0.5, 0.5});
+  cfg.service_time = make_service_time_model(app);
+  cfg.num_queries = 100000;
+  cfg.seed = 11;
+  set_load(cfg, 0.002);
+  const SimResult r = run_simulation(cfg);
+
+  DistributionCdfModel model(cfg.service_time);
+  for (std::uint32_t kf : {1u, 100u}) {
+    const auto* g = r.find_group(0, kf);
+    ASSERT_NE(g, nullptr) << to_string(app) << " kf=" << kf;
+    const double predicted = homogeneous_unloaded_quantile(model, kf, 0.99);
+    EXPECT_GT(g->tail_latency, 0.93 * predicted)
+        << to_string(app) << " kf=" << kf;
+    EXPECT_LT(g->tail_latency, 1.15 * predicted)
+        << to_string(app) << " kf=" << kf;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, UnloadedAgreement,
+                         ::testing::ValuesIn(kAllTailbenchApps),
+                         [](const auto& info) { return to_string(info.param); });
+
+// M/M/1 sanity: one server, fanout 1, exponential service. The mean
+// response time must match 1/(mu - lambda) and the p99 must match the
+// exponential sojourn-time quantile.
+TEST(Integration, MM1ClosedForm) {
+  SimConfig cfg;
+  cfg.num_servers = 1;
+  cfg.policy = Policy::kFifo;
+  cfg.classes = {{.slo_ms = 1000.0, .percentile = 99.0}};
+  cfg.fanout = std::make_shared<FixedFanout>(1);
+  cfg.service_time = std::make_shared<Exponential>(1.0);  // mu = 1/ms
+  cfg.num_queries = 400000;
+  cfg.seed = 5;
+  for (double rho : {0.3, 0.6, 0.8}) {
+    cfg.arrival_rate = rho;  // lambda = rho * mu
+    const SimResult r = run_simulation(cfg);
+    const auto* g = r.find_group(0, 1);
+    ASSERT_NE(g, nullptr);
+    const double mean_expected = 1.0 / (1.0 - rho);
+    // Sojourn time in M/M/1-FCFS is Exponential(mu - lambda).
+    const double p99_expected = -std::log(0.01) / (1.0 - rho);
+    EXPECT_NEAR(g->mean_latency, mean_expected, 0.05 * mean_expected)
+        << "rho=" << rho;
+    EXPECT_NEAR(g->tail_latency, p99_expected, 0.07 * p99_expected)
+        << "rho=" << rho;
+    EXPECT_NEAR(r.measured_utilization, rho, 0.02) << "rho=" << rho;
+  }
+}
+
+// TailGuard must dominate FIFO in max load on the paper's main workload
+// setup — the core claim, verified through the public experiment API.
+TEST(Integration, TailGuardBeatsFifoOnPaperWorkload) {
+  SimConfig cfg;
+  cfg.num_servers = 100;
+  cfg.classes = {{.slo_ms = 0.9, .percentile = 99.0}};
+  cfg.fanout =
+      std::make_shared<CategoricalFanout>(CategoricalFanout::paper_mix());
+  cfg.service_time = make_service_time_model(TailbenchApp::kMasstree);
+  cfg.num_queries = 60000;
+  cfg.seed = 7;
+  MaxLoadOptions opt;
+  opt.tolerance = 0.02;
+  cfg.policy = Policy::kFifo;
+  const double fifo = find_max_load(cfg, opt);
+  cfg.policy = Policy::kTfEdf;
+  const double tailguard = find_max_load(cfg, opt);
+  EXPECT_GT(tailguard, fifo + 0.02)
+      << "TailGuard " << tailguard << " vs FIFO " << fifo;
+}
+
+// Two classes: TailGuard must dominate every baseline (ranking property of
+// Fig. 5) at matched tolerance.
+TEST(Integration, PolicyRankingTwoClasses) {
+  SimConfig cfg;
+  cfg.num_servers = 100;
+  cfg.classes = {{.slo_ms = 1.0, .percentile = 99.0},
+                 {.slo_ms = 1.5, .percentile = 99.0}};
+  cfg.class_probabilities = {0.5, 0.5};
+  cfg.fanout =
+      std::make_shared<CategoricalFanout>(CategoricalFanout::paper_mix());
+  cfg.service_time = make_service_time_model(TailbenchApp::kMasstree);
+  cfg.num_queries = 60000;
+  cfg.seed = 7;
+  MaxLoadOptions opt;
+  opt.tolerance = 0.02;
+  const auto max_load = [&](Policy p) {
+    cfg.policy = p;
+    return find_max_load(cfg, opt);
+  };
+  const double fifo = max_load(Policy::kFifo);
+  const double priq = max_load(Policy::kPriq);
+  const double tedf = max_load(Policy::kTEdf);
+  const double tfedf = max_load(Policy::kTfEdf);
+  EXPECT_GE(tfedf + 1e-9, tedf);
+  EXPECT_GT(tfedf, fifo);
+  EXPECT_GT(tfedf, priq);
+  EXPECT_GE(tedf, std::min(fifo, priq));
+}
+
+// The deadline-miss ratio at the max acceptable load is small (the paper
+// observes < 2%) — the premise of the admission-control design (§III.C).
+TEST(Integration, MissRatioSmallAtMaxLoad) {
+  SimConfig cfg;
+  cfg.num_servers = 100;
+  cfg.classes = {{.slo_ms = 1.0, .percentile = 99.0},
+                 {.slo_ms = 1.5, .percentile = 99.0}};
+  cfg.class_probabilities = {0.5, 0.5};
+  cfg.fanout = std::make_shared<FixedFanout>(100);
+  cfg.service_time = make_service_time_model(TailbenchApp::kMasstree);
+  cfg.policy = Policy::kTfEdf;
+  cfg.num_queries = 20000;
+  cfg.seed = 3;
+  MaxLoadOptions opt;
+  opt.tolerance = 0.02;
+  const double max_load = find_max_load(cfg, opt);
+  set_load(cfg, max_load, opt);
+  const SimResult r = run_simulation(cfg);
+  EXPECT_GT(r.task_deadline_miss_ratio, 0.0);
+  EXPECT_LT(r.task_deadline_miss_ratio, 0.02);
+}
+
+// Estimation-mode matrix: every mode must produce a working simulation and
+// (for this homogeneous setup) nearly identical tails.
+class EstimationModes : public ::testing::TestWithParam<EstimationMode> {};
+
+TEST_P(EstimationModes, HomogeneousModesAgree) {
+  SimConfig cfg;
+  cfg.num_servers = 100;
+  cfg.classes = {{.slo_ms = 2.0, .percentile = 99.0}};
+  cfg.fanout =
+      std::make_shared<CategoricalFanout>(CategoricalFanout::paper_mix());
+  cfg.service_time = make_service_time_model(TailbenchApp::kMasstree);
+  cfg.policy = Policy::kTfEdf;
+  cfg.num_queries = 30000;
+  cfg.seed = 13;
+  set_load(cfg, 0.35);
+
+  cfg.estimation = EstimationMode::kExact;
+  const SimResult exact = run_simulation(cfg);
+  cfg.estimation = GetParam();
+  const SimResult r = run_simulation(cfg);
+  ASSERT_EQ(r.groups.size(), exact.groups.size());
+  for (std::size_t i = 0; i < r.groups.size(); ++i) {
+    EXPECT_NEAR(r.groups[i].tail_latency, exact.groups[i].tail_latency,
+                0.08 * exact.groups[i].tail_latency)
+        << "group " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, EstimationModes,
+    ::testing::Values(EstimationMode::kOfflineEmpirical,
+                      EstimationMode::kOfflineSingleProfile,
+                      EstimationMode::kOnlineStreaming,
+                      EstimationMode::kOnlineFromSingleProfile),
+    [](const auto& info) {
+      switch (info.param) {
+        case EstimationMode::kOfflineEmpirical: return "OfflineEmpirical";
+        case EstimationMode::kOfflineSingleProfile:
+          return "OfflineSingleProfile";
+        case EstimationMode::kOnlineStreaming: return "OnlineStreaming";
+        case EstimationMode::kOnlineFromSingleProfile:
+          return "OnlineFromSingleProfile";
+        default: return "Exact";
+      }
+    });
+
+// Mixed percentiles: a p95 class and a p99 class coexist; each group is
+// judged at its own percentile.
+TEST(Integration, MixedPercentileClasses) {
+  SimConfig cfg;
+  cfg.num_servers = 100;
+  cfg.classes = {{.slo_ms = 1.2, .percentile = 99.0},
+                 {.slo_ms = 0.9, .percentile = 95.0}};
+  cfg.class_probabilities = {0.5, 0.5};
+  cfg.fanout =
+      std::make_shared<CategoricalFanout>(CategoricalFanout::paper_mix());
+  cfg.service_time = make_service_time_model(TailbenchApp::kMasstree);
+  cfg.policy = Policy::kTfEdf;
+  cfg.num_queries = 40000;
+  cfg.seed = 21;
+  set_load(cfg, 0.2);
+  const SimResult r = run_simulation(cfg);
+  EXPECT_TRUE(r.all_slos_met(0.05));
+  // The p95 class's reported tail is its p95, which at light load must be
+  // below its own p99 (sanity of per-class percentile plumbing).
+  const auto* g95 = r.find_group(1, 100);
+  const auto* g99 = r.find_group(0, 100);
+  ASSERT_NE(g95, nullptr);
+  ASSERT_NE(g99, nullptr);
+  EXPECT_LT(g95->tail_latency, g99->tail_latency);
+}
+
+}  // namespace
+}  // namespace tailguard

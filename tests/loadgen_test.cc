@@ -1,0 +1,123 @@
+// Tests for the open-loop runtime load generator.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "runtime/loadgen.h"
+
+namespace tailguard {
+namespace {
+
+ServiceOptions tiny_service() {
+  ServiceOptions opt;
+  opt.num_workers = 4;
+  opt.policy = Policy::kTfEdf;
+  opt.classes = {{.slo_ms = 50.0, .percentile = 99.0},
+                 {.slo_ms = 100.0, .percentile = 99.0}};
+  return opt;
+}
+
+QueryFactory simple_factory(double service_ms) {
+  return [service_ms](Rng& rng) {
+    LoadGenQuery q;
+    q.cls = rng.bernoulli(0.5) ? 0 : 1;
+    q.tasks.resize(2);
+    for (auto& t : q.tasks) t.simulated_service_ms = service_ms;
+    return q;
+  };
+}
+
+TEST(LoadGen, AllQueriesAccountedFor) {
+  TailGuardService svc(tiny_service());
+  LoadGenOptions opt;
+  opt.rate_qps = 2000.0;
+  opt.num_queries = 200;
+  opt.seed = 3;
+  const auto report = run_load(svc, opt, simple_factory(0.05));
+  EXPECT_EQ(report.submitted, 200u);
+  EXPECT_EQ(report.rejected, 0u);
+  std::size_t measured = 0;
+  for (const auto& c : report.per_class) measured += c.queries;
+  // 10% warmup excluded.
+  EXPECT_EQ(measured, 180u);
+  EXPECT_GT(report.elapsed_s, 0.0);
+  EXPECT_GT(report.achieved_qps, 0.0);
+}
+
+TEST(LoadGen, RateIsApproximatelyHonoured) {
+  TailGuardService svc(tiny_service());
+  LoadGenOptions opt;
+  opt.rate_qps = 1000.0;
+  opt.num_queries = 400;
+  opt.seed = 5;
+  const auto report = run_load(svc, opt, simple_factory(0.01));
+  // Open loop at 1000 q/s for 400 queries ~ 0.4 s; sleep overshoot makes
+  // the achieved rate a bit lower, never higher.
+  EXPECT_LT(report.achieved_qps, 1100.0);
+  EXPECT_GT(report.achieved_qps, 300.0);
+}
+
+TEST(LoadGen, PerClassStatsAreOrdered) {
+  TailGuardService svc(tiny_service());
+  LoadGenOptions opt;
+  opt.rate_qps = 2000.0;
+  opt.num_queries = 300;
+  opt.seed = 7;
+  const auto report = run_load(svc, opt, simple_factory(0.1));
+  for (const auto& c : report.per_class) {
+    EXPECT_LE(c.p50_ms, c.p95_ms);
+    EXPECT_LE(c.p95_ms, c.p99_ms);
+    EXPECT_GT(c.mean_ms, 0.0);
+  }
+  EXPECT_NE(report.find_class(0), nullptr);
+  EXPECT_NE(report.find_class(1), nullptr);
+  EXPECT_EQ(report.find_class(9), nullptr);
+}
+
+TEST(LoadGen, ParetoArrivalsWork) {
+  TailGuardService svc(tiny_service());
+  LoadGenOptions opt;
+  opt.rate_qps = 2000.0;
+  opt.num_queries = 150;
+  opt.pareto_arrivals = true;
+  opt.seed = 9;
+  const auto report = run_load(svc, opt, simple_factory(0.05));
+  EXPECT_EQ(report.submitted, 150u);
+}
+
+TEST(LoadGen, AdmissionRejectionsCounted) {
+  ServiceOptions sopt = tiny_service();
+  sopt.num_workers = 1;
+  sopt.classes = {{.slo_ms = 1.0, .percentile = 99.0}};
+  sopt.admission = AdmissionOptions{.window_tasks = 30,
+                                    .window_ms = 100.0,
+                                    .miss_ratio_threshold = 0.05};
+  TailGuardService svc(sopt);
+  LoadGenOptions opt;
+  opt.rate_qps = 2000.0;  // one worker with 1 ms tasks saturates at 1000/s
+  opt.num_queries = 600;
+  opt.seed = 11;
+  const auto report = run_load(svc, opt, [](Rng&) {
+    LoadGenQuery q;
+    q.cls = 0;
+    q.tasks.resize(1);
+    q.tasks[0].simulated_service_ms = 1.0;
+    return q;
+  });
+  EXPECT_GT(report.rejected, 0u);
+  EXPECT_LT(report.rejected, report.submitted);
+}
+
+TEST(LoadGen, Validation) {
+  TailGuardService svc(tiny_service());
+  LoadGenOptions opt;
+  opt.rate_qps = 0.0;
+  EXPECT_THROW(run_load(svc, opt, simple_factory(0.1)), CheckFailure);
+  opt.rate_qps = 100.0;
+  opt.num_queries = 0;
+  EXPECT_THROW(run_load(svc, opt, simple_factory(0.1)), CheckFailure);
+  opt.num_queries = 1;
+  EXPECT_THROW(run_load(svc, opt, nullptr), CheckFailure);
+}
+
+}  // namespace
+}  // namespace tailguard

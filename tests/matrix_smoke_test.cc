@@ -1,0 +1,105 @@
+// Configuration-matrix smoke tests: every combination of (policy x
+// estimation mode x arrival kind) must run cleanly and satisfy the basic
+// invariants (conservation, utilization ~ offered load, sane tails). These
+// catch wiring regressions that feature-focused tests can miss.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "sim/experiment.h"
+#include "workloads/tailbench.h"
+
+namespace tailguard {
+namespace {
+
+using MatrixParam = std::tuple<Policy, EstimationMode, ArrivalKind>;
+
+class ConfigMatrix : public ::testing::TestWithParam<MatrixParam> {};
+
+TEST_P(ConfigMatrix, RunsAndSatisfiesInvariants) {
+  const auto [policy, estimation, arrivals] = GetParam();
+  SimConfig cfg;
+  cfg.num_servers = 40;
+  cfg.policy = policy;
+  cfg.estimation = estimation;
+  cfg.arrival_kind = arrivals;
+  cfg.classes = {{.slo_ms = 2.0, .percentile = 99.0},
+                 {.slo_ms = 3.0, .percentile = 95.0}};
+  cfg.class_probabilities = {0.6, 0.4};
+  cfg.fanout = std::make_shared<CategoricalFanout>(
+      std::vector<std::uint32_t>{1, 8, 40},
+      std::vector<double>{0.7, 0.2, 0.1});
+  cfg.service_time = make_service_time_model(TailbenchApp::kMasstree);
+  cfg.num_queries = 8000;
+  cfg.seed = 101;
+  set_load(cfg, 0.45);
+
+  const SimResult r = run_simulation(cfg);
+
+  // Conservation.
+  EXPECT_EQ(r.queries_offered, cfg.num_queries);
+  EXPECT_EQ(r.queries_admitted, cfg.num_queries);
+  std::uint64_t recorded = 0;
+  for (const auto& g : r.groups) recorded += g.queries;
+  EXPECT_NEAR(static_cast<double>(recorded), 0.9 * cfg.num_queries,
+              0.03 * cfg.num_queries);
+
+  // Load accounting (Pareto arrivals have slower-converging means).
+  const double tol = arrivals == ArrivalKind::kPareto ? 0.15 : 0.06;
+  EXPECT_NEAR(r.measured_utilization, 0.45, tol);
+  ASSERT_EQ(r.server_utilization.size(), cfg.num_servers);
+  double sum_util = 0.0;
+  for (double u : r.server_utilization) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0);
+    sum_util += u;
+  }
+  EXPECT_NEAR(sum_util / cfg.num_servers, r.measured_utilization, 1e-9);
+
+  // Sane tails: every group's tail at least the unloaded per-task scale and
+  // finite.
+  for (const auto& g : r.groups) {
+    EXPECT_GT(g.tail_latency, 0.1);
+    EXPECT_LT(g.tail_latency, 1000.0);
+    EXPECT_GE(g.tail_latency, g.mean_latency);
+  }
+
+  // Per-class aggregation is present for both classes.
+  EXPECT_EQ(r.class_results.size(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, ConfigMatrix,
+    ::testing::Combine(
+        ::testing::Values(Policy::kFifo, Policy::kPriq, Policy::kTEdf,
+                          Policy::kTfEdf),
+        ::testing::Values(EstimationMode::kExact,
+                          EstimationMode::kOfflineEmpirical,
+                          EstimationMode::kOfflineSingleProfile,
+                          EstimationMode::kOnlineStreaming,
+                          EstimationMode::kOnlineFromSingleProfile),
+        ::testing::Values(ArrivalKind::kPoisson, ArrivalKind::kPareto)),
+    [](const auto& info) {
+      // std::get instead of structured bindings: the binding's commas do
+      // not survive macro expansion.
+      const Policy policy = std::get<0>(info.param);
+      const EstimationMode estimation = std::get<1>(info.param);
+      const ArrivalKind arrivals = std::get<2>(info.param);
+      std::string name = to_string(policy);
+      name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+      switch (estimation) {
+        case EstimationMode::kExact: name += "Exact"; break;
+        case EstimationMode::kOfflineEmpirical: name += "Offline"; break;
+        case EstimationMode::kOfflineSingleProfile: name += "Single"; break;
+        case EstimationMode::kOnlineStreaming: name += "Online"; break;
+        case EstimationMode::kOnlineFromSingleProfile:
+          name += "OnlineSingle";
+          break;
+      }
+      name += arrivals == ArrivalKind::kPoisson ? "Poisson" : "Pareto";
+      return name;
+    });
+
+}  // namespace
+}  // namespace tailguard

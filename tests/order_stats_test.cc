@@ -1,0 +1,211 @@
+// Tests for the order-statistics engine (Eqs. 1-2) and the quantile cache.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+#include <memory>
+
+#include "common/check.h"
+#include "core/order_stats.h"
+#include "dist/standard.h"
+
+namespace tailguard {
+namespace {
+
+DistributionCdfModel exp_model(double mean) {
+  return DistributionCdfModel(std::make_shared<Exponential>(mean));
+}
+
+TEST(HomogeneousQuantile, FanoutOneIsPlainQuantile) {
+  auto model = exp_model(1.0);
+  EXPECT_NEAR(homogeneous_unloaded_quantile(model, 1, 0.99),
+              model.quantile(0.99), 1e-12);
+}
+
+TEST(HomogeneousQuantile, MatchesClosedFormForExponential) {
+  // max of k exponentials: F(t)^k = p  =>  t = -ln(1 - p^{1/k}).
+  auto model = exp_model(1.0);
+  for (std::uint32_t k : {2u, 10u, 100u, 1000u}) {
+    const double expected =
+        -std::log(1.0 - std::pow(0.99, 1.0 / static_cast<double>(k)));
+    EXPECT_NEAR(homogeneous_unloaded_quantile(model, k, 0.99), expected, 1e-9)
+        << "k=" << k;
+  }
+}
+
+TEST(HomogeneousQuantile, IncreasesWithFanout) {
+  // Larger fanout => the max is stochastically larger => larger x_p^u.
+  // This is the monotonicity that makes fanout-aware budgets tighter.
+  auto model = exp_model(2.0);
+  double prev = 0.0;
+  for (std::uint32_t k : {1u, 2u, 5u, 10u, 50u, 100u, 500u}) {
+    const double x = homogeneous_unloaded_quantile(model, k, 0.99);
+    EXPECT_GT(x, prev) << "k=" << k;
+    prev = x;
+  }
+}
+
+TEST(HomogeneousQuantile, IncreasesWithPercentile) {
+  auto model = exp_model(1.0);
+  EXPECT_LT(homogeneous_unloaded_quantile(model, 10, 0.95),
+            homogeneous_unloaded_quantile(model, 10, 0.99));
+}
+
+TEST(HomogeneousQuantile, PaperIntroExample) {
+  // Paper §I: if each task has 1% chance of exceeding 100 ms, a query with
+  // kf=100 has 1 - 0.99^100 ≈ 63.4% chance. Conversely, meeting p99 at
+  // kf=100 requires the per-task quantile at 0.99^{1/100} ≈ 0.9999.
+  auto model = exp_model(10.0);
+  const double x1 = homogeneous_unloaded_quantile(model, 1, 0.99);
+  const double x100 = homogeneous_unloaded_quantile(model, 100, 0.99);
+  // For exponential, q(0.9999)/q(0.99) = ln(1e4)/ln(1e2) = 2.
+  EXPECT_NEAR(x100 / x1, 2.0, 0.01);
+}
+
+TEST(HomogeneousQuantile, RejectsBadArguments) {
+  auto model = exp_model(1.0);
+  EXPECT_THROW(homogeneous_unloaded_quantile(model, 0, 0.99), CheckFailure);
+  EXPECT_THROW(homogeneous_unloaded_quantile(model, 1, 0.0), CheckFailure);
+  EXPECT_THROW(homogeneous_unloaded_quantile(model, 1, 1.0), CheckFailure);
+}
+
+TEST(HeterogeneousQuantile, DegeneratesToHomogeneous) {
+  auto model = exp_model(1.0);
+  const CdfModel* models[] = {&model, &model, &model, &model};
+  const double hetero = heterogeneous_unloaded_quantile(models, 0.99);
+  const double homo = homogeneous_unloaded_quantile(model, 4, 0.99);
+  EXPECT_NEAR(hetero, homo, 1e-6);
+}
+
+TEST(HeterogeneousQuantile, WithCountsMatchesRepeatedModels) {
+  auto fast = exp_model(1.0);
+  auto slow = exp_model(5.0);
+  const CdfModel* repeated[] = {&fast, &fast, &fast, &slow, &slow};
+  const CdfModel* grouped[] = {&fast, &slow};
+  const std::uint32_t counts[] = {3, 2};
+  EXPECT_NEAR(heterogeneous_unloaded_quantile(repeated, 0.99),
+              heterogeneous_unloaded_quantile(grouped, counts, 0.99), 1e-6);
+}
+
+TEST(HeterogeneousQuantile, DominatedBySlowServer) {
+  auto fast = exp_model(0.01);
+  auto slow = exp_model(10.0);
+  const CdfModel* models[] = {&fast, &slow};
+  const double x = heterogeneous_unloaded_quantile(models, 0.99);
+  // The slow server dominates: x must be close to (just above) the slow
+  // server's own p99 and far above the fast one's.
+  EXPECT_GT(x, slow.quantile(0.99));
+  EXPECT_LT(x, slow.quantile(0.999));
+}
+
+TEST(HeterogeneousQuantile, ProductPropertyHolds) {
+  // Verify F_Q(x_p) == p by evaluating the product CDF at the returned
+  // point (the defining property of Eq. 2).
+  auto a = exp_model(1.0);
+  auto b = exp_model(2.0);
+  auto c = exp_model(0.5);
+  const CdfModel* models[] = {&a, &b, &c};
+  for (double p : {0.9, 0.95, 0.99}) {
+    const double x = heterogeneous_unloaded_quantile(models, p);
+    EXPECT_NEAR(a.cdf(x) * b.cdf(x) * c.cdf(x), p, 1e-6) << "p=" << p;
+  }
+}
+
+TEST(HeterogeneousQuantile, SingleModel) {
+  auto model = exp_model(3.0);
+  const CdfModel* models[] = {&model};
+  EXPECT_NEAR(heterogeneous_unloaded_quantile(models, 0.99),
+              model.quantile(0.99), 1e-6);
+}
+
+TEST(HeterogeneousQuantile, Validation) {
+  auto model = exp_model(1.0);
+  const CdfModel* models[] = {&model};
+  const std::uint32_t counts[] = {1, 2};
+  EXPECT_THROW(heterogeneous_unloaded_quantile({}, 0.99), CheckFailure);
+  EXPECT_THROW(
+      heterogeneous_unloaded_quantile(models, std::span(counts), 0.99),
+      CheckFailure);
+}
+
+// Property sweep: for randomly generated heterogeneous model sets, the
+// inversion must agree with brute-force Monte Carlo of max-of-set samples.
+class HeterogeneousMonteCarlo : public ::testing::TestWithParam<int> {};
+
+TEST_P(HeterogeneousMonteCarlo, InversionMatchesSampledMaximum) {
+  Rng rng(1000 + GetParam());
+  // 2-4 groups with random exponential means and multiplicities.
+  const int groups = 2 + static_cast<int>(rng.uniform_index(3));
+  std::vector<std::shared_ptr<Exponential>> dists;
+  std::vector<DistributionCdfModel> model_store;
+  std::vector<std::uint32_t> counts;
+  model_store.reserve(groups);
+  for (int g = 0; g < groups; ++g) {
+    dists.push_back(std::make_shared<Exponential>(rng.uniform(0.2, 5.0)));
+    model_store.emplace_back(dists.back());
+    counts.push_back(1 + static_cast<std::uint32_t>(rng.uniform_index(6)));
+  }
+  std::vector<const CdfModel*> models;
+  for (const auto& m : model_store) models.push_back(&m);
+
+  const double p = 0.95;  // p95: estimable from 40k samples with ~2% noise
+  const double predicted =
+      heterogeneous_unloaded_quantile(models, counts, p);
+
+  const int samples = 40000;
+  std::vector<double> maxima(samples);
+  for (auto& m : maxima) {
+    double worst = 0.0;
+    for (int g = 0; g < groups; ++g)
+      for (std::uint32_t k = 0; k < counts[static_cast<std::size_t>(g)]; ++k)
+        worst = std::max(worst, dists[static_cast<std::size_t>(g)]->sample(rng));
+    m = worst;
+  }
+  std::sort(maxima.begin(), maxima.end());
+  const double sampled = maxima[static_cast<std::size_t>(p * samples)];
+  EXPECT_NEAR(predicted, sampled, 0.06 * sampled)
+      << "groups=" << groups << " seed-offset=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomModelSets, HeterogeneousMonteCarlo,
+                         ::testing::Range(0, 12));
+
+// ------------------------------------------------------------------ cache
+
+TEST(UnloadedQuantileCache, HitsSkipRecomputation) {
+  UnloadedQuantileCache cache;
+  int computed = 0;
+  const auto compute = [&] {
+    ++computed;
+    return 1.5;
+  };
+  EXPECT_DOUBLE_EQ(cache.get_or_compute(7, 0, compute), 1.5);
+  EXPECT_DOUBLE_EQ(cache.get_or_compute(7, 0, compute), 1.5);
+  EXPECT_EQ(computed, 1);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(UnloadedQuantileCache, VersionChangeInvalidates) {
+  UnloadedQuantileCache cache;
+  int computed = 0;
+  const auto compute = [&] {
+    ++computed;
+    return static_cast<double>(computed);
+  };
+  EXPECT_DOUBLE_EQ(cache.get_or_compute(7, 0, compute), 1.0);
+  EXPECT_DOUBLE_EQ(cache.get_or_compute(7, 1, compute), 2.0);  // invalidated
+  EXPECT_DOUBLE_EQ(cache.get_or_compute(7, 1, compute), 2.0);  // cached again
+  EXPECT_EQ(computed, 2);
+}
+
+TEST(UnloadedQuantileCache, DistinctKeysCoexist) {
+  UnloadedQuantileCache cache;
+  cache.get_or_compute(1, 0, [] { return 1.0; });
+  cache.get_or_compute(2, 0, [] { return 2.0; });
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_DOUBLE_EQ(cache.get_or_compute(2, 0, [] { return 99.0; }), 2.0);
+}
+
+}  // namespace
+}  // namespace tailguard

@@ -1,0 +1,114 @@
+// Tests for request-level decomposition (Eq. 7 and the budget-split
+// strategies).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "common/check.h"
+#include "core/order_stats.h"
+#include "core/request.h"
+#include "dist/standard.h"
+
+namespace tailguard {
+namespace {
+
+TEST(RequestQuantile, SingleQueryMatchesOrderStatistics) {
+  DistributionCdfModel model(std::make_shared<Exponential>(1.0));
+  RequestQuerySpec q{.fanout = 10, .model = &model};
+  Rng rng(7);
+  const TimeMs mc =
+      estimate_request_unloaded_quantile({&q, 1}, 0.99, rng, 400000);
+  const TimeMs exact = homogeneous_unloaded_quantile(model, 10, 0.99);
+  EXPECT_NEAR(mc, exact, 0.03 * exact);
+}
+
+TEST(RequestQuantile, SubadditiveAcrossQueries) {
+  // The paper's motivation for Eq. 7: x_p^{Ru} <= sum of the per-query
+  // x_p^u (strictly less for independent queries), which is why the naive
+  // per-query decomposition over-provisions.
+  DistributionCdfModel model(std::make_shared<Exponential>(1.0));
+  std::vector<RequestQuerySpec> queries(4,
+                                        {.fanout = 20, .model = &model});
+  Rng rng(11);
+  const TimeMs request_q =
+      estimate_request_unloaded_quantile(queries, 0.99, rng, 200000);
+  const TimeMs per_query = homogeneous_unloaded_quantile(model, 20, 0.99);
+  EXPECT_LT(request_q, 4.0 * per_query);
+  // ...but more than a single query's quantile.
+  EXPECT_GT(request_q, per_query);
+}
+
+TEST(RequestQuantile, GrowsWithQueryCount) {
+  DistributionCdfModel model(std::make_shared<Exponential>(2.0));
+  Rng rng(13);
+  double prev = 0.0;
+  for (std::size_t m : {1u, 2u, 4u, 8u}) {
+    std::vector<RequestQuerySpec> queries(m, {.fanout = 5, .model = &model});
+    const TimeMs x =
+        estimate_request_unloaded_quantile(queries, 0.95, rng, 100000);
+    EXPECT_GT(x, prev) << "M=" << m;
+    prev = x;
+  }
+}
+
+TEST(RequestQuantile, Validation) {
+  DistributionCdfModel model(std::make_shared<Exponential>(1.0));
+  RequestQuerySpec q{.fanout = 1, .model = &model};
+  Rng rng(1);
+  EXPECT_THROW(estimate_request_unloaded_quantile({}, 0.99, rng),
+               CheckFailure);
+  EXPECT_THROW(estimate_request_unloaded_quantile({&q, 1}, 0.0, rng),
+               CheckFailure);
+  EXPECT_THROW(estimate_request_unloaded_quantile({&q, 1}, 0.99, rng, 10),
+               CheckFailure);
+  RequestQuerySpec bad{.fanout = 0, .model = &model};
+  EXPECT_THROW(estimate_request_unloaded_quantile({&bad, 1}, 0.99, rng),
+               CheckFailure);
+}
+
+TEST(BudgetSplit, EqualSumsToTotal) {
+  DistributionCdfModel model(std::make_shared<Exponential>(1.0));
+  std::vector<RequestQuerySpec> queries(3, {.fanout = 4, .model = &model});
+  const auto budgets =
+      split_request_budget(9.0, queries, 0.99, BudgetSplit::kEqual);
+  ASSERT_EQ(budgets.size(), 3u);
+  for (TimeMs b : budgets) EXPECT_DOUBLE_EQ(b, 3.0);
+}
+
+TEST(BudgetSplit, ProportionalFavoursHighFanout) {
+  DistributionCdfModel model(std::make_shared<Exponential>(1.0));
+  std::vector<RequestQuerySpec> queries = {
+      {.fanout = 1, .model = &model},
+      {.fanout = 100, .model = &model},
+  };
+  const auto budgets = split_request_budget(
+      10.0, queries, 0.99, BudgetSplit::kProportionalToUnloaded);
+  ASSERT_EQ(budgets.size(), 2u);
+  EXPECT_NEAR(std::accumulate(budgets.begin(), budgets.end(), 0.0), 10.0,
+              1e-9);
+  // The fanout-100 query has roughly twice the unloaded quantile of the
+  // fanout-1 query for an exponential, so it should get the larger share.
+  EXPECT_GT(budgets[1], budgets[0]);
+}
+
+TEST(BudgetSplit, AdditivityPreserved) {
+  // Eq. 7: any split whose budgets sum to T_b^R preserves the request
+  // guarantee; both strategies must satisfy the invariant.
+  DistributionCdfModel a(std::make_shared<Exponential>(0.5));
+  DistributionCdfModel b(std::make_shared<Exponential>(3.0));
+  std::vector<RequestQuerySpec> queries = {
+      {.fanout = 7, .model = &a},
+      {.fanout = 3, .model = &b},
+      {.fanout = 50, .model = &a},
+  };
+  for (auto split :
+       {BudgetSplit::kEqual, BudgetSplit::kProportionalToUnloaded}) {
+    const auto budgets = split_request_budget(42.0, queries, 0.99, split);
+    EXPECT_NEAR(std::accumulate(budgets.begin(), budgets.end(), 0.0), 42.0,
+                1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace tailguard

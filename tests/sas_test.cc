@@ -1,0 +1,192 @@
+// Tests for the SaS testbed model (§IV.E): cluster CDF calibration against
+// Fig. 9a, use-case definitions, placement rules and end-to-end behaviour.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/stats.h"
+#include "sas/testbed.h"
+
+namespace tailguard {
+namespace {
+
+class SasClusterCalibration : public ::testing::TestWithParam<SasCluster> {};
+
+TEST_P(SasClusterCalibration, QuantilesMatchFig9a) {
+  const auto cluster = GetParam();
+  const auto stats = sas_paper_stats(cluster);
+  const auto model = make_sas_cluster_model(cluster);
+  EXPECT_NEAR(model->quantile(0.95), stats.p95_ms, 1e-9) << to_string(cluster);
+  EXPECT_NEAR(model->quantile(0.99), stats.p99_ms, 1e-9) << to_string(cluster);
+}
+
+TEST_P(SasClusterCalibration, MeanMatchesFig9a) {
+  const auto cluster = GetParam();
+  const auto stats = sas_paper_stats(cluster);
+  const auto model = make_sas_cluster_model(cluster);
+  EXPECT_NEAR(model->mean(), stats.mean_ms, 0.03 * stats.mean_ms)
+      << to_string(cluster);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClusters, SasClusterCalibration,
+                         ::testing::ValuesIn(kAllSasClusters),
+                         [](const auto& info) {
+                           std::string n = to_string(info.param);
+                           n.erase(std::remove(n.begin(), n.end(), '-'),
+                                   n.end());
+                           return n;
+                         });
+
+TEST(SasTestbed, WetLabIsFastest) {
+  // The paper equips the Wet-lab cluster with the highest-performing Pis
+  // and co-locates the query handler: it must dominate every other cluster.
+  const auto wet = make_sas_cluster_model(SasCluster::kWetLab);
+  for (SasCluster other : {SasCluster::kServerRoom, SasCluster::kFaculty,
+                           SasCluster::kGta}) {
+    const auto m = make_sas_cluster_model(other);
+    EXPECT_LT(wet->mean(), 0.5 * m->mean()) << to_string(other);
+    EXPECT_LT(wet->quantile(0.99), 0.5 * m->quantile(0.99))
+        << to_string(other);
+  }
+}
+
+TEST(SasTestbed, UseCasesMatchPaper) {
+  const auto cases = sas_use_cases();
+  EXPECT_DOUBLE_EQ(cases[0].spec.slo_ms, 800.0);
+  EXPECT_DOUBLE_EQ(cases[1].spec.slo_ms, 1300.0);
+  EXPECT_DOUBLE_EQ(cases[2].spec.slo_ms, 1800.0);
+  EXPECT_EQ(cases[0].fanout, 1u);
+  EXPECT_EQ(cases[1].fanout, 4u);
+  EXPECT_EQ(cases[2].fanout, 32u);
+  EXPECT_DOUBLE_EQ(cases[0].probability + cases[1].probability +
+                       cases[2].probability,
+                   1.0);
+}
+
+TEST(SasTestbed, NodeNumbering) {
+  EXPECT_EQ(sas_first_node(SasCluster::kServerRoom), 0u);
+  EXPECT_EQ(sas_first_node(SasCluster::kWetLab), 8u);
+  EXPECT_EQ(sas_first_node(SasCluster::kFaculty), 16u);
+  EXPECT_EQ(sas_first_node(SasCluster::kGta), 24u);
+  EXPECT_EQ(kSasNumNodes, 32u);
+}
+
+TEST(SasTestbed, PlacementRules) {
+  SimConfig cfg = make_sas_config(Policy::kTfEdf, 1, 100);
+  Rng rng(9);
+  std::vector<ServerId> out;
+
+  // Class A: single task; ~80% on the Server-room cluster.
+  int server_room = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    cfg.placement(rng, 0, 1, out);
+    ASSERT_EQ(out.size(), 1u);
+    ASSERT_LT(out[0], kSasNumNodes);
+    if (out[0] < 8) ++server_room;
+  }
+  EXPECT_NEAR(server_room / static_cast<double>(n), 0.8, 0.02);
+
+  // Class B: one node per cluster.
+  cfg.placement(rng, 1, 4, out);
+  ASSERT_EQ(out.size(), 4u);
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_GE(out[c], c * 8);
+    EXPECT_LT(out[c], (c + 1) * 8);
+  }
+
+  // Class C: all 32 nodes, distinct.
+  cfg.placement(rng, 2, 32, out);
+  ASSERT_EQ(out.size(), 32u);
+  EXPECT_EQ(std::set<ServerId>(out.begin(), out.end()).size(), 32u);
+}
+
+TEST(SasTestbed, ClassFanoutCoupling) {
+  SimConfig cfg = make_sas_config(Policy::kTfEdf, 1, 100);
+  Rng rng(1);
+  EXPECT_EQ(cfg.class_fanout(rng, 0), 1u);
+  EXPECT_EQ(cfg.class_fanout(rng, 1), 4u);
+  EXPECT_EQ(cfg.class_fanout(rng, 2), 32u);
+}
+
+TEST(SasTestbed, LoadOptionsReferenceServerRoom) {
+  const auto opt = sas_load_options();
+  EXPECT_DOUBLE_EQ(opt.capacity_servers, 8.0);
+  // E[SR tasks/query] = 1.6; mean SR service ~82 ms.
+  EXPECT_NEAR(opt.work_per_query, 1.6 * 82.0, 0.05 * 1.6 * 82.0);
+}
+
+TEST(SasTestbed, EndToEndMeetsSlosAtModerateLoad) {
+  SimConfig cfg = make_sas_config(Policy::kTfEdf, 5, 20000);
+  set_load(cfg, 0.40, sas_load_options());
+  const SimResult r = run_simulation(cfg);
+  ASSERT_EQ(r.class_results.size(), 3u);
+  EXPECT_TRUE(r.all_slos_met(0.02));
+  // Class mix ~ 50/40/10.
+  const double total = static_cast<double>(
+      r.class_results[0].queries + r.class_results[1].queries +
+      r.class_results[2].queries);
+  EXPECT_NEAR(r.class_results[0].queries / total, 0.5, 0.02);
+  EXPECT_NEAR(r.class_results[2].queries / total, 0.1, 0.01);
+}
+
+TEST(SasTestbed, ServerRoomLoadConversionIsAccurate) {
+  // At configured Server-room load L, the Server-room nodes (0..7) should
+  // measure ~L busy fraction. Use per-server accounting via a probe: the
+  // overall measured utilization mixes clusters, so verify indirectly —
+  // Wet-lab is under-utilised relative to Server-room (the paper's skew).
+  SimConfig cfg = make_sas_config(Policy::kTfEdf, 5, 30000);
+  set_load(cfg, 0.5, sas_load_options());
+  const SimResult r = run_simulation(cfg);
+  // Mean utilization across all 32 nodes must be well below the SR load
+  // because Wet-lab/faculty/GTA carry less work per ms of service... and
+  // Wet-lab is fast.
+  EXPECT_LT(r.measured_utilization, 0.5);
+  EXPECT_GT(r.measured_utilization, 0.15);
+}
+
+TEST(SasTestbed, ServerRoomHotWetLabIdle) {
+  // §IV.E: "the Server-room cluster is the most heavily loaded, whereas the
+  // Wet-lab cluster is highly under utilized".
+  SimConfig cfg = make_sas_config(Policy::kTfEdf, 5, 30000);
+  set_load(cfg, 0.5, sas_load_options());
+  const SimResult r = run_simulation(cfg);
+  ASSERT_EQ(r.server_utilization.size(), kSasNumNodes);
+  const auto cluster_util = [&](SasCluster c) {
+    double util = 0.0;
+    for (std::size_t n = 0; n < kSasNodesPerCluster; ++n)
+      util += r.server_utilization[sas_first_node(c) + n];
+    return util / kSasNodesPerCluster;
+  };
+  const double server_room = cluster_util(SasCluster::kServerRoom);
+  const double wet_lab = cluster_util(SasCluster::kWetLab);
+  // The configured load targets the Server-room cluster.
+  EXPECT_NEAR(server_room, 0.5, 0.05);
+  EXPECT_LT(wet_lab, 0.5 * server_room);
+  EXPECT_GT(server_room, cluster_util(SasCluster::kFaculty));
+  EXPECT_GT(server_room, cluster_util(SasCluster::kGta));
+}
+
+TEST(SasTestbed, PolicyRankingMatchesPaper) {
+  // Fig. 9: TailGuard achieves the highest max Server-room load, PRIQ the
+  // lowest; the full ordering is TailGuard > T-EDFQ > FIFO > PRIQ.
+  const auto opt = [] {
+    auto o = sas_load_options();
+    o.tolerance = 0.02;
+    return o;
+  }();
+  const auto max_load = [&](Policy p) {
+    return find_max_load(make_sas_config(p, 11, 30000), opt);
+  };
+  const double fifo = max_load(Policy::kFifo);
+  const double priq = max_load(Policy::kPriq);
+  const double tedf = max_load(Policy::kTEdf);
+  const double tfedf = max_load(Policy::kTfEdf);
+  EXPECT_GE(tfedf, tedf - 0.02);
+  EXPECT_GT(tedf, fifo);
+  EXPECT_GT(fifo, priq - 0.01);
+  EXPECT_GT(tfedf, fifo + 0.02);
+}
+
+}  // namespace
+}  // namespace tailguard

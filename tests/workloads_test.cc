@@ -1,0 +1,219 @@
+// Tests for src/workloads: the calibrated Tailbench models must reproduce
+// the paper's published statistics (Table II, Fig. 3), and the fanout/trace
+// machinery must behave.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "core/order_stats.h"
+#include "workloads/fanout.h"
+#include "workloads/tailbench.h"
+#include "workloads/trace.h"
+
+namespace tailguard {
+namespace {
+
+// ------------------------------------------------- Tailbench calibration
+
+class TailbenchCalibration : public ::testing::TestWithParam<TailbenchApp> {};
+
+TEST_P(TailbenchCalibration, TailQuantilesMatchTableII) {
+  const auto app = GetParam();
+  const auto stats = paper_stats(app);
+  const auto model = make_service_time_model(app);
+  // Eq. 2: x99u(kf) = F^{-1}(0.99^{1/kf}). The anchors are placed exactly at
+  // the probabilities Table II pins.
+  EXPECT_NEAR(model->quantile(0.99), stats.x99u_1, 1e-9) << to_string(app);
+  EXPECT_NEAR(model->quantile(0.999), stats.x99u_10, 0.02 * stats.x99u_10)
+      << to_string(app);
+  EXPECT_NEAR(model->quantile(0.9999), stats.x99u_100, 0.02 * stats.x99u_100)
+      << to_string(app);
+}
+
+TEST_P(TailbenchCalibration, MeanMatchesTableII) {
+  const auto app = GetParam();
+  const auto stats = paper_stats(app);
+  const auto model = make_service_time_model(app);
+  EXPECT_NEAR(model->mean(), stats.mean_service_ms,
+              0.02 * stats.mean_service_ms)
+      << to_string(app);
+}
+
+TEST_P(TailbenchCalibration, P95MatchesFig3) {
+  const auto app = GetParam();
+  const auto stats = paper_stats(app);
+  const auto model = make_service_time_model(app);
+  EXPECT_NEAR(model->quantile(0.95), stats.x95u_1, 1e-9) << to_string(app);
+}
+
+TEST_P(TailbenchCalibration, OrderStatisticsReproduceTableII) {
+  // The same numbers through the production code path (order-statistics
+  // engine on a CdfModel) instead of raw quantile calls.
+  const auto app = GetParam();
+  const auto stats = paper_stats(app);
+  DistributionCdfModel model(make_service_time_model(app));
+  const double tol = 0.025;
+  EXPECT_NEAR(homogeneous_unloaded_quantile(model, 1, 0.99), stats.x99u_1,
+              tol * stats.x99u_1);
+  EXPECT_NEAR(homogeneous_unloaded_quantile(model, 10, 0.99), stats.x99u_10,
+              tol * stats.x99u_10);
+  EXPECT_NEAR(homogeneous_unloaded_quantile(model, 100, 0.99), stats.x99u_100,
+              tol * stats.x99u_100);
+}
+
+TEST_P(TailbenchCalibration, SampledTailMatchesAnalytic) {
+  const auto app = GetParam();
+  const auto model = make_service_time_model(app);
+  Rng rng(777);
+  std::vector<double> sample(500000);
+  for (auto& x : sample) x = model->sample(rng);
+  EXPECT_NEAR(mean_of(sample), model->mean(), 0.01 * model->mean());
+  EXPECT_NEAR(percentile(sample, 99.0), model->quantile(0.99),
+              0.02 * model->quantile(0.99));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, TailbenchCalibration,
+                         ::testing::ValuesIn(kAllTailbenchApps),
+                         [](const auto& info) { return to_string(info.param); });
+
+TEST(Tailbench, NamesAreStable) {
+  EXPECT_EQ(to_string(TailbenchApp::kMasstree), "Masstree");
+  EXPECT_EQ(to_string(TailbenchApp::kShore), "Shore");
+  EXPECT_EQ(to_string(TailbenchApp::kXapian), "Xapian");
+}
+
+// ------------------------------------------------------------- fanout
+
+TEST(FixedFanout, AlwaysSame) {
+  FixedFanout f(7);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(f.sample(rng), 7u);
+  EXPECT_DOUBLE_EQ(f.mean(), 7.0);
+  EXPECT_EQ(f.support(), std::vector<std::uint32_t>{7});
+}
+
+TEST(CategoricalFanout, PaperMixProportions) {
+  const auto mix = CategoricalFanout::paper_mix();
+  // P(kf) ∝ 1/kf over {1,10,100}: every type contributes the same expected
+  // task volume (100*1 == 10*10 == 1*100).
+  EXPECT_NEAR(mix.mean(), 300.0 / 111.0, 1e-12);
+  Rng rng(3);
+  std::size_t counts[3] = {0, 0, 0};
+  const int n = 111000;
+  for (int i = 0; i < n; ++i) {
+    switch (mix.sample(rng)) {
+      case 1: ++counts[0]; break;
+      case 10: ++counts[1]; break;
+      case 100: ++counts[2]; break;
+      default: FAIL() << "unexpected fanout";
+    }
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 100.0 / 111.0, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 10.0 / 111.0, 0.005);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 1.0 / 111.0, 0.002);
+}
+
+TEST(CategoricalFanout, Validation) {
+  EXPECT_THROW(CategoricalFanout({}, {}), CheckFailure);
+  EXPECT_THROW(CategoricalFanout({1, 2}, {0.5}), CheckFailure);
+  EXPECT_THROW(CategoricalFanout({2, 1}, {0.5, 0.5}), CheckFailure);
+  EXPECT_THROW(CategoricalFanout({0}, {1.0}), CheckFailure);
+  EXPECT_THROW(CategoricalFanout({1}, {0.0}), CheckFailure);
+}
+
+TEST(ZipfFanout, MassDecreasesWithK) {
+  ZipfFanout z(100, 1.0);
+  Rng rng(9);
+  std::vector<int> counts(101, 0);
+  for (int i = 0; i < 200000; ++i) ++counts[z.sample(rng)];
+  EXPECT_GT(counts[1], counts[10]);
+  EXPECT_GT(counts[10], counts[100]);
+  // Facebook-like: most queries have small fanout.
+  int under20 = 0;
+  for (int k = 1; k < 20; ++k) under20 += counts[k];
+  EXPECT_GT(under20, 100000);  // > 50%
+}
+
+TEST(ZipfFanout, SupportAndMean) {
+  ZipfFanout z(4, 1.0);
+  EXPECT_EQ(z.support(), (std::vector<std::uint32_t>{1, 2, 3, 4}));
+  // mean = sum k * (1/k) / H_4 = 4 / (1 + 1/2 + 1/3 + 1/4)
+  EXPECT_NEAR(z.mean(), 4.0 / (25.0 / 12.0), 1e-12);
+}
+
+// ---------------------------------------------------------------- trace
+
+TEST(Trace, GenerateRespectsSpec) {
+  TraceSpec spec;
+  spec.num_queries = 10000;
+  spec.class_probabilities = {0.5, 0.5};
+  PoissonProcess arrivals(0.1);
+  FixedFanout fanout(4);
+  Rng rng(21);
+  const auto trace = generate_trace(spec, arrivals, fanout, rng);
+  ASSERT_EQ(trace.size(), 10000u);
+  double prev = 0.0;
+  std::size_t class1 = 0;
+  for (const auto& rec : trace) {
+    EXPECT_GE(rec.arrival_ms, prev);
+    prev = rec.arrival_ms;
+    EXPECT_EQ(rec.fanout, 4u);
+    EXPECT_LE(rec.class_id, 1u);
+    class1 += rec.class_id;
+  }
+  EXPECT_NEAR(class1 / 10000.0, 0.5, 0.02);
+  // Mean arrival gap = 10 ms.
+  EXPECT_NEAR(trace.back().arrival_ms / 10000.0, 10.0, 0.5);
+}
+
+TEST(Trace, CsvRoundTrip) {
+  TraceSpec spec;
+  spec.num_queries = 500;
+  spec.class_probabilities = {0.3, 0.7};
+  PoissonProcess arrivals(1.0);
+  auto mix = CategoricalFanout::paper_mix();
+  Rng rng(22);
+  const auto trace = generate_trace(spec, arrivals, mix, rng);
+
+  std::stringstream ss;
+  write_trace_csv(trace, ss);
+  const auto loaded = read_trace_csv(ss);
+  EXPECT_EQ(trace, loaded);
+}
+
+TEST(Trace, RejectsMalformedCsv) {
+  {
+    std::stringstream ss("wrong header\n1,0,1\n");
+    EXPECT_THROW(read_trace_csv(ss), CheckFailure);
+  }
+  {
+    std::stringstream ss("arrival_ms,class_id,fanout\nnot-a-number,0,1\n");
+    EXPECT_THROW(read_trace_csv(ss), CheckFailure);
+  }
+  {
+    // Non-monotone arrivals.
+    std::stringstream ss("arrival_ms,class_id,fanout\n5,0,1\n1,0,1\n");
+    EXPECT_THROW(read_trace_csv(ss), CheckFailure);
+  }
+  {
+    // Zero fanout.
+    std::stringstream ss("arrival_ms,class_id,fanout\n1,0,0\n");
+    EXPECT_THROW(read_trace_csv(ss), CheckFailure);
+  }
+}
+
+TEST(Trace, EmptyClassProbabilitiesMeansSingleClass) {
+  TraceSpec spec;
+  spec.num_queries = 100;
+  PoissonProcess arrivals(1.0);
+  FixedFanout fanout(1);
+  Rng rng(23);
+  const auto trace = generate_trace(spec, arrivals, fanout, rng);
+  for (const auto& rec : trace) EXPECT_EQ(rec.class_id, 0u);
+}
+
+}  // namespace
+}  // namespace tailguard

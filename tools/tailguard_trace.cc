@@ -1,0 +1,117 @@
+// tailguard_trace — generate and inspect query traces (CSV).
+//
+// Examples:
+//   # 100k queries at 2.5 queries/ms, paper fanout mix, two classes
+//   tailguard_trace --out /tmp/trace.csv --queries 100000 --rate 2.5
+//       --class-probs 0.5,0.5   (continued)
+//
+//   # summarize an existing trace
+//   tailguard_trace --inspect /tmp/trace.csv
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "common/flags.h"
+#include "workloads/trace.h"
+
+using namespace tailguard;
+
+namespace {
+
+int inspect(const std::string& path) {
+  const auto trace = read_trace_file(path);
+  if (trace.empty()) {
+    std::printf("%s: empty trace\n", path.c_str());
+    return 0;
+  }
+  std::map<std::uint32_t, std::size_t> by_class;
+  std::map<std::uint32_t, std::size_t> by_fanout;
+  std::uint64_t tasks = 0;
+  for (const auto& rec : trace) {
+    ++by_class[rec.class_id];
+    ++by_fanout[rec.fanout];
+    tasks += rec.fanout;
+  }
+  const double span_ms = trace.back().arrival_ms - trace.front().arrival_ms;
+  std::printf("%s: %zu queries, %llu tasks, %.1f ms span (%.3f queries/ms)\n",
+              path.c_str(), trace.size(),
+              static_cast<unsigned long long>(tasks), span_ms,
+              span_ms > 0 ? static_cast<double>(trace.size()) / span_ms : 0.0);
+  std::printf("classes:");
+  for (const auto& [cls, n] : by_class)
+    std::printf("  %u: %zu (%.1f%%)", cls, n, 100.0 * n / trace.size());
+  std::printf("\nfanouts:");
+  for (const auto& [kf, n] : by_fanout)
+    std::printf("  %u: %zu (%.1f%%)", kf, n, 100.0 * n / trace.size());
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  std::string inspect_path;
+  std::size_t queries = 100000;
+  double rate = 1.0;
+  bool pareto = false;
+  double pareto_shape = 1.5;
+  std::vector<double> class_probs;
+  std::vector<double> fanout_values = {1, 10, 100};
+  std::vector<double> fanout_probs;
+  std::int64_t seed = 1;
+
+  FlagParser parser("tailguard_trace — generate / inspect query trace CSVs");
+  parser.add_string("out", &out_path, "write a generated trace here");
+  parser.add_string("inspect", &inspect_path, "summarize this trace instead");
+  parser.add_size("queries", &queries, "number of queries to generate");
+  parser.add_double("rate", &rate, "mean arrival rate, queries per ms");
+  parser.add_bool("pareto", &pareto, "Pareto arrivals instead of Poisson");
+  parser.add_double("pareto-shape", &pareto_shape, "Pareto tail index (>1)");
+  parser.add_double_list("class-probs", &class_probs,
+                         "class mix; empty = single class");
+  parser.add_double_list("fanout-values", &fanout_values,
+                         "categorical fanout support");
+  parser.add_double_list("fanout-probs", &fanout_probs,
+                         "fanout probabilities; empty = proportional to "
+                         "1/fanout (the paper's mix)");
+  parser.add_int("seed", &seed, "random seed");
+  if (!parser.parse(argc, argv, std::cout, std::cerr))
+    return parser.help_requested() ? 0 : 1;
+
+  if (!inspect_path.empty()) return inspect(inspect_path);
+  if (out_path.empty()) {
+    std::cerr << "need --out <file> or --inspect <file> (try --help)\n";
+    return 1;
+  }
+
+  std::vector<std::uint32_t> values;
+  for (double v : fanout_values)
+    values.push_back(static_cast<std::uint32_t>(v));
+  std::vector<double> probs = fanout_probs;
+  if (probs.empty()) {
+    for (std::uint32_t v : values) probs.push_back(1.0 / v);
+  }
+  if (probs.size() != values.size()) {
+    std::cerr << "--fanout-probs must match --fanout-values\n";
+    return 1;
+  }
+
+  const CategoricalFanout fanout(values, probs);
+  Rng rng(static_cast<std::uint64_t>(seed));
+  TraceSpec spec;
+  spec.num_queries = queries;
+  spec.class_probabilities = class_probs;
+
+  std::unique_ptr<ArrivalProcess> arrivals;
+  if (pareto) {
+    arrivals = std::make_unique<ParetoProcess>(rate, pareto_shape);
+  } else {
+    arrivals = std::make_unique<PoissonProcess>(rate);
+  }
+  const auto trace = generate_trace(spec, *arrivals, fanout, rng);
+  write_trace_file(trace, out_path);
+  std::printf("wrote %zu queries to %s (%.1f ms of arrivals)\n", trace.size(),
+              out_path.c_str(), trace.back().arrival_ms);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Shared name<->enum mapping for the command-line tools.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "workloads/tailbench.h"
+
+namespace tailguard::tools {
+
+inline std::optional<Policy> parse_policy(const std::string& name) {
+  if (name == "fifo") return Policy::kFifo;
+  if (name == "priq") return Policy::kPriq;
+  if (name == "tedf" || name == "t-edf" || name == "t-edfq")
+    return Policy::kTEdf;
+  if (name == "tfedf" || name == "tf-edf" || name == "tailguard")
+    return Policy::kTfEdf;
+  return std::nullopt;
+}
+
+inline std::vector<Policy> parse_policies(const std::string& csv_or_all) {
+  if (csv_or_all == "all")
+    return {Policy::kFifo, Policy::kPriq, Policy::kTEdf, Policy::kTfEdf};
+  std::vector<Policy> out;
+  std::string token;
+  for (char c : csv_or_all + ",") {
+    if (c == ',') {
+      if (!token.empty()) {
+        const auto p = parse_policy(token);
+        if (!p) return {};
+        out.push_back(*p);
+        token.clear();
+      }
+    } else {
+      token += c;
+    }
+  }
+  return out;
+}
+
+inline std::optional<TailbenchApp> parse_workload(const std::string& name) {
+  if (name == "masstree") return TailbenchApp::kMasstree;
+  if (name == "shore") return TailbenchApp::kShore;
+  if (name == "xapian") return TailbenchApp::kXapian;
+  return std::nullopt;
+}
+
+}  // namespace tailguard::tools
