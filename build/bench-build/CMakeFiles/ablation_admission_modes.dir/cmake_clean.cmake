@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_admission_modes"
+  "../bench/ablation_admission_modes.pdb"
+  "CMakeFiles/ablation_admission_modes.dir/ablation_admission_modes.cc.o"
+  "CMakeFiles/ablation_admission_modes.dir/ablation_admission_modes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_admission_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

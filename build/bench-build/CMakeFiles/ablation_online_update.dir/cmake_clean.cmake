@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_online_update"
+  "../bench/ablation_online_update.pdb"
+  "CMakeFiles/ablation_online_update.dir/ablation_online_update.cc.o"
+  "CMakeFiles/ablation_online_update.dir/ablation_online_update.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_online_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

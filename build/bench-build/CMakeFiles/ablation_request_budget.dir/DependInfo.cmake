@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_request_budget.cc" "bench-build/CMakeFiles/ablation_request_budget.dir/ablation_request_budget.cc.o" "gcc" "bench-build/CMakeFiles/ablation_request_budget.dir/ablation_request_budget.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tg_sas.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tg_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tg_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tg_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tg_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

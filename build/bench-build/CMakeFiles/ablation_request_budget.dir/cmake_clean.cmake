@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_request_budget"
+  "../bench/ablation_request_budget.pdb"
+  "CMakeFiles/ablation_request_budget.dir/ablation_request_budget.cc.o"
+  "CMakeFiles/ablation_request_budget.dir/ablation_request_budget.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_request_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_analytic_capacity"
+  "../bench/ext_analytic_capacity.pdb"
+  "CMakeFiles/ext_analytic_capacity.dir/ext_analytic_capacity.cc.o"
+  "CMakeFiles/ext_analytic_capacity.dir/ext_analytic_capacity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_analytic_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

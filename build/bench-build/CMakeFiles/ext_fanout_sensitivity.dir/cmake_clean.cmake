@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_fanout_sensitivity"
+  "../bench/ext_fanout_sensitivity.pdb"
+  "CMakeFiles/ext_fanout_sensitivity.dir/ext_fanout_sensitivity.cc.o"
+  "CMakeFiles/ext_fanout_sensitivity.dir/ext_fanout_sensitivity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_fanout_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

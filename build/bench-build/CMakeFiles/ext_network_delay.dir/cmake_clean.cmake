@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_network_delay"
+  "../bench/ext_network_delay.pdb"
+  "CMakeFiles/ext_network_delay.dir/ext_network_delay.cc.o"
+  "CMakeFiles/ext_network_delay.dir/ext_network_delay.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_network_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

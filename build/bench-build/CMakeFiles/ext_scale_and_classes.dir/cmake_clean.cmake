@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_scale_and_classes"
+  "../bench/ext_scale_and_classes.pdb"
+  "CMakeFiles/ext_scale_and_classes.dir/ext_scale_and_classes.cc.o"
+  "CMakeFiles/ext_scale_and_classes.dir/ext_scale_and_classes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_scale_and_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

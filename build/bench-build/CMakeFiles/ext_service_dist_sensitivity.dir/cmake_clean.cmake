@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_service_dist_sensitivity"
+  "../bench/ext_service_dist_sensitivity.pdb"
+  "CMakeFiles/ext_service_dist_sensitivity.dir/ext_service_dist_sensitivity.cc.o"
+  "CMakeFiles/ext_service_dist_sensitivity.dir/ext_service_dist_sensitivity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_service_dist_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

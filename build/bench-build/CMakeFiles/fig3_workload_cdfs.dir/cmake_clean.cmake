@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_workload_cdfs"
+  "../bench/fig3_workload_cdfs.pdb"
+  "CMakeFiles/fig3_workload_cdfs.dir/fig3_workload_cdfs.cc.o"
+  "CMakeFiles/fig3_workload_cdfs.dir/fig3_workload_cdfs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_workload_cdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_single_class_maxload"
+  "../bench/fig4_single_class_maxload.pdb"
+  "CMakeFiles/fig4_single_class_maxload.dir/fig4_single_class_maxload.cc.o"
+  "CMakeFiles/fig4_single_class_maxload.dir/fig4_single_class_maxload.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_single_class_maxload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_two_class_maxload"
+  "../bench/fig5_two_class_maxload.pdb"
+  "CMakeFiles/fig5_two_class_maxload.dir/fig5_two_class_maxload.cc.o"
+  "CMakeFiles/fig5_two_class_maxload.dir/fig5_two_class_maxload.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_two_class_maxload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

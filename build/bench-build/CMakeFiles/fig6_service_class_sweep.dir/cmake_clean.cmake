@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_service_class_sweep"
+  "../bench/fig6_service_class_sweep.pdb"
+  "CMakeFiles/fig6_service_class_sweep.dir/fig6_service_class_sweep.cc.o"
+  "CMakeFiles/fig6_service_class_sweep.dir/fig6_service_class_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_service_class_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

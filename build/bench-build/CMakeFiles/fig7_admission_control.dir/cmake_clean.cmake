@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_admission_control"
+  "../bench/fig7_admission_control.pdb"
+  "CMakeFiles/fig7_admission_control.dir/fig7_admission_control.cc.o"
+  "CMakeFiles/fig7_admission_control.dir/fig7_admission_control.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_admission_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_sas_testbed"
+  "../bench/fig9_sas_testbed.pdb"
+  "CMakeFiles/fig9_sas_testbed.dir/fig9_sas_testbed.cc.o"
+  "CMakeFiles/fig9_sas_testbed.dir/fig9_sas_testbed.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_sas_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/runtime_testbed"
+  "../bench/runtime_testbed.pdb"
+  "CMakeFiles/runtime_testbed.dir/runtime_testbed.cc.o"
+  "CMakeFiles/runtime_testbed.dir/runtime_testbed.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_latency_breakdown"
+  "../bench/table3_latency_breakdown.pdb"
+  "CMakeFiles/table3_latency_breakdown.dir/table3_latency_breakdown.cc.o"
+  "CMakeFiles/table3_latency_breakdown.dir/table3_latency_breakdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_latency_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admission_overload.dir/admission_overload.cpp.o"
+  "CMakeFiles/admission_overload.dir/admission_overload.cpp.o.d"
+  "admission_overload"
+  "admission_overload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admission_overload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

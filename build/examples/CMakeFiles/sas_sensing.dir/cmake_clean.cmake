@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sas_sensing.dir/sas_sensing.cpp.o"
+  "CMakeFiles/sas_sensing.dir/sas_sensing.cpp.o.d"
+  "sas_sensing"
+  "sas_sensing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sas_sensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_capacity_planning.dir/trace_capacity_planning.cpp.o"
+  "CMakeFiles/trace_capacity_planning.dir/trace_capacity_planning.cpp.o.d"
+  "trace_capacity_planning"
+  "trace_capacity_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_capacity_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/websearch_oldi.dir/websearch_oldi.cpp.o"
+  "CMakeFiles/websearch_oldi.dir/websearch_oldi.cpp.o.d"
+  "websearch_oldi"
+  "websearch_oldi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/websearch_oldi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

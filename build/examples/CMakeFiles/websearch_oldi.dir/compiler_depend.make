@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for websearch_oldi.
+# This may be replaced when dependencies are built.

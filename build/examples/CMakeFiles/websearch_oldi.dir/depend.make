@@ -1,0 +1,2 @@
+# Empty dependencies file for websearch_oldi.
+# This may be replaced when dependencies are built.

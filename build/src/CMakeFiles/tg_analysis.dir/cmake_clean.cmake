@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_analysis.dir/analysis/queueing.cc.o"
+  "CMakeFiles/tg_analysis.dir/analysis/queueing.cc.o.d"
+  "libtg_analysis.a"
+  "libtg_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_common.dir/common/empirical_cdf.cc.o"
+  "CMakeFiles/tg_common.dir/common/empirical_cdf.cc.o.d"
+  "CMakeFiles/tg_common.dir/common/flags.cc.o"
+  "CMakeFiles/tg_common.dir/common/flags.cc.o.d"
+  "CMakeFiles/tg_common.dir/common/stats.cc.o"
+  "CMakeFiles/tg_common.dir/common/stats.cc.o.d"
+  "CMakeFiles/tg_common.dir/common/streaming_histogram.cc.o"
+  "CMakeFiles/tg_common.dir/common/streaming_histogram.cc.o.d"
+  "libtg_common.a"
+  "libtg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

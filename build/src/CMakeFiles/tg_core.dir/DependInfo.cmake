@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/admission.cc" "src/CMakeFiles/tg_core.dir/core/admission.cc.o" "gcc" "src/CMakeFiles/tg_core.dir/core/admission.cc.o.d"
+  "/root/repo/src/core/cdf_model.cc" "src/CMakeFiles/tg_core.dir/core/cdf_model.cc.o" "gcc" "src/CMakeFiles/tg_core.dir/core/cdf_model.cc.o.d"
+  "/root/repo/src/core/deadline.cc" "src/CMakeFiles/tg_core.dir/core/deadline.cc.o" "gcc" "src/CMakeFiles/tg_core.dir/core/deadline.cc.o.d"
+  "/root/repo/src/core/order_stats.cc" "src/CMakeFiles/tg_core.dir/core/order_stats.cc.o" "gcc" "src/CMakeFiles/tg_core.dir/core/order_stats.cc.o.d"
+  "/root/repo/src/core/policy.cc" "src/CMakeFiles/tg_core.dir/core/policy.cc.o" "gcc" "src/CMakeFiles/tg_core.dir/core/policy.cc.o.d"
+  "/root/repo/src/core/query_tracker.cc" "src/CMakeFiles/tg_core.dir/core/query_tracker.cc.o" "gcc" "src/CMakeFiles/tg_core.dir/core/query_tracker.cc.o.d"
+  "/root/repo/src/core/request.cc" "src/CMakeFiles/tg_core.dir/core/request.cc.o" "gcc" "src/CMakeFiles/tg_core.dir/core/request.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tg_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_core.dir/core/admission.cc.o"
+  "CMakeFiles/tg_core.dir/core/admission.cc.o.d"
+  "CMakeFiles/tg_core.dir/core/cdf_model.cc.o"
+  "CMakeFiles/tg_core.dir/core/cdf_model.cc.o.d"
+  "CMakeFiles/tg_core.dir/core/deadline.cc.o"
+  "CMakeFiles/tg_core.dir/core/deadline.cc.o.d"
+  "CMakeFiles/tg_core.dir/core/order_stats.cc.o"
+  "CMakeFiles/tg_core.dir/core/order_stats.cc.o.d"
+  "CMakeFiles/tg_core.dir/core/policy.cc.o"
+  "CMakeFiles/tg_core.dir/core/policy.cc.o.d"
+  "CMakeFiles/tg_core.dir/core/query_tracker.cc.o"
+  "CMakeFiles/tg_core.dir/core/query_tracker.cc.o.d"
+  "CMakeFiles/tg_core.dir/core/request.cc.o"
+  "CMakeFiles/tg_core.dir/core/request.cc.o.d"
+  "libtg_core.a"
+  "libtg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

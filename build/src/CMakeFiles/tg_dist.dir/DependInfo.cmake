@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/arrival.cc" "src/CMakeFiles/tg_dist.dir/dist/arrival.cc.o" "gcc" "src/CMakeFiles/tg_dist.dir/dist/arrival.cc.o.d"
+  "/root/repo/src/dist/piecewise_linear_quantile.cc" "src/CMakeFiles/tg_dist.dir/dist/piecewise_linear_quantile.cc.o" "gcc" "src/CMakeFiles/tg_dist.dir/dist/piecewise_linear_quantile.cc.o.d"
+  "/root/repo/src/dist/standard.cc" "src/CMakeFiles/tg_dist.dir/dist/standard.cc.o" "gcc" "src/CMakeFiles/tg_dist.dir/dist/standard.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_dist.dir/dist/arrival.cc.o"
+  "CMakeFiles/tg_dist.dir/dist/arrival.cc.o.d"
+  "CMakeFiles/tg_dist.dir/dist/piecewise_linear_quantile.cc.o"
+  "CMakeFiles/tg_dist.dir/dist/piecewise_linear_quantile.cc.o.d"
+  "CMakeFiles/tg_dist.dir/dist/standard.cc.o"
+  "CMakeFiles/tg_dist.dir/dist/standard.cc.o.d"
+  "libtg_dist.a"
+  "libtg_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/loadgen.cc" "src/CMakeFiles/tg_runtime.dir/runtime/loadgen.cc.o" "gcc" "src/CMakeFiles/tg_runtime.dir/runtime/loadgen.cc.o.d"
+  "/root/repo/src/runtime/service.cc" "src/CMakeFiles/tg_runtime.dir/runtime/service.cc.o" "gcc" "src/CMakeFiles/tg_runtime.dir/runtime/service.cc.o.d"
+  "/root/repo/src/runtime/worker.cc" "src/CMakeFiles/tg_runtime.dir/runtime/worker.cc.o" "gcc" "src/CMakeFiles/tg_runtime.dir/runtime/worker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tg_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_runtime.dir/runtime/loadgen.cc.o"
+  "CMakeFiles/tg_runtime.dir/runtime/loadgen.cc.o.d"
+  "CMakeFiles/tg_runtime.dir/runtime/service.cc.o"
+  "CMakeFiles/tg_runtime.dir/runtime/service.cc.o.d"
+  "CMakeFiles/tg_runtime.dir/runtime/worker.cc.o"
+  "CMakeFiles/tg_runtime.dir/runtime/worker.cc.o.d"
+  "libtg_runtime.a"
+  "libtg_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

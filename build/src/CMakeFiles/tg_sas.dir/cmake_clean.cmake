@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_sas.dir/sas/testbed.cc.o"
+  "CMakeFiles/tg_sas.dir/sas/testbed.cc.o.d"
+  "libtg_sas.a"
+  "libtg_sas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_sas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_sim.dir/sim/cluster.cc.o"
+  "CMakeFiles/tg_sim.dir/sim/cluster.cc.o.d"
+  "CMakeFiles/tg_sim.dir/sim/experiment.cc.o"
+  "CMakeFiles/tg_sim.dir/sim/experiment.cc.o.d"
+  "CMakeFiles/tg_sim.dir/sim/metrics.cc.o"
+  "CMakeFiles/tg_sim.dir/sim/metrics.cc.o.d"
+  "CMakeFiles/tg_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/tg_sim.dir/sim/simulator.cc.o.d"
+  "libtg_sim.a"
+  "libtg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/fanout.cc" "src/CMakeFiles/tg_workloads.dir/workloads/fanout.cc.o" "gcc" "src/CMakeFiles/tg_workloads.dir/workloads/fanout.cc.o.d"
+  "/root/repo/src/workloads/tailbench.cc" "src/CMakeFiles/tg_workloads.dir/workloads/tailbench.cc.o" "gcc" "src/CMakeFiles/tg_workloads.dir/workloads/tailbench.cc.o.d"
+  "/root/repo/src/workloads/tailbench_extra.cc" "src/CMakeFiles/tg_workloads.dir/workloads/tailbench_extra.cc.o" "gcc" "src/CMakeFiles/tg_workloads.dir/workloads/tailbench_extra.cc.o.d"
+  "/root/repo/src/workloads/trace.cc" "src/CMakeFiles/tg_workloads.dir/workloads/trace.cc.o" "gcc" "src/CMakeFiles/tg_workloads.dir/workloads/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tg_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

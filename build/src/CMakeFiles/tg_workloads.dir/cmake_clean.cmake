@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tg_workloads.dir/workloads/fanout.cc.o"
+  "CMakeFiles/tg_workloads.dir/workloads/fanout.cc.o.d"
+  "CMakeFiles/tg_workloads.dir/workloads/tailbench.cc.o"
+  "CMakeFiles/tg_workloads.dir/workloads/tailbench.cc.o.d"
+  "CMakeFiles/tg_workloads.dir/workloads/tailbench_extra.cc.o"
+  "CMakeFiles/tg_workloads.dir/workloads/tailbench_extra.cc.o.d"
+  "CMakeFiles/tg_workloads.dir/workloads/trace.cc.o"
+  "CMakeFiles/tg_workloads.dir/workloads/trace.cc.o.d"
+  "libtg_workloads.a"
+  "libtg_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tg_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdf_model_test.dir/cdf_model_test.cc.o"
+  "CMakeFiles/cdf_model_test.dir/cdf_model_test.cc.o.d"
+  "cdf_model_test"
+  "cdf_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdf_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_stats_test.dir/order_stats_test.cc.o"
+  "CMakeFiles/order_stats_test.dir/order_stats_test.cc.o.d"
+  "order_stats_test"
+  "order_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

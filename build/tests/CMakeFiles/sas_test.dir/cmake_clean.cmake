@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sas_test.dir/sas_test.cc.o"
+  "CMakeFiles/sas_test.dir/sas_test.cc.o.d"
+  "sas_test"
+  "sas_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tailguard_sim.dir/tailguard_sim.cc.o"
+  "CMakeFiles/tailguard_sim.dir/tailguard_sim.cc.o.d"
+  "tailguard_sim"
+  "tailguard_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tailguard_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tailguard_trace.dir/tailguard_trace.cc.o"
+  "CMakeFiles/tailguard_trace.dir/tailguard_trace.cc.o.d"
+  "tailguard_trace"
+  "tailguard_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tailguard_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

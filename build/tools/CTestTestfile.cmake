@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_sim_smoke "/root/repo/build/tools/tailguard_sim" "--queries" "3000" "--load" "0.3" "--policies" "tailguard")
+set_tests_properties(tool_sim_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_sim_sas_smoke "/root/repo/build/tools/tailguard_sim" "--sas" "--queries" "3000" "--load" "0.3" "--policies" "fifo" "--format" "csv")
+set_tests_properties(tool_sim_sas_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_sim_help "/root/repo/build/tools/tailguard_sim" "--help")
+set_tests_properties(tool_sim_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_sim_rejects_bad_flag "/root/repo/build/tools/tailguard_sim" "--no-such-flag")
+set_tests_properties(tool_sim_rejects_bad_flag PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_trace_smoke "/root/repo/build/tools/tailguard_trace" "--out" "/root/repo/build/tools/smoke_trace.csv" "--queries" "2000" "--rate" "1.5")
+set_tests_properties(tool_trace_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_trace_inspect "/root/repo/build/tools/tailguard_trace" "--inspect" "/root/repo/build/tools/smoke_trace.csv")
+set_tests_properties(tool_trace_inspect PROPERTIES  DEPENDS "tool_trace_smoke" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
