@@ -1,0 +1,25 @@
+#include "core/placement.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace tailguard {
+
+std::vector<ServerId> pick_least_loaded(
+    std::vector<PlacementCandidate> candidates, std::size_t count, Rng& rng) {
+  if (count == 0) return {};
+  TG_CHECK_MSG(!candidates.empty(), "placement needs at least one candidate");
+  // Random tie-break: scale the load so the random component never reorders
+  // genuinely different loads.
+  for (auto& [load, id] : candidates)
+    load = load * candidates.size() + rng.uniform_index(candidates.size());
+  std::sort(candidates.begin(), candidates.end());
+  std::vector<ServerId> picked;
+  picked.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    picked.push_back(candidates[i % candidates.size()].second);
+  return picked;
+}
+
+}  // namespace tailguard

@@ -1,0 +1,30 @@
+// Least-loaded distinct-server placement, shared by the in-process runtime
+// and the remote dispatcher (Fig. 2: the query handler fans each query out to
+// kf *distinct* task servers).
+//
+// Candidates are (load, server) pairs; the picker returns the `count` servers
+// with the smallest load, breaking ties randomly so equally-loaded servers
+// share tasks evenly. When `count` exceeds the candidate set (e.g. a remote
+// server is down and the remaining ones must absorb its share), servers are
+// reused round-robin in load order — "distinct where possible".
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/types.h"
+
+namespace tailguard {
+
+/// One placement candidate: current load (queue depth or in-flight tasks)
+/// and the server it belongs to.
+using PlacementCandidate = std::pair<std::size_t, ServerId>;
+
+/// Picks `count` servers from `candidates`, least-loaded first, random
+/// tie-break, reusing servers round-robin only when count > candidates.
+/// Precondition: !candidates.empty() when count > 0.
+std::vector<ServerId> pick_least_loaded(std::vector<PlacementCandidate> candidates,
+                                        std::size_t count, Rng& rng);
+
+}  // namespace tailguard

@@ -1,0 +1,500 @@
+#include "net/dispatcher.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+
+#include "common/check.h"
+#include "core/placement.h"
+
+namespace tailguard::net {
+
+namespace {
+std::vector<std::shared_ptr<CdfModel>> make_server_models(
+    const DispatcherOptions& options) {
+  std::vector<std::shared_ptr<CdfModel>> models;
+  models.reserve(options.servers.size());
+  for (std::size_t i = 0; i < options.servers.size(); ++i)
+    models.push_back(
+        std::make_shared<StreamingCdfModel>(options.model_options));
+  return models;
+}
+}  // namespace
+
+RemoteDispatcher::RemoteDispatcher(DispatcherOptions options)
+    : options_(std::move(options)),
+      epoch_(std::chrono::steady_clock::now()),
+      estimator_(make_server_models(options_)),
+      rng_(options_.seed) {
+  TG_CHECK_MSG(!options_.servers.empty(), "need at least one task server");
+  TG_CHECK_MSG(!options_.classes.empty(), "need at least one service class");
+  TG_CHECK_MSG(options_.task_timeout_ms > 0.0, "task timeout must be positive");
+  for (const auto& spec : options_.classes) estimator_.add_class(spec);
+  servers_.resize(options_.servers.size());
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    servers_[i].spec = options_.servers[i];
+    servers_[i].backoff_ms = options_.reconnect_initial_backoff_ms;
+    servers_[i].next_attempt_ms = 0.0;  // connect on first loop iteration
+  }
+  net_thread_ = std::thread([this] { net_loop(); });
+}
+
+RemoteDispatcher::~RemoteDispatcher() {
+  running_.store(false);
+  wake_.wake();
+  if (net_thread_.joinable()) net_thread_.join();
+
+  // Fail whatever is still in flight so no future is left hanging.
+  std::vector<Resolution> resolutions;
+  {
+    std::lock_guard lock(mu_);
+    std::vector<TaskId> remaining;
+    remaining.reserve(in_flight_.size());
+    for (const auto& [task, info] : in_flight_) remaining.push_back(task);
+    for (TaskId task : remaining) {
+      const auto it = in_flight_.find(task);
+      if (it == in_flight_.end()) continue;
+      const QueryId query = it->second.query;
+      in_flight_.erase(it);
+      finish_task(query, /*missed=*/false, /*failed=*/true, &resolutions);
+    }
+    for (auto& conn : servers_) conn.fd.reset();
+  }
+  resolve(std::move(resolutions));
+}
+
+TimeMs RemoteDispatcher::now_ms() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void RemoteDispatcher::seed_profile(std::span<const double> samples_ms) {
+  std::lock_guard lock(mu_);
+  for (std::size_t s = 0; s < servers_.size(); ++s)
+    for (double sample : samples_ms)
+      estimator_.observe_post_queuing(static_cast<ServerId>(s), sample);
+}
+
+std::future<QueryResult> RemoteDispatcher::submit(
+    ClassId cls, std::vector<RemoteTaskSpec> tasks,
+    std::optional<TimeMs> budget_override) {
+  TG_CHECK_MSG(!tasks.empty(), "query must contain at least one task");
+  TG_CHECK_MSG(cls < options_.classes.size(), "unknown class " << cls);
+  TG_CHECK_MSG(running_.load(), "submit on a stopped dispatcher");
+
+  std::promise<QueryResult> promise;
+  std::future<QueryResult> future = promise.get_future();
+  std::vector<Resolution> resolutions;
+  {
+    std::lock_guard lock(mu_);
+    const TimeMs t0 = now_ms();
+
+    std::vector<PlacementCandidate> alive;
+    for (std::size_t s = 0; s < servers_.size(); ++s)
+      if (servers_[s].state == ConnState::kAlive)
+        alive.emplace_back(servers_[s].in_flight, static_cast<ServerId>(s));
+
+    // Placement: explicit targets are honoured (and fail fast when the
+    // target is down); the rest go least-loaded over the alive set,
+    // distinct where capacity allows.
+    std::vector<ServerId> placement(tasks.size());
+    std::vector<bool> failed_at_submit(tasks.size(), false);
+    std::vector<std::size_t> unassigned;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      if (tasks[i].server) {
+        TG_CHECK_MSG(*tasks[i].server < servers_.size(),
+                     "unknown server " << *tasks[i].server);
+        placement[i] = *tasks[i].server;
+        failed_at_submit[i] =
+            servers_[*tasks[i].server].state != ConnState::kAlive;
+      } else {
+        unassigned.push_back(i);
+      }
+    }
+    if (!unassigned.empty()) {
+      if (alive.empty()) {
+        for (std::size_t i : unassigned) failed_at_submit[i] = true;
+      } else {
+        const auto picked = pick_least_loaded(alive, unassigned.size(), rng_);
+        for (std::size_t j = 0; j < unassigned.size(); ++j)
+          placement[unassigned[j]] = picked[j];
+      }
+    }
+
+    // With no server reachable the query degrades to an immediate failure —
+    // callers get a resolved future, never a hang.
+    const bool all_failed =
+        std::all_of(failed_at_submit.begin(), failed_at_submit.end(),
+                    [](bool f) { return f; });
+    if (all_failed) {
+      QueryResult r;
+      r.cls = cls;
+      r.fanout = static_cast<std::uint32_t>(tasks.size());
+      r.tasks_failed = r.fanout;
+      tasks_failed_ += r.fanout;
+      ++completed_;
+      resolutions.emplace_back(std::move(promise), r);
+    } else {
+      // Eq. 6 deadline over the intended server set (dead explicit targets
+      // included: their frozen models still describe the intent).
+      const TimeMs tail_deadline =
+          budget_override ? t0 + *budget_override
+                          : estimator_.deadline(t0, cls, placement);
+      TimeMs order_deadline = t0;
+      switch (options_.policy) {
+        case Policy::kTfEdf:
+          order_deadline = tail_deadline;
+          break;
+        case Policy::kTEdf:
+          order_deadline = estimator_.slo_deadline(t0, cls);
+          break;
+        case Policy::kFifo:
+        case Policy::kPriq:
+          order_deadline = t0;
+          break;
+      }
+
+      const QueryId qid = tracker_.begin_query(
+          t0, cls, static_cast<std::uint32_t>(tasks.size()), tail_deadline);
+      PendingQuery pending;
+      pending.promise = std::move(promise);
+      pending.result.id = qid;
+      pending.result.cls = cls;
+      pending.result.fanout = static_cast<std::uint32_t>(tasks.size());
+      pending.result.deadline_budget = tail_deadline - t0;
+      pending_.emplace(qid, std::move(pending));
+
+      for (std::size_t i = 0; i < tasks.size(); ++i) {
+        if (failed_at_submit[i]) {
+          finish_task(qid, /*missed=*/false, /*failed=*/true, &resolutions);
+          continue;
+        }
+        SubmitTaskMsg msg;
+        msg.task = next_task_id_++;
+        msg.query = qid;
+        msg.cls = cls;
+        msg.relative_deadline_ms = order_deadline - t0;
+        msg.simulated_service_ms = tasks[i].simulated_service_ms;
+        ServerConn& conn = servers_[placement[i]];
+        conn.outbox.push_back(encode(msg));
+        ++conn.in_flight;
+        in_flight_.emplace(msg.task, InFlightTask{qid, placement[i]});
+        timeouts_.emplace(t0 + options_.task_timeout_ms, msg.task);
+      }
+    }
+  }
+  wake_.wake();
+  resolve(std::move(resolutions));
+  return future;
+}
+
+bool RemoteDispatcher::wait_for_servers(std::size_t min_alive,
+                                        TimeMs timeout_ms) {
+  std::unique_lock lock(mu_);
+  const auto enough = [this, min_alive] {
+    std::size_t alive = 0;
+    for (const auto& conn : servers_)
+      alive += conn.state == ConnState::kAlive;
+    return alive >= min_alive;
+  };
+  return alive_cv_.wait_for(
+      lock, std::chrono::duration<double, std::milli>(timeout_ms), enough);
+}
+
+void RemoteDispatcher::request_stats(ServerId server) {
+  std::lock_guard lock(mu_);
+  TG_CHECK_MSG(server < servers_.size(), "unknown server " << server);
+  if (servers_[server].state != ConnState::kAlive) return;
+  servers_[server].outbox.push_back(encode(StatsRequestMsg{}));
+  wake_.wake();
+}
+
+std::optional<StatsResponseMsg> RemoteDispatcher::last_stats(
+    ServerId server) const {
+  std::lock_guard lock(mu_);
+  TG_CHECK_MSG(server < servers_.size(), "unknown server " << server);
+  return servers_[server].stats;
+}
+
+std::size_t RemoteDispatcher::alive_servers() const {
+  std::lock_guard lock(mu_);
+  std::size_t alive = 0;
+  for (const auto& conn : servers_) alive += conn.state == ConnState::kAlive;
+  return alive;
+}
+
+std::uint64_t RemoteDispatcher::completed_queries() const {
+  std::lock_guard lock(mu_);
+  return completed_;
+}
+
+std::uint64_t RemoteDispatcher::failed_tasks() const {
+  std::lock_guard lock(mu_);
+  return tasks_failed_;
+}
+
+double RemoteDispatcher::deadline_miss_ratio() const {
+  std::lock_guard lock(mu_);
+  return tasks_done_ == 0 ? 0.0
+                          : static_cast<double>(tasks_missed_) /
+                                static_cast<double>(tasks_done_);
+}
+
+const CdfModel& RemoteDispatcher::server_model(ServerId server) const {
+  std::lock_guard lock(mu_);
+  return estimator_.model_of(server);
+}
+
+// ------------------------------------------------------------ task endings
+
+void RemoteDispatcher::finish_task(QueryId query, bool missed, bool failed,
+                                   std::vector<Resolution>* resolutions) {
+  const auto it = pending_.find(query);
+  TG_CHECK_MSG(it != pending_.end(), "no pending entry for query");
+  if (failed) {
+    ++tasks_failed_;
+    ++it->second.result.tasks_failed;
+  } else {
+    ++tasks_done_;
+    if (missed) {
+      ++tasks_missed_;
+      ++it->second.result.tasks_missed_deadline;
+    }
+  }
+  QueryState final_state;
+  if (tracker_.complete_task(query, &final_state)) {
+    ++completed_;
+    it->second.result.latency_ms = now_ms() - final_state.t0;
+    resolutions->emplace_back(std::move(it->second.promise),
+                              it->second.result);
+    pending_.erase(it);
+  }
+}
+
+void RemoteDispatcher::expire_timeouts(TimeMs now,
+                                       std::vector<Resolution>* resolutions) {
+  while (!timeouts_.empty() && timeouts_.begin()->first <= now) {
+    const TaskId task = timeouts_.begin()->second;
+    timeouts_.erase(timeouts_.begin());
+    const auto it = in_flight_.find(task);
+    if (it == in_flight_.end()) continue;  // already answered; lazy deletion
+    const QueryId query = it->second.query;
+    ServerConn& conn = servers_[it->second.server];
+    if (conn.in_flight > 0) --conn.in_flight;
+    in_flight_.erase(it);
+    finish_task(query, /*missed=*/false, /*failed=*/true, resolutions);
+  }
+}
+
+void RemoteDispatcher::resolve(std::vector<Resolution> resolutions) {
+  for (auto& [promise, result] : resolutions) promise.set_value(result);
+}
+
+// -------------------------------------------------------------- networking
+
+void RemoteDispatcher::start_connect(ServerId server, TimeMs now) {
+  ServerConn& conn = servers_[server];
+  std::string error;
+  conn.fd = connect_tcp(conn.spec.host, conn.spec.port, &error);
+  if (!conn.fd.valid()) {
+    conn.next_attempt_ms = now + conn.backoff_ms;
+    conn.backoff_ms =
+        std::min(conn.backoff_ms * 2.0, options_.reconnect_max_backoff_ms);
+    return;
+  }
+  conn.state = ConnState::kConnecting;
+}
+
+void RemoteDispatcher::disconnect(ServerId server, TimeMs now,
+                                  std::vector<Resolution>* resolutions) {
+  ServerConn& conn = servers_[server];
+  conn.fd.reset();
+  conn.state = ConnState::kBackoff;
+  conn.in = FrameBuffer{};
+  conn.outbox.clear();
+  conn.out_offset = 0;
+  conn.next_attempt_ms = now + conn.backoff_ms;
+  conn.backoff_ms =
+      std::min(conn.backoff_ms * 2.0, options_.reconnect_max_backoff_ms);
+  conn.in_flight = 0;
+
+  // Graceful degradation: fail this server's in-flight tasks immediately so
+  // their queries complete instead of waiting out the full task timeout.
+  std::vector<TaskId> orphaned;
+  for (const auto& [task, info] : in_flight_)
+    if (info.server == server) orphaned.push_back(task);
+  for (TaskId task : orphaned) {
+    const QueryId query = in_flight_.at(task).query;
+    in_flight_.erase(task);
+    finish_task(query, /*missed=*/false, /*failed=*/true, resolutions);
+  }
+}
+
+bool RemoteDispatcher::flush_server(ServerConn& conn) {
+  while (!conn.outbox.empty()) {
+    const auto& msg = conn.outbox.front();
+    const ssize_t n = ::send(conn.fd.get(), msg.data() + conn.out_offset,
+                             msg.size() - conn.out_offset, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    conn.out_offset += static_cast<std::size_t>(n);
+    if (conn.out_offset == msg.size()) {
+      conn.outbox.pop_front();
+      conn.out_offset = 0;
+    }
+  }
+  return true;
+}
+
+bool RemoteDispatcher::read_server(ServerId server,
+                                   std::vector<Resolution>* resolutions) {
+  ServerConn& conn = servers_[server];
+  std::uint8_t buf[16 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(conn.fd.get(), buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn.in.append(buf, static_cast<std::size_t>(n));
+    } else if (n == 0) {
+      return false;
+    } else {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return false;
+    }
+  }
+  while (auto frame = conn.in.next()) handle_frame(server, *frame, resolutions);
+  return conn.in.error().empty();
+}
+
+void RemoteDispatcher::handle_frame(ServerId server, const Frame& frame,
+                                    std::vector<Resolution>* resolutions) {
+  ServerConn& conn = servers_[server];
+  switch (frame.type) {
+    case MsgType::kHelloAck: {
+      HelloAckMsg ack;
+      if (decode(frame, &ack) && ack.protocol_version == kWireVersion) {
+        conn.state = ConnState::kAlive;
+        conn.backoff_ms = options_.reconnect_initial_backoff_ms;
+        alive_cv_.notify_all();
+      }
+      break;
+    }
+    case MsgType::kTaskDone: {
+      TaskDoneMsg msg;
+      if (!decode(frame, &msg)) break;
+      // The observation is valid even when the task already timed out — the
+      // server really took that long (online updating, §III.B.2).
+      estimator_.observe_post_queuing(server, msg.service_ms);
+      const auto it = in_flight_.find(msg.task);
+      if (it == in_flight_.end()) break;  // late reply after timeout/failover
+      const QueryId query = it->second.query;
+      if (conn.in_flight > 0) --conn.in_flight;
+      in_flight_.erase(it);
+      finish_task(query, msg.missed_deadline, /*failed=*/false, resolutions);
+      break;
+    }
+    case MsgType::kModelSync: {
+      ModelSyncMsg sync;
+      if (!decode(frame, &sync)) break;
+      for (double s : sync.samples_ms)
+        estimator_.observe_post_queuing(server, s);
+      break;
+    }
+    case MsgType::kStatsResponse: {
+      StatsResponseMsg stats;
+      if (decode(frame, &stats)) conn.stats = stats;
+      break;
+    }
+    default:
+      break;  // unknown types are skippable (versioned framing)
+  }
+}
+
+void RemoteDispatcher::net_loop() {
+  std::vector<pollfd> fds;
+  std::vector<ServerId> fd_server;
+  while (running_.load()) {
+    std::vector<Resolution> resolutions;
+    double poll_timeout_ms = 200.0;
+    fds.clear();
+    fd_server.clear();
+    {
+      std::lock_guard lock(mu_);
+      const TimeMs now = now_ms();
+      expire_timeouts(now, &resolutions);
+      for (std::size_t s = 0; s < servers_.size(); ++s) {
+        ServerConn& conn = servers_[s];
+        if (conn.state == ConnState::kBackoff) {
+          if (now >= conn.next_attempt_ms)
+            start_connect(static_cast<ServerId>(s), now);
+          if (conn.state == ConnState::kBackoff)
+            poll_timeout_ms =
+                std::min(poll_timeout_ms, conn.next_attempt_ms - now);
+        }
+        if (!conn.fd.valid()) continue;
+        short events = 0;
+        if (conn.state == ConnState::kConnecting) {
+          events = POLLOUT;
+        } else {
+          events = POLLIN;
+          if (!conn.outbox.empty()) events |= POLLOUT;
+        }
+        fds.push_back({conn.fd.get(), events, 0});
+        fd_server.push_back(static_cast<ServerId>(s));
+      }
+      if (!timeouts_.empty())
+        poll_timeout_ms =
+            std::min(poll_timeout_ms, timeouts_.begin()->first - now);
+    }
+    resolve(std::move(resolutions));
+    resolutions.clear();
+
+    fds.push_back({wake_.read_fd(), POLLIN, 0});
+    const int timeout =
+        std::max(1, static_cast<int>(poll_timeout_ms) + 1);
+    const int ready = ::poll(fds.data(), fds.size(), timeout);
+    if (!running_.load()) break;
+    if (ready < 0) continue;
+    if (fds.back().revents & POLLIN) wake_.drain();
+
+    {
+      std::lock_guard lock(mu_);
+      const TimeMs now = now_ms();
+      for (std::size_t i = 0; i + 1 < fds.size(); ++i) {
+        const ServerId s = fd_server[i];
+        ServerConn& conn = servers_[s];
+        if (!conn.fd.valid() || conn.fd.get() != fds[i].fd) continue;
+        if (conn.state == ConnState::kConnecting) {
+          if (fds[i].revents & (POLLOUT | POLLERR | POLLHUP)) {
+            if (connect_finished(conn.fd.get())) {
+              HelloMsg hello;
+              hello.peer_name = options_.name;
+              conn.outbox.push_back(encode(hello));
+              conn.state = ConnState::kHandshaking;
+              if (!flush_server(conn)) disconnect(s, now, &resolutions);
+            } else {
+              disconnect(s, now, &resolutions);
+            }
+          }
+          continue;
+        }
+        bool ok = true;
+        if (fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) ok = false;
+        if (ok && (fds[i].revents & POLLIN)) ok = read_server(s, &resolutions);
+        if (ok && conn.fd.valid() && !conn.outbox.empty())
+          ok = flush_server(conn);
+        if (!ok) disconnect(s, now, &resolutions);
+      }
+    }
+    resolve(std::move(resolutions));
+  }
+}
+
+}  // namespace tailguard::net

@@ -1,0 +1,189 @@
+// RemoteDispatcher — the query-handler side of a distributed TailGuard
+// deployment (Fig. 2), mirroring the TailGuardService API over TCP.
+//
+// Per remote task server it keeps a persistent connection and a
+// StreamingCdfModel of that server's unloaded task response time; Eq. 6
+// deadline assignment happens at submit against the chosen server set, and
+// completion (TaskDone) frames feed the online updating process (§III.B.2)
+// exactly as the in-process runtime's completion callback does.
+//
+// Partial failure is a first-class state, not an error path:
+//   * a dead server is excluded from placement and its CDF model frozen (no
+//     observations arrive) until it rejoins;
+//   * in-flight tasks on a dying connection fail immediately — the owning
+//     queries complete with `tasks_failed` counts instead of hanging;
+//   * per-task timeouts bound the wait on a wedged-but-connected server;
+//   * reconnects use exponential backoff, and a rejoining server backfills
+//     the model via ModelSync.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/deadline.h"
+#include "core/query_tracker.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "runtime/service.h"
+
+namespace tailguard::net {
+
+struct RemoteServerSpec {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+/// One task of a remote query. Closures cannot cross the wire; remote tasks
+/// carry a simulated service duration (real deployments would ship an opaque
+/// request payload here).
+struct RemoteTaskSpec {
+  /// Target server; unset means least-loaded distinct placement.
+  std::optional<ServerId> server;
+  TimeMs simulated_service_ms = 0.0;
+};
+
+struct DispatcherOptions {
+  std::vector<RemoteServerSpec> servers;
+  Policy policy = Policy::kTfEdf;
+  /// Service classes ordered by priority (class 0 tightest).
+  std::vector<ClassSpec> classes;
+  StreamingCdfModel::Options model_options = {
+      .histogram = {.min_value = 1e-3,
+                    .max_value = 1e6,
+                    .buckets_per_decade = 100,
+                    .decay_every = 0,
+                    .decay_factor = 0.5},
+      .refresh_every = 500};
+  /// A task unanswered this long after submit counts as failed.
+  TimeMs task_timeout_ms = 5000.0;
+  TimeMs reconnect_initial_backoff_ms = 25.0;
+  TimeMs reconnect_max_backoff_ms = 1000.0;
+  std::uint64_t seed = 42;
+  std::string name = "tailguard-dispatcher";
+};
+
+class RemoteDispatcher {
+ public:
+  explicit RemoteDispatcher(DispatcherOptions options);
+  /// Fails all in-flight queries (resolving their futures) and disconnects.
+  ~RemoteDispatcher();
+
+  RemoteDispatcher(const RemoteDispatcher&) = delete;
+  RemoteDispatcher& operator=(const RemoteDispatcher&) = delete;
+
+  /// Offline estimation: seeds every server's CDF model.
+  void seed_profile(std::span<const double> samples_ms);
+
+  /// Submits a query of class `cls`. The future resolves when every task has
+  /// reported done, failed, or timed out — it never hangs on a dead server.
+  /// With no server alive the query completes immediately with all tasks
+  /// failed. `budget_override` replaces the Eq. 6 budget, as in
+  /// TailGuardService::submit.
+  std::future<QueryResult> submit(ClassId cls,
+                                  std::vector<RemoteTaskSpec> tasks,
+                                  std::optional<TimeMs> budget_override = {});
+
+  /// Blocks until at least `min_alive` servers have completed the handshake
+  /// (or `timeout_ms` elapses). Returns whether the threshold was reached.
+  bool wait_for_servers(std::size_t min_alive, TimeMs timeout_ms);
+
+  /// Fire-and-forget StatsRequest to `server`; the reply (when it arrives)
+  /// is readable via last_stats().
+  void request_stats(ServerId server);
+  std::optional<StatsResponseMsg> last_stats(ServerId server) const;
+
+  /// Monotonic dispatcher clock (ms since construction).
+  TimeMs now_ms() const;
+
+  std::size_t num_servers() const { return servers_.size(); }
+  std::size_t alive_servers() const;
+  std::uint64_t completed_queries() const;
+  std::uint64_t failed_tasks() const;
+  double deadline_miss_ratio() const;
+  const CdfModel& server_model(ServerId server) const;
+
+ private:
+  enum class ConnState {
+    kBackoff,      ///< disconnected, waiting for next_attempt_ms
+    kConnecting,   ///< non-blocking connect in flight
+    kHandshaking,  ///< connected, Hello sent, awaiting HelloAck
+    kAlive,        ///< handshake complete; eligible for placement
+  };
+
+  struct ServerConn {
+    RemoteServerSpec spec;
+    ScopedFd fd;
+    ConnState state = ConnState::kBackoff;
+    FrameBuffer in;
+    std::deque<std::vector<std::uint8_t>> outbox;
+    std::size_t out_offset = 0;
+    TimeMs next_attempt_ms = 0.0;
+    TimeMs backoff_ms = 0.0;
+    std::size_t in_flight = 0;
+    std::optional<StatsResponseMsg> stats;
+  };
+
+  struct InFlightTask {
+    QueryId query = 0;
+    ServerId server = 0;
+  };
+
+  struct PendingQuery {
+    std::promise<QueryResult> promise;
+    QueryResult result;
+  };
+
+  /// A future to resolve once mu_ is released.
+  using Resolution = std::pair<std::promise<QueryResult>, QueryResult>;
+
+  void net_loop();
+  void start_connect(ServerId server, TimeMs now);
+  void disconnect(ServerId server, TimeMs now,
+                  std::vector<Resolution>* resolutions);
+  bool read_server(ServerId server, std::vector<Resolution>* resolutions);
+  bool flush_server(ServerConn& conn);
+  void handle_frame(ServerId server, const Frame& frame,
+                    std::vector<Resolution>* resolutions);
+  /// Records one finished/failed task; appends a resolution when it was the
+  /// query's last. Requires mu_.
+  void finish_task(TaskId task, bool missed, bool failed,
+                   std::vector<Resolution>* resolutions);
+  void expire_timeouts(TimeMs now, std::vector<Resolution>* resolutions);
+  static void resolve(std::vector<Resolution> resolutions);
+
+  DispatcherOptions options_;
+  std::chrono::steady_clock::time_point epoch_;
+  WakePipe wake_;
+  std::atomic<bool> running_{true};
+
+  mutable std::mutex mu_;
+  std::condition_variable alive_cv_;
+  std::vector<ServerConn> servers_;
+  DeadlineEstimator estimator_;
+  QueryTracker tracker_;
+  std::unordered_map<QueryId, PendingQuery> pending_;
+  std::unordered_map<TaskId, InFlightTask> in_flight_;
+  std::multimap<TimeMs, TaskId> timeouts_;
+  Rng rng_;
+  TaskId next_task_id_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t tasks_done_ = 0;
+  std::uint64_t tasks_missed_ = 0;
+  std::uint64_t tasks_failed_ = 0;
+
+  std::thread net_thread_;
+};
+
+}  // namespace tailguard::net

@@ -1,0 +1,265 @@
+#include "net/task_server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+
+#include "common/check.h"
+
+namespace tailguard::net {
+
+TaskServer::TaskServer(TaskServerOptions options)
+    : options_(std::move(options)), epoch_(std::chrono::steady_clock::now()) {
+  TG_CHECK_MSG(options_.num_executors >= 1, "need at least one executor");
+  TG_CHECK_MSG(options_.num_classes >= 1, "need at least one class");
+  std::string error;
+  listen_fd_ = listen_tcp(options_.port, &error);
+  TG_CHECK_MSG(listen_fd_.valid(), "task server cannot listen: " << error);
+  port_ = local_port(listen_fd_.get());
+
+  const auto clock = [this] { return now_ms(); };
+  const auto on_complete = [this](ServerId executor, const RuntimeTask& task,
+                                  TimeMs dequeue_ms, TimeMs complete_ms) {
+    on_task_complete(executor, task, dequeue_ms, complete_ms);
+  };
+  executors_.reserve(options_.num_executors);
+  for (std::size_t i = 0; i < options_.num_executors; ++i)
+    executors_.push_back(std::make_unique<Worker>(
+        static_cast<ServerId>(i), options_.policy, options_.num_classes, clock,
+        on_complete));
+  net_thread_ = std::thread([this] { net_loop(); });
+}
+
+TaskServer::~TaskServer() { stop(); }
+
+void TaskServer::stop() {
+  {
+    std::lock_guard lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  running_.store(false);
+  wake_.wake();
+  if (net_thread_.joinable()) net_thread_.join();
+  // Drain the executors: queued tasks still run; their completions land in
+  // pending_samples_ (every connection is gone by now).
+  for (auto& e : executors_) e->shutdown();
+  std::lock_guard lock(mu_);
+  conns_.clear();
+  listen_fd_.reset();
+}
+
+TimeMs TaskServer::now_ms() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+std::uint64_t TaskServer::tasks_executed() const {
+  std::lock_guard lock(mu_);
+  return tasks_executed_;
+}
+
+std::uint64_t TaskServer::tasks_missed_deadline() const {
+  std::lock_guard lock(mu_);
+  return tasks_missed_;
+}
+
+std::size_t TaskServer::queue_depth() const {
+  std::size_t depth = 0;
+  for (const auto& e : executors_) depth += e->queue_depth();
+  return depth;
+}
+
+void TaskServer::accept_new_connections() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_.get(), nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or transient error: try again next poll
+    set_nonblocking(fd);
+    set_tcp_nodelay(fd);
+    Connection conn;
+    conn.fd.reset(fd);
+    conns_.emplace(next_conn_id_++, std::move(conn));
+  }
+}
+
+bool TaskServer::read_connection(std::uint64_t conn_id, Connection& conn) {
+  std::uint8_t buf[16 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(conn.fd.get(), buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn.in.append(buf, static_cast<std::size_t>(n));
+    } else if (n == 0) {
+      return false;  // peer closed
+    } else {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return false;
+    }
+  }
+  while (auto frame = conn.in.next()) handle_frame(conn_id, conn, *frame);
+  return conn.in.error().empty();
+}
+
+bool TaskServer::flush_connection(Connection& conn) {
+  while (!conn.outbox.empty()) {
+    const auto& msg = conn.outbox.front();
+    const ssize_t n = ::send(conn.fd.get(), msg.data() + conn.out_offset,
+                             msg.size() - conn.out_offset, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    conn.out_offset += static_cast<std::size_t>(n);
+    if (conn.out_offset == msg.size()) {
+      conn.outbox.pop_front();
+      conn.out_offset = 0;
+    }
+  }
+  return true;
+}
+
+void TaskServer::handle_frame(std::uint64_t conn_id, Connection& conn,
+                              const Frame& frame) {
+  switch (frame.type) {
+    case MsgType::kHello: {
+      HelloMsg hello;
+      if (!decode(frame, &hello) || hello.protocol_version != kWireVersion) {
+        conn.outbox.clear();  // hard error; close on next poll round
+        conn.fd.reset();
+        return;
+      }
+      HelloAckMsg ack;
+      ack.policy = static_cast<std::uint8_t>(options_.policy);
+      ack.num_executors = static_cast<std::uint32_t>(options_.num_executors);
+      conn.outbox.push_back(encode(ack));
+      // Backfill: post-queuing samples observed while disconnected.
+      if (!pending_samples_.empty()) {
+        ModelSyncMsg sync;
+        sync.samples_ms = std::move(pending_samples_);
+        pending_samples_.clear();
+        conn.outbox.push_back(encode(sync));
+      }
+      conn.hello_done = true;
+      break;
+    }
+    case MsgType::kSubmitTask: {
+      SubmitTaskMsg msg;
+      if (!decode(frame, &msg)) return;
+      const TimeMs now = now_ms();
+      RuntimeTask task;
+      task.id = msg.task;
+      task.query = msg.query;
+      task.cls = msg.cls >= options_.num_classes
+                     ? static_cast<ClassId>(options_.num_classes - 1)
+                     : msg.cls;
+      task.simulated_service_ms = msg.simulated_service_ms;
+      task_origin_[msg.task] = {conn_id, now};
+      // Route to the least-backlogged executor.
+      Worker* target = executors_.front().get();
+      for (const auto& e : executors_)
+        if (e->queue_depth() < target->queue_depth()) target = e.get();
+      target->submit(std::move(task), now, now + msg.relative_deadline_ms);
+      break;
+    }
+    case MsgType::kStatsRequest: {
+      StatsResponseMsg stats;
+      stats.queue_depth = static_cast<std::uint32_t>(queue_depth());
+      stats.tasks_executed = tasks_executed_;
+      stats.tasks_missed_deadline = tasks_missed_;
+      conn.outbox.push_back(encode(stats));
+      break;
+    }
+    default:
+      // Unknown/unexpected types are skippable by design (versioned framing).
+      break;
+  }
+}
+
+void TaskServer::close_connection(std::uint64_t conn_id) {
+  conns_.erase(conn_id);
+}
+
+void TaskServer::on_task_complete(ServerId /*executor*/,
+                                  const RuntimeTask& task, TimeMs dequeue_ms,
+                                  TimeMs complete_ms) {
+  const bool missed = dequeue_ms > task.order_deadline;
+  TaskDoneMsg msg;
+  msg.task = task.id;
+  msg.query = task.query;
+  msg.service_ms = complete_ms - dequeue_ms;
+  msg.missed_deadline = missed;
+
+  std::lock_guard lock(mu_);
+  ++tasks_executed_;
+  if (missed) ++tasks_missed_;
+  const auto origin_it = task_origin_.find(task.id);
+  TaskOrigin origin;
+  if (origin_it != task_origin_.end()) {
+    origin = origin_it->second;
+    task_origin_.erase(origin_it);
+  }
+  msg.queue_ms = dequeue_ms - origin.enqueue_ms;
+  const auto conn_it = conns_.find(origin.conn);
+  if (conn_it != conns_.end() && conn_it->second.hello_done &&
+      conn_it->second.fd.valid()) {
+    conn_it->second.outbox.push_back(encode(msg));
+    wake_.wake();
+  } else if (pending_samples_.size() < options_.max_buffered_samples) {
+    // No dispatcher to tell: keep the observation for the next ModelSync.
+    pending_samples_.push_back(msg.service_ms);
+  }
+}
+
+void TaskServer::net_loop() {
+  std::vector<pollfd> fds;
+  std::vector<std::uint64_t> fd_conn;  // conn id per pollfd (0 = fixed fds)
+  while (running_.load()) {
+    fds.clear();
+    fd_conn.clear();
+    fds.push_back({listen_fd_.get(), POLLIN, 0});
+    fd_conn.push_back(0);
+    fds.push_back({wake_.read_fd(), POLLIN, 0});
+    fd_conn.push_back(0);
+    {
+      std::lock_guard lock(mu_);
+      for (auto& [id, conn] : conns_) {
+        if (!conn.fd.valid()) continue;
+        short events = POLLIN;
+        if (!conn.outbox.empty()) events |= POLLOUT;
+        fds.push_back({conn.fd.get(), events, 0});
+        fd_conn.push_back(id);
+      }
+    }
+    const int ready = ::poll(fds.data(), fds.size(), /*timeout_ms=*/200);
+    if (!running_.load()) break;
+    if (ready <= 0) continue;
+
+    if (fds[1].revents & POLLIN) wake_.drain();
+
+    std::lock_guard lock(mu_);
+    if (fds[0].revents & POLLIN) accept_new_connections();
+    for (std::size_t i = 2; i < fds.size(); ++i) {
+      const std::uint64_t id = fd_conn[i];
+      const auto it = conns_.find(id);
+      if (it == conns_.end() || !it->second.fd.valid() ||
+          it->second.fd.get() != fds[i].fd)
+        continue;  // connection replaced/closed since the poll set was built
+      Connection& conn = it->second;
+      bool ok = true;
+      if (fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) ok = false;
+      if (ok && (fds[i].revents & POLLIN)) ok = read_connection(id, conn);
+      // A Hello may have queued an ack even without POLLOUT readiness;
+      // opportunistically flush whenever there is something to send.
+      if (ok && !conn.outbox.empty() && conn.fd.valid())
+        ok = flush_connection(conn);
+      if (!ok || !conn.fd.valid()) close_connection(id);
+    }
+  }
+}
+
+}  // namespace tailguard::net

@@ -1,0 +1,121 @@
+// A networked TailGuard task server (one box of Fig. 2's task-server tier).
+//
+// Wraps the same policy queues and worker execution loop as the in-process
+// runtime (runtime/Worker — the code path is shared, not duplicated) behind a
+// poll()-based async TCP loop speaking the net/wire.h protocol:
+//
+//   dispatcher --- SubmitTask ---> [policy queue] -> executor thread(s)
+//   dispatcher <--- TaskDone ----- (queue_ms, post-queuing time, miss flag)
+//
+// Queuing deadlines arrive as durations relative to receipt and are stamped
+// against the server's local monotonic clock, so dispatcher and server never
+// need synchronised clocks. Completions for tasks whose connection has gone
+// away are buffered as post-queuing-time samples and shipped in a ModelSync
+// frame when a dispatcher (re)connects — the dispatcher's frozen CDF model
+// catches up on rejoin (paper §III.B.2's online updating, resumed).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/socket.h"
+#include "net/wire.h"
+#include "runtime/worker.h"
+
+namespace tailguard::net {
+
+struct TaskServerOptions {
+  /// Port to listen on (loopback). 0 = kernel-assigned; read back via port().
+  std::uint16_t port = 0;
+  Policy policy = Policy::kTfEdf;
+  std::size_t num_classes = 2;
+  /// Execution threads. The paper's task servers are single-threaded (one
+  /// policy queue, one executor); >1 shares the accept loop across several
+  /// independently-queued executors.
+  std::size_t num_executors = 1;
+  std::string name = "tailguard-task-server";
+  /// Cap on post-queuing samples buffered for ModelSync while disconnected.
+  std::size_t max_buffered_samples = 4096;
+};
+
+class TaskServer {
+ public:
+  /// Binds, starts the executor threads and the network thread. Throws
+  /// CheckFailure when the port cannot be bound.
+  explicit TaskServer(TaskServerOptions options);
+  ~TaskServer();
+
+  TaskServer(const TaskServer&) = delete;
+  TaskServer& operator=(const TaskServer&) = delete;
+
+  /// Closes the listen socket and all connections, drains the executors.
+  /// Idempotent.
+  void stop();
+
+  /// Bound port (resolves an ephemeral request).
+  std::uint16_t port() const { return port_; }
+
+  /// Local monotonic clock (ms since construction).
+  TimeMs now_ms() const;
+
+  std::uint64_t tasks_executed() const;
+  std::uint64_t tasks_missed_deadline() const;
+  std::size_t queue_depth() const;
+
+ private:
+  struct Connection {
+    ScopedFd fd;
+    FrameBuffer in;
+    std::deque<std::vector<std::uint8_t>> outbox;
+    std::size_t out_offset = 0;  ///< bytes of outbox.front() already written
+    bool hello_done = false;
+  };
+
+  /// Where a task came from, for routing its TaskDone.
+  struct TaskOrigin {
+    std::uint64_t conn = 0;
+    TimeMs enqueue_ms = 0.0;
+  };
+
+  void net_loop();
+  void accept_new_connections();
+  /// Returns false when the connection must be closed.
+  bool read_connection(std::uint64_t conn_id, Connection& conn);
+  bool flush_connection(Connection& conn);
+  void handle_frame(std::uint64_t conn_id, Connection& conn,
+                    const Frame& frame);
+  void close_connection(std::uint64_t conn_id);
+  void on_task_complete(ServerId executor, const RuntimeTask& task,
+                        TimeMs dequeue_ms, TimeMs complete_ms);
+
+  TaskServerOptions options_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::uint16_t port_ = 0;
+  ScopedFd listen_fd_;
+  WakePipe wake_;
+  std::atomic<bool> running_{true};
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, Connection> conns_;
+  std::uint64_t next_conn_id_ = 1;
+  std::unordered_map<TaskId, TaskOrigin> task_origin_;
+  std::vector<double> pending_samples_;
+  std::uint64_t tasks_executed_ = 0;
+  std::uint64_t tasks_missed_ = 0;
+  bool stopped_ = false;
+
+  std::thread net_thread_;
+  // Executors last: their threads must drain and stop before the state above
+  // is torn down (reverse member destruction order guarantees it).
+  std::vector<std::unique_ptr<Worker>> executors_;
+};
+
+}  // namespace tailguard::net

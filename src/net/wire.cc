@@ -1,0 +1,271 @@
+#include "net/wire.h"
+
+#include <bit>
+#include <cstring>
+#include <sstream>
+
+namespace tailguard::net {
+
+namespace {
+
+// ----------------------------------------------------------------- writer
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v));
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+
+  /// Wraps the accumulated payload in a frame header.
+  std::vector<std::uint8_t> frame(MsgType type) && {
+    Writer header;
+    header.u16(kWireMagic);
+    header.u8(kWireVersion);
+    header.u8(static_cast<std::uint8_t>(type));
+    header.u32(static_cast<std::uint32_t>(out_.size()));
+    header.out_.insert(header.out_.end(), out_.begin(), out_.end());
+    return std::move(header.out_);
+  }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+// ----------------------------------------------------------------- reader
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+
+  bool u8(std::uint8_t* v) {
+    if (!have(1)) return false;
+    *v = bytes_[pos_++];
+    return true;
+  }
+  bool u32(std::uint32_t* v) {
+    if (!have(4)) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i)
+      *v |= static_cast<std::uint32_t>(bytes_[pos_++]) << (8 * i);
+    return true;
+  }
+  bool u64(std::uint64_t* v) {
+    if (!have(8)) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i)
+      *v |= static_cast<std::uint64_t>(bytes_[pos_++]) << (8 * i);
+    return true;
+  }
+  bool f64(double* v) {
+    std::uint64_t bits = 0;
+    if (!u64(&bits)) return false;
+    *v = std::bit_cast<double>(bits);
+    return true;
+  }
+  bool str(std::string* s) {
+    std::uint32_t n = 0;
+    if (!u32(&n) || !have(n)) return false;
+    s->assign(reinterpret_cast<const char*>(bytes_.data() + pos_), n);
+    pos_ += n;
+    return true;
+  }
+
+  /// Payload decoding must consume every byte — trailing garbage means the
+  /// sender and receiver disagree about the message layout.
+  bool done() const { return pos_ == bytes_.size(); }
+
+ private:
+  bool have(std::size_t n) const { return bytes_.size() - pos_ >= n; }
+
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_ = 0;
+};
+
+bool expect_type(const Frame& frame, MsgType type) {
+  return frame.type == type;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ encode
+
+std::vector<std::uint8_t> encode(const HelloMsg& msg) {
+  Writer w;
+  w.u32(msg.protocol_version);
+  w.str(msg.peer_name);
+  return std::move(w).frame(MsgType::kHello);
+}
+
+std::vector<std::uint8_t> encode(const HelloAckMsg& msg) {
+  Writer w;
+  w.u32(msg.protocol_version);
+  w.u8(msg.policy);
+  w.u32(msg.num_executors);
+  return std::move(w).frame(MsgType::kHelloAck);
+}
+
+std::vector<std::uint8_t> encode(const SubmitTaskMsg& msg) {
+  Writer w;
+  w.u64(msg.task);
+  w.u64(msg.query);
+  w.u32(msg.cls);
+  w.f64(msg.relative_deadline_ms);
+  w.f64(msg.simulated_service_ms);
+  return std::move(w).frame(MsgType::kSubmitTask);
+}
+
+std::vector<std::uint8_t> encode(const TaskDoneMsg& msg) {
+  Writer w;
+  w.u64(msg.task);
+  w.u64(msg.query);
+  w.f64(msg.queue_ms);
+  w.f64(msg.service_ms);
+  w.u8(msg.missed_deadline ? 1 : 0);
+  return std::move(w).frame(MsgType::kTaskDone);
+}
+
+std::vector<std::uint8_t> encode(const ModelSyncMsg& msg) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(msg.samples_ms.size()));
+  for (double s : msg.samples_ms) w.f64(s);
+  return std::move(w).frame(MsgType::kModelSync);
+}
+
+std::vector<std::uint8_t> encode(const StatsRequestMsg&) {
+  return Writer{}.frame(MsgType::kStatsRequest);
+}
+
+std::vector<std::uint8_t> encode(const StatsResponseMsg& msg) {
+  Writer w;
+  w.u32(msg.queue_depth);
+  w.u64(msg.tasks_executed);
+  w.u64(msg.tasks_missed_deadline);
+  return std::move(w).frame(MsgType::kStatsResponse);
+}
+
+// ------------------------------------------------------------------ decode
+
+bool decode(const Frame& frame, HelloMsg* out) {
+  if (!expect_type(frame, MsgType::kHello)) return false;
+  Reader r(frame.payload);
+  return r.u32(&out->protocol_version) && r.str(&out->peer_name) && r.done();
+}
+
+bool decode(const Frame& frame, HelloAckMsg* out) {
+  if (!expect_type(frame, MsgType::kHelloAck)) return false;
+  Reader r(frame.payload);
+  return r.u32(&out->protocol_version) && r.u8(&out->policy) &&
+         r.u32(&out->num_executors) && r.done();
+}
+
+bool decode(const Frame& frame, SubmitTaskMsg* out) {
+  if (!expect_type(frame, MsgType::kSubmitTask)) return false;
+  Reader r(frame.payload);
+  return r.u64(&out->task) && r.u64(&out->query) && r.u32(&out->cls) &&
+         r.f64(&out->relative_deadline_ms) &&
+         r.f64(&out->simulated_service_ms) && r.done();
+}
+
+bool decode(const Frame& frame, TaskDoneMsg* out) {
+  if (!expect_type(frame, MsgType::kTaskDone)) return false;
+  Reader r(frame.payload);
+  std::uint8_t missed = 0;
+  if (!(r.u64(&out->task) && r.u64(&out->query) && r.f64(&out->queue_ms) &&
+        r.f64(&out->service_ms) && r.u8(&missed) && r.done()))
+    return false;
+  out->missed_deadline = missed != 0;
+  return true;
+}
+
+bool decode(const Frame& frame, ModelSyncMsg* out) {
+  if (!expect_type(frame, MsgType::kModelSync)) return false;
+  Reader r(frame.payload);
+  std::uint32_t count = 0;
+  if (!r.u32(&count)) return false;
+  // 8 bytes per sample; reject counts the payload cannot possibly hold
+  // before reserving.
+  if (static_cast<std::size_t>(count) * 8 > frame.payload.size()) return false;
+  out->samples_ms.clear();
+  out->samples_ms.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    double s = 0.0;
+    if (!r.f64(&s)) return false;
+    out->samples_ms.push_back(s);
+  }
+  return r.done();
+}
+
+bool decode(const Frame& frame, StatsRequestMsg*) {
+  return expect_type(frame, MsgType::kStatsRequest) && frame.payload.empty();
+}
+
+bool decode(const Frame& frame, StatsResponseMsg* out) {
+  if (!expect_type(frame, MsgType::kStatsResponse)) return false;
+  Reader r(frame.payload);
+  return r.u32(&out->queue_depth) && r.u64(&out->tasks_executed) &&
+         r.u64(&out->tasks_missed_deadline) && r.done();
+}
+
+// ------------------------------------------------------------- FrameBuffer
+
+void FrameBuffer::append(const std::uint8_t* data, std::size_t n) {
+  if (!error_.empty()) return;
+  // Compact the parsed prefix before growing, amortised O(1) per byte.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + n);
+}
+
+std::optional<Frame> FrameBuffer::next() {
+  if (!error_.empty()) return std::nullopt;
+  const std::size_t avail = buffer_.size() - consumed_;
+  if (avail < kFrameHeaderBytes) return std::nullopt;
+  const std::uint8_t* h = buffer_.data() + consumed_;
+  const std::uint16_t magic =
+      static_cast<std::uint16_t>(h[0]) |
+      static_cast<std::uint16_t>(static_cast<std::uint16_t>(h[1]) << 8);
+  if (magic != kWireMagic) {
+    error_ = "bad frame magic";
+    return std::nullopt;
+  }
+  if (h[2] != kWireVersion) {
+    std::ostringstream os;
+    os << "protocol version mismatch: got " << static_cast<int>(h[2])
+       << ", want " << static_cast<int>(kWireVersion);
+    error_ = os.str();
+    return std::nullopt;
+  }
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i)
+    len |= static_cast<std::uint32_t>(h[4 + i]) << (8 * i);
+  if (len > kMaxPayloadBytes) {
+    error_ = "frame payload exceeds size limit";
+    return std::nullopt;
+  }
+  if (avail < kFrameHeaderBytes + len) return std::nullopt;
+  Frame frame;
+  frame.type = static_cast<MsgType>(h[3]);
+  frame.payload.assign(h + kFrameHeaderBytes, h + kFrameHeaderBytes + len);
+  consumed_ += kFrameHeaderBytes + len;
+  return frame;
+}
+
+}  // namespace tailguard::net

@@ -1,0 +1,168 @@
+// TailGuard wire protocol: compact length-prefixed binary frames.
+//
+// Every message travels as one frame:
+//
+//   offset  size  field
+//   0       2     magic 0x5447 ("TG", little-endian u16)
+//   2       1     protocol version (kWireVersion)
+//   3       1     message type (MsgType)
+//   4       4     payload length in bytes (little-endian u32)
+//   8       n     payload
+//
+// Payloads are flat little-endian scalars (doubles as IEEE-754 bit patterns)
+// plus u32-length-prefixed strings — no padding, no host-endianness leakage.
+// Unknown message types within a known protocol version are skippable (the
+// length prefix delimits them), which is what makes the framing versioned:
+// new message types can be added without breaking old peers, while a version
+// byte mismatch is a hard error.
+//
+// All times on the wire are *relative* durations in milliseconds; the two
+// ends never exchange absolute clock readings, so the protocol is immune to
+// clock offset between the dispatcher and the task servers.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace tailguard::net {
+
+inline constexpr std::uint16_t kWireMagic = 0x5447;  // "TG"
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+/// Upper bound on a single payload; a peer announcing more is corrupt or
+/// hostile, and the connection is dropped rather than the allocation made.
+inline constexpr std::size_t kMaxPayloadBytes = 16u << 20;
+
+enum class MsgType : std::uint8_t {
+  kHello = 1,         ///< dispatcher -> server: version handshake
+  kHelloAck = 2,      ///< server -> dispatcher: handshake reply
+  kSubmitTask = 3,    ///< dispatcher -> server: enqueue one task
+  kTaskDone = 4,      ///< server -> dispatcher: one task finished
+  kModelSync = 5,     ///< server -> dispatcher: post-queuing-time backfill
+  kStatsRequest = 6,  ///< dispatcher -> server: poll server stats
+  kStatsResponse = 7, ///< server -> dispatcher: stats snapshot
+};
+
+/// Handshake. The version is repeated inside the payload so a future frame
+/// format can still negotiate down.
+struct HelloMsg {
+  std::uint32_t protocol_version = kWireVersion;
+  std::string peer_name;
+
+  friend bool operator==(const HelloMsg&, const HelloMsg&) = default;
+};
+
+struct HelloAckMsg {
+  std::uint32_t protocol_version = kWireVersion;
+  std::uint8_t policy = 0;  ///< Policy the server queues under (informational)
+  std::uint32_t num_executors = 1;
+
+  friend bool operator==(const HelloAckMsg&, const HelloAckMsg&) = default;
+};
+
+/// One task of a fanned-out query. The queuing deadline is shipped as a
+/// duration relative to receipt: the server stamps `local_now +
+/// relative_deadline_ms` into its policy queue, mirroring Eq. 6 with the
+/// network delay folded into the budget.
+struct SubmitTaskMsg {
+  TaskId task = 0;
+  QueryId query = 0;
+  ClassId cls = 0;
+  TimeMs relative_deadline_ms = 0.0;
+  TimeMs simulated_service_ms = 0.0;
+
+  friend bool operator==(const SubmitTaskMsg&, const SubmitTaskMsg&) = default;
+};
+
+/// Completion report. `queue_ms` is time spent queued (enqueue->dequeue) and
+/// `service_ms` the post-queuing time (dequeue->complete) — the observation
+/// the dispatcher's per-server CDF model absorbs (paper §III.B.2).
+struct TaskDoneMsg {
+  TaskId task = 0;
+  QueryId query = 0;
+  TimeMs queue_ms = 0.0;
+  TimeMs service_ms = 0.0;
+  bool missed_deadline = false;
+
+  friend bool operator==(const TaskDoneMsg&, const TaskDoneMsg&) = default;
+};
+
+/// Post-queuing-time samples the server observed while no dispatcher was
+/// connected (e.g. tasks that finished after a disconnect). Sent on
+/// (re)connect so the dispatcher's frozen CDF model catches up.
+struct ModelSyncMsg {
+  std::vector<double> samples_ms;
+
+  friend bool operator==(const ModelSyncMsg&, const ModelSyncMsg&) = default;
+};
+
+struct StatsRequestMsg {
+  friend bool operator==(const StatsRequestMsg&, const StatsRequestMsg&) =
+      default;
+};
+
+struct StatsResponseMsg {
+  std::uint32_t queue_depth = 0;
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t tasks_missed_deadline = 0;
+
+  friend bool operator==(const StatsResponseMsg&, const StatsResponseMsg&) =
+      default;
+};
+
+// ------------------------------------------------------------------ encode
+
+std::vector<std::uint8_t> encode(const HelloMsg& msg);
+std::vector<std::uint8_t> encode(const HelloAckMsg& msg);
+std::vector<std::uint8_t> encode(const SubmitTaskMsg& msg);
+std::vector<std::uint8_t> encode(const TaskDoneMsg& msg);
+std::vector<std::uint8_t> encode(const ModelSyncMsg& msg);
+std::vector<std::uint8_t> encode(const StatsRequestMsg& msg);
+std::vector<std::uint8_t> encode(const StatsResponseMsg& msg);
+
+// ------------------------------------------------------------------ decode
+
+/// One parsed frame: type plus raw payload bytes.
+struct Frame {
+  MsgType type{};
+  std::vector<std::uint8_t> payload;
+};
+
+/// Payload decoders; return false on truncated/trailing/corrupt payloads.
+bool decode(const Frame& frame, HelloMsg* out);
+bool decode(const Frame& frame, HelloAckMsg* out);
+bool decode(const Frame& frame, SubmitTaskMsg* out);
+bool decode(const Frame& frame, TaskDoneMsg* out);
+bool decode(const Frame& frame, ModelSyncMsg* out);
+bool decode(const Frame& frame, StatsRequestMsg* out);
+bool decode(const Frame& frame, StatsResponseMsg* out);
+
+/// Incremental frame reassembly over a byte stream. Feed whatever the socket
+/// produced; pop complete frames. A magic/version mismatch or an oversized
+/// length poisons the buffer (error() becomes non-empty) and the connection
+/// should be closed — framing cannot be re-synchronised once corrupt.
+class FrameBuffer {
+ public:
+  void append(const std::uint8_t* data, std::size_t n);
+
+  /// Next complete frame, or nullopt when more bytes are needed or the
+  /// stream is poisoned.
+  std::optional<Frame> next();
+
+  /// Non-empty once the stream is unrecoverably corrupt.
+  const std::string& error() const { return error_; }
+
+  std::size_t buffered_bytes() const { return buffer_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;  ///< parsed prefix, compacted lazily
+  std::string error_;
+};
+
+}  // namespace tailguard::net

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/check.h"
+#include "core/placement.h"
 
 namespace tailguard {
 
@@ -65,17 +66,10 @@ std::vector<ServerId> TailGuardService::pick_workers(std::size_t count) {
   TG_CHECK_MSG(count <= workers_.size(),
                "query fanout " << count << " exceeds worker count "
                                << workers_.size());
-  std::vector<std::pair<std::size_t, ServerId>> load;
+  std::vector<PlacementCandidate> load;
   load.reserve(workers_.size());
   for (const auto& w : workers_) load.emplace_back(w->queue_depth(), w->id());
-  // Random tie-break so equally-loaded workers share tasks evenly.
-  for (auto& [depth, id] : load)
-    depth = depth * workers_.size() + rng_.uniform_index(workers_.size());
-  std::sort(load.begin(), load.end());
-  std::vector<ServerId> picked;
-  picked.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) picked.push_back(load[i].second);
-  return picked;
+  return pick_least_loaded(std::move(load), count, rng_);
 }
 
 std::future<QueryResult> TailGuardService::submit(

@@ -66,6 +66,10 @@ struct QueryResult {
   TimeMs latency_ms = 0.0;       ///< submit -> last merge
   TimeMs deadline_budget = 0.0;  ///< T_b assigned at submit
   std::uint32_t tasks_missed_deadline = 0;
+  /// Tasks that produced no result (remote server died or timed out). Always
+  /// 0 for the in-process runtime; the remote dispatcher counts a query as
+  /// degraded, not hung, when a task server fails mid-query.
+  std::uint32_t tasks_failed = 0;
 };
 
 class TailGuardService {

@@ -6,6 +6,15 @@
 
 namespace tailguard {
 
+void execute_task_payload(const RuntimeTask& task) {
+  if (task.work) {
+    task.work();
+  } else if (task.simulated_service_ms > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(task.simulated_service_ms));
+  }
+}
+
 Worker::Worker(ServerId id, Policy policy, std::size_t num_classes,
                ClockFn clock, CompletionFn on_complete)
     : id_(id),
@@ -30,6 +39,7 @@ void Worker::submit(RuntimeTask task, TimeMs enqueue_ms,
   qt.cls = task.cls;
   qt.enqueue_time = enqueue_ms;
   qt.deadline = order_deadline;
+  task.order_deadline = order_deadline;
   {
     std::lock_guard lock(mu_);
     TG_CHECK_MSG(!shutdown_, "submit after shutdown");
@@ -66,12 +76,7 @@ void Worker::run() {
       payloads_.erase(it);
     }
     const TimeMs dequeue_ms = clock_();
-    if (task.work) {
-      task.work();
-    } else if (task.simulated_service_ms > 0.0) {
-      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
-          task.simulated_service_ms));
-    }
+    execute_task_payload(task);
     const TimeMs complete_ms = clock_();
     on_complete_(id_, task, dequeue_ms, complete_ms);
   }

@@ -35,7 +35,17 @@ struct GroupKey {
 
 struct GroupKeyHash {
   std::size_t operator()(const GroupKey& k) const {
-    return (static_cast<std::size_t>(k.cls) << 32) ^ k.fanout;
+    // Pack into 64 bits explicitly (std::size_t may be 32-bit, where a
+    // << 32 on it would be undefined), then finalise with the SplitMix64
+    // mixer so nearby (cls, fanout) pairs spread across buckets.
+    std::uint64_t v =
+        (static_cast<std::uint64_t>(k.cls) << 32) | k.fanout;
+    v ^= v >> 30;
+    v *= 0xbf58476d1ce4e5b9ULL;
+    v ^= v >> 27;
+    v *= 0x94d049bb133111ebULL;
+    v ^= v >> 31;
+    return static_cast<std::size_t>(v);
   }
 };
 

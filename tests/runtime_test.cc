@@ -71,6 +71,44 @@ TEST(Worker, RejectsSubmitAfterShutdown) {
   EXPECT_THROW(w.submit(std::move(t), 0.0, 0.0), CheckFailure);
 }
 
+TEST(Worker, ConcurrentSubmitRacingShutdownDrainsExactlyOnce) {
+  // Hammer submit from several threads while shutdown lands mid-stream:
+  // every task submit() accepted must complete exactly once, every rejected
+  // submit must throw, and nothing may be dropped or double-run. Run under
+  // -DTG_SANITIZE=thread to have TSan check the locking discipline.
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<int> completions{0};
+    std::atomic<int> accepted{0};
+    {
+      Worker w(
+          0, Policy::kTfEdf, 1, [] { return 0.0; },
+          [&](ServerId, const RuntimeTask&, TimeMs, TimeMs) { ++completions; });
+      std::atomic<bool> go{false};
+      std::vector<std::thread> submitters;
+      for (int t = 0; t < 4; ++t) {
+        submitters.emplace_back([&, t] {
+          while (!go.load()) std::this_thread::yield();
+          for (int i = 0; i < 100; ++i) {
+            RuntimeTask task;
+            task.id = static_cast<TaskId>(t * 1000 + i);
+            try {
+              w.submit(std::move(task), 0.0, static_cast<TimeMs>(i));
+              ++accepted;
+            } catch (const CheckFailure&) {
+              break;  // shutdown won the race; all later submits would throw
+            }
+          }
+        });
+      }
+      go.store(true);
+      std::this_thread::sleep_for(std::chrono::microseconds(200 * round));
+      w.shutdown();
+      for (auto& th : submitters) th.join();
+    }  // destructor joins the worker thread after draining the queue
+    EXPECT_EQ(completions.load(), accepted.load()) << "round " << round;
+  }
+}
+
 // -------------------------------------------------------------- service
 
 TEST(Service, SingleQueryCompletes) {
