@@ -6,8 +6,10 @@
 // one queue-drain time, so the window length and the rejection law govern
 // the oscillation amplitude.
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
+#include "sim/parallel.h"
 #include "workloads/tailbench.h"
 
 using namespace tailguard;
@@ -49,11 +51,11 @@ int main() {
        1000.0, 3.0},
   };
 
+  const std::vector<double> loads = {0.55, 0.60, 0.70};
+  bench::JsonReport report("ablation_admission_modes");
+  std::vector<SimConfig> configs;
   for (const auto& v : variants) {
-    bench::section(v.name);
-    std::printf("%-10s %-12s %-14s %-14s\n", "offered", "accepted",
-                "p99 class-I", "p99 class-II");
-    for (double load : {0.55, 0.60, 0.70}) {
+    for (double load : loads) {
       set_load(cfg, load, opt);
       cfg.admission =
           AdmissionOptions{.window_tasks = 100000,
@@ -61,10 +63,27 @@ int main() {
                            .miss_ratio_threshold = r_th,
                            .mode = v.mode,
                            .proportional_gain = v.gain};
-      const SimResult r = run_simulation(cfg);
+      configs.push_back(cfg);
+    }
+  }
+  const std::vector<SimResult> results = run_simulations(configs);
+
+  std::size_t next = 0;
+  for (const auto& v : variants) {
+    bench::section(v.name);
+    std::printf("%-10s %-12s %-14s %-14s\n", "offered", "accepted",
+                "p99 class-I", "p99 class-II");
+    for (double load : loads) {
+      const SimResult& r = results[next++];
       std::printf("%8.0f%% %10.1f%% %11.2f ms %11.2f ms\n", load * 100.0,
                   load * r.task_admit_fraction() * 100.0,
                   r.class_tail_latency(0), r.class_tail_latency(1));
+      report.row()
+          .add("variant", v.name)
+          .add("offered_load", load)
+          .add("accepted_load", load * r.task_admit_fraction())
+          .add("p99_class1_ms", r.class_tail_latency(0))
+          .add("p99_class2_ms", r.class_tail_latency(1));
     }
   }
 

@@ -4,8 +4,10 @@
 // that still meets the SLO: more jitter should never help, and generally
 // hurts.
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
+#include "sim/parallel.h"
 #include "workloads/tailbench.h"
 
 using namespace tailguard;
@@ -27,11 +29,23 @@ int main() {
   MaxLoadOptions opt;
   opt.tolerance = 0.01;
 
+  bench::JsonReport report("ablation_budget_split");
+  const std::vector<double> jitters = {0.0, 0.25, 0.5, 1.0, 2.0};
+  std::vector<MaxLoadJob> jobs;
+  for (double jitter : jitters) {
+    MaxLoadJob job;
+    job.config = cfg;
+    job.config.task_budget_jitter = jitter;
+    job.opt = opt;
+    jobs.push_back(std::move(job));
+  }
+  const std::vector<double> max_loads = find_max_loads(jobs);
+
   std::printf("%-22s %12s\n", "task budget jitter", "max load");
-  for (double jitter : {0.0, 0.25, 0.5, 1.0, 2.0}) {
-    cfg.task_budget_jitter = jitter;
-    std::printf("+/- %3.0f%% of budget    %11.1f%%\n", jitter * 100.0,
-                find_max_load(cfg, opt) * 100.0);
+  for (std::size_t i = 0; i < jitters.size(); ++i) {
+    std::printf("+/- %3.0f%% of budget    %11.1f%%\n", jitters[i] * 100.0,
+                max_loads[i] * 100.0);
+    report.row().add("jitter", jitters[i]).add("max_load", max_loads[i]);
   }
 
   bench::note(

@@ -16,32 +16,15 @@
 
 #include "bench_util.h"
 #include "core/request.h"
+#include "sim/parallel.h"
 #include "workloads/tailbench.h"
 
 using namespace tailguard;
 
-namespace {
-
-double find_max_request_load(SimConfig cfg, const MaxLoadOptions& opt) {
-  const auto feasible = [&](double load) {
-    set_load(cfg, load, opt);
-    return run_simulation(cfg).request_slo_met;
-  };
-  if (!feasible(opt.lo)) return opt.lo;
-  if (feasible(opt.hi)) return opt.hi;
-  double lo = opt.lo, hi = opt.hi;
-  while (hi - lo > opt.tolerance) {
-    const double mid = 0.5 * (lo + hi);
-    (feasible(mid) ? lo : hi) = mid;
-  }
-  return lo;
-}
-
-}  // namespace
-
 int main() {
   bench::title("Ablation (Eq. 7 extension)",
                "request-level budget decomposition strategies");
+  bench::JsonReport report("ablation_request_budget");
 
   const std::vector<std::uint32_t> fanouts = {1, 10, 100, 10};
   const auto kM = fanouts.size();
@@ -107,15 +90,32 @@ int main() {
       {"Eq. 7, equal split", equal},
       {"Eq. 7, proportional split", prop},
   };
+  // The engine's custom feasibility predicate replaces the local bisection:
+  // the search keys on the request-level SLO instead of per-class SLOs.
+  std::vector<MaxLoadJob> jobs;
   for (const auto& s : strategies) {
     cfg.request = SimConfig::RequestSpec{
         .queries_per_request = kM,
         .query_budgets = s.budgets,
         .query_fanouts = fanouts,
         .request_slo = {.slo_ms = request_slo, .percentile = 99.0}};
+    jobs.push_back(MaxLoadJob{
+        .config = cfg,
+        .opt = opt,
+        .feasible = [](const SimResult& r) { return r.request_slo_met; }});
+  }
+  const std::vector<double> max_loads = find_max_loads(jobs);
+
+  report.row()
+      .add("request_unloaded_p99_ms", x_r)
+      .add("sum_per_query_unloaded_p99_ms", sum_xu)
+      .add("total_budget_ms", total_budget);
+  for (std::size_t i = 0; i < std::size(strategies); ++i) {
+    const auto& s = strategies[i];
     std::printf("%-34s  {%6.3f,%6.3f,%6.3f,%6.3f} %11.1f%%\n", s.name,
                 s.budgets[0], s.budgets[1], s.budgets[2], s.budgets[3],
-                find_max_request_load(cfg, opt) * 100.0);
+                max_loads[i] * 100.0);
+    report.row().add("strategy", s.name).add("max_load", max_loads[i]);
   }
 
   bench::note(

@@ -4,10 +4,17 @@
 // regenerated rows/series, and (where the paper publishes numbers) the
 // paper's values alongside. TAILGUARD_BENCH_SCALE scales simulated query
 // counts (e.g. 0.2 for a fast smoke run, 4 for tighter percentiles).
+//
+// Besides the stdout report, each bench writes BENCH_<name>.json (see
+// JsonReport below, format documented in EXPERIMENTS.md) so the perf and
+// result trajectory is machine-trackable across commits.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "sim/experiment.h"
 
@@ -30,5 +37,91 @@ inline void note(const char* text) { std::printf("note: %s\n", text); }
 inline std::size_t queries(std::size_t base) { return scaled_queries(base); }
 
 inline const char* check_mark(bool met) { return met ? "yes" : "NO"; }
+
+/// Machine-readable companion to the stdout report: collects flat key/value
+/// rows and writes `BENCH_<name>.json` into the working directory on
+/// destruction, including the bench's wall-clock milliseconds. Format:
+///   {"bench": "<name>", "wall_ms": <double>, "rows": [{...}, ...]}
+class JsonReport {
+ public:
+  class Row {
+   public:
+    Row& add(const std::string& key, double value) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.10g", value);
+      fields_.emplace_back(key, buf);
+      return *this;
+    }
+    Row& add(const std::string& key, const std::string& value) {
+      fields_.emplace_back(key, quote(value));
+      return *this;
+    }
+    Row& add(const std::string& key, const char* value) {
+      return add(key, std::string(value));
+    }
+    Row& add(const std::string& key, bool value) {
+      fields_.emplace_back(key, value ? "true" : "false");
+      return *this;
+    }
+
+   private:
+    friend class JsonReport;
+    static std::string quote(const std::string& s) {
+      std::string out = "\"";
+      for (char c : s) {
+        if (c == '"' || c == '\\') out.push_back('\\');
+        if (static_cast<unsigned char>(c) < 0x20) continue;  // drop control chars
+        out.push_back(c);
+      }
+      out.push_back('"');
+      return out;
+    }
+    std::vector<std::pair<std::string, std::string>> fields_;  // key -> encoded
+  };
+
+  explicit JsonReport(std::string name)
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  ~JsonReport() { write(); }
+
+  /// Starts (and returns) a new result row.
+  Row& row() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  double wall_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  void write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return;  // e.g. read-only CWD; the stdout report stands
+    std::fprintf(f, "{\"bench\": %s, \"wall_ms\": %.3f, \"rows\": [",
+                 Row::quote(name_).c_str(), wall_ms());
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      std::fprintf(f, "%s\n  {", r == 0 ? "" : ",");
+      const auto& fields = rows_[r].fields_;
+      for (std::size_t i = 0; i < fields.size(); ++i)
+        std::fprintf(f, "%s%s: %s", i == 0 ? "" : ", ",
+                     Row::quote(fields[i].first).c_str(),
+                     fields[i].second.c_str());
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+  }
+
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<Row> rows_;
+};
 
 }  // namespace tailguard::bench

@@ -7,14 +7,17 @@
 // Masstree service law, same SLO, four fanout distributions.
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "bench_util.h"
+#include "sim/parallel.h"
 #include "workloads/tailbench.h"
 
 using namespace tailguard;
 
 int main() {
   bench::title("Extension", "sensitivity of the gain to the fanout law P(kf)");
+  bench::JsonReport report("ext_fanout_sensitivity");
 
   const struct {
     const char* label;
@@ -37,8 +40,7 @@ int main() {
   MaxLoadOptions opt;
   opt.tolerance = 0.015;
 
-  std::printf("%-30s %8s %10s %12s %8s\n", "fanout law", "E[kf]", "FIFO",
-              "TailGuard", "gain");
+  std::vector<MaxLoadJob> jobs;
   for (const auto& law : laws) {
     SimConfig cfg;
     cfg.num_servers = 100;
@@ -48,13 +50,26 @@ int main() {
     cfg.num_queries = bench::queries(120000);
     cfg.seed = 7;
 
-    cfg.policy = Policy::kFifo;
-    const double fifo = find_max_load(cfg, opt);
-    cfg.policy = Policy::kTfEdf;
-    const double tailguard = find_max_load(cfg, opt);
-    std::printf("%-30s %8.2f %9.0f%% %11.0f%% %7.0f%%\n", law.label,
-                law.model->mean(), fifo * 100.0, tailguard * 100.0,
+    for (Policy policy : {Policy::kFifo, Policy::kTfEdf}) {
+      cfg.policy = policy;
+      jobs.push_back(MaxLoadJob{.config = cfg, .opt = opt, .feasible = {}});
+    }
+  }
+  const std::vector<double> max_loads = find_max_loads(jobs);
+
+  std::printf("%-30s %8s %10s %12s %8s\n", "fanout law", "E[kf]", "FIFO",
+              "TailGuard", "gain");
+  for (std::size_t i = 0; i < std::size(laws); ++i) {
+    const double fifo = max_loads[2 * i];
+    const double tailguard = max_loads[2 * i + 1];
+    std::printf("%-30s %8.2f %9.0f%% %11.0f%% %7.0f%%\n", laws[i].label,
+                laws[i].model->mean(), fifo * 100.0, tailguard * 100.0,
                 (tailguard / fifo - 1.0) * 100.0);
+    report.row()
+        .add("fanout_law", laws[i].label)
+        .add("mean_fanout", laws[i].model->mean())
+        .add("max_load_fifo", fifo)
+        .add("max_load_tailguard", tailguard);
   }
 
   bench::note(

@@ -9,8 +9,10 @@
 // when the online estimator sees the delayed post-queuing times.
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "bench_util.h"
+#include "sim/parallel.h"
 #include "workloads/tailbench.h"
 
 using namespace tailguard;
@@ -18,6 +20,7 @@ using namespace tailguard;
 int main() {
   bench::title("Extension",
                "network dispatch/result delays (queuing at task servers)");
+  bench::JsonReport report("ext_network_delay");
 
   SimConfig cfg;
   cfg.num_servers = 100;
@@ -46,8 +49,7 @@ int main() {
       {"cross-pod (0.20 ms one-way)", 0.20},
   };
 
-  std::printf("%-32s %10s %12s %10s\n", "network", "FIFO", "TailGuard",
-              "gain");
+  std::vector<MaxLoadJob> jobs;
   for (const auto& rtt : rtts) {
     if (rtt.one_way_ms > 0.0) {
       // Mildly variable dispatch delays (+/-50%). The result path is left
@@ -59,12 +61,26 @@ int main() {
     } else {
       cfg.dispatch_delay = nullptr;
     }
-    cfg.policy = Policy::kFifo;
-    const double fifo = find_max_load(cfg, opt);
-    cfg.policy = Policy::kTfEdf;
-    const double tailguard = find_max_load(cfg, opt);
-    std::printf("%-32s %9.0f%% %11.0f%% %9.0f%%\n", rtt.label, fifo * 100.0,
-                tailguard * 100.0, (tailguard / fifo - 1.0) * 100.0);
+    for (Policy policy : {Policy::kFifo, Policy::kTfEdf}) {
+      cfg.policy = policy;
+      jobs.push_back(MaxLoadJob{.config = cfg, .opt = opt, .feasible = {}});
+    }
+  }
+  const std::vector<double> max_loads = find_max_loads(jobs);
+
+  std::printf("%-32s %10s %12s %10s\n", "network", "FIFO", "TailGuard",
+              "gain");
+  for (std::size_t i = 0; i < std::size(rtts); ++i) {
+    const double fifo = max_loads[2 * i];
+    const double tailguard = max_loads[2 * i + 1];
+    std::printf("%-32s %9.0f%% %11.0f%% %9.0f%%\n", rtts[i].label,
+                fifo * 100.0, tailguard * 100.0,
+                (tailguard / fifo - 1.0) * 100.0);
+    report.row()
+        .add("network", rtts[i].label)
+        .add("one_way_ms", rtts[i].one_way_ms)
+        .add("max_load_fifo", fifo)
+        .add("max_load_tailguard", tailguard);
   }
 
   bench::note(

@@ -1,8 +1,10 @@
 // Reproduces the §IV.D closing remark: results for cluster size N=1000 and
 // for four service classes are consistent with the N=100 / two-class ones.
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
+#include "sim/parallel.h"
 #include "workloads/tailbench.h"
 
 using namespace tailguard;
@@ -10,6 +12,7 @@ using namespace tailguard;
 int main() {
   bench::title("Extension (paper §IV.D remark)",
                "cluster size N=1000 and four service classes");
+  bench::JsonReport report("ext_scale_and_classes");
 
   // --- N = 1000, single class, fanouts {1, 10, 100, 1000} ------------------
   bench::section("N=1000, single class, fanouts {1,10,100,1000} with "
@@ -27,16 +30,29 @@ int main() {
     MaxLoadOptions opt;
     opt.tolerance = 0.015;
 
+    const std::vector<double> slos = {0.8, 1.0, 1.2};
+    std::vector<MaxLoadJob> jobs;
+    for (double slo : slos) {
+      for (Policy policy : {Policy::kFifo, Policy::kTfEdf}) {
+        cfg.classes = {{.slo_ms = slo, .percentile = 99.0}};
+        cfg.policy = policy;
+        jobs.push_back(MaxLoadJob{.config = cfg, .opt = opt, .feasible = {}});
+      }
+    }
+    const std::vector<double> max_loads = find_max_loads(jobs);
+
     std::printf("%-14s %12s %12s %10s\n", "x99_SLO (ms)", "FIFO", "TailGuard",
                 "gain");
-    for (double slo : {0.8, 1.0, 1.2}) {
-      cfg.classes = {{.slo_ms = slo, .percentile = 99.0}};
-      cfg.policy = Policy::kFifo;
-      const double fifo = find_max_load(cfg, opt);
-      cfg.policy = Policy::kTfEdf;
-      const double tailguard = find_max_load(cfg, opt);
-      std::printf("%-14.1f %11.0f%% %11.0f%% %9.0f%%\n", slo, fifo * 100.0,
+    for (std::size_t i = 0; i < slos.size(); ++i) {
+      const double fifo = max_loads[2 * i];
+      const double tailguard = max_loads[2 * i + 1];
+      std::printf("%-14.1f %11.0f%% %11.0f%% %9.0f%%\n", slos[i], fifo * 100.0,
                   tailguard * 100.0, (tailguard / fifo - 1.0) * 100.0);
+      report.row()
+          .add("section", "n1000_single_class")
+          .add("slo_ms", slos[i])
+          .add("max_load_fifo", fifo)
+          .add("max_load_tailguard", tailguard);
     }
   }
 
@@ -58,12 +74,23 @@ int main() {
     MaxLoadOptions opt;
     opt.tolerance = 0.01;
 
-    std::printf("%-10s %12s\n", "policy", "max load");
-    for (Policy policy : {Policy::kFifo, Policy::kPriq, Policy::kTEdf,
-                          Policy::kTfEdf}) {
+    const Policy policies[] = {Policy::kFifo, Policy::kPriq, Policy::kTEdf,
+                               Policy::kTfEdf};
+    std::vector<MaxLoadJob> jobs;
+    for (Policy policy : policies) {
       cfg.policy = policy;
-      std::printf("%-10s %11.0f%%\n", to_string(policy),
-                  find_max_load(cfg, opt) * 100.0);
+      jobs.push_back(MaxLoadJob{.config = cfg, .opt = opt, .feasible = {}});
+    }
+    const std::vector<double> max_loads = find_max_loads(jobs);
+
+    std::printf("%-10s %12s\n", "policy", "max load");
+    for (std::size_t i = 0; i < std::size(policies); ++i) {
+      std::printf("%-10s %11.0f%%\n", to_string(policies[i]),
+                  max_loads[i] * 100.0);
+      report.row()
+          .add("section", "n100_four_classes")
+          .add("policy", to_string(policies[i]))
+          .add("max_load", max_loads[i]);
     }
   }
 

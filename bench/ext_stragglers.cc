@@ -7,24 +7,28 @@
 // Eqs. 1-2), so a query's budget depends on *which* servers it touches.
 // FIFO and T-EDFQ cannot use that information.
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
 #include "sim/cluster.h"
+#include "sim/parallel.h"
 #include "workloads/tailbench.h"
 
 using namespace tailguard;
 
 int main() {
   bench::title("Extension", "max load with straggler servers (2x slower)");
+  bench::JsonReport report("ext_stragglers");
 
   const auto base = make_service_time_model(TailbenchApp::kMasstree);
 
   MaxLoadOptions opt;
   opt.tolerance = 0.015;
 
-  std::printf("%-18s %10s %10s %10s %12s\n", "stragglers", "FIFO", "T-EDFQ",
-              "TailGuard", "TG vs T-EDFQ");
-  for (double fraction : {0.0, 0.02, 0.05, 0.10}) {
+  const std::vector<double> fractions = {0.0, 0.02, 0.05, 0.10};
+  const Policy policies[] = {Policy::kFifo, Policy::kTEdf, Policy::kTfEdf};
+  std::vector<MaxLoadJob> jobs;
+  for (double fraction : fractions) {
     SimConfig cfg;
     cfg.num_servers = 100;
     cfg.per_server_service =
@@ -38,15 +42,25 @@ int main() {
     cfg.num_queries = bench::queries(80000);
     cfg.seed = 7;
 
-    double loads[3];
-    const Policy policies[] = {Policy::kFifo, Policy::kTEdf, Policy::kTfEdf};
-    for (int i = 0; i < 3; ++i) {
-      cfg.policy = policies[i];
-      loads[i] = find_max_load(cfg, opt);
+    for (Policy policy : policies) {
+      cfg.policy = policy;
+      jobs.push_back(MaxLoadJob{.config = cfg, .opt = opt, .feasible = {}});
     }
+  }
+  const std::vector<double> max_loads = find_max_loads(jobs);
+
+  std::printf("%-18s %10s %10s %10s %12s\n", "stragglers", "FIFO", "T-EDFQ",
+              "TailGuard", "TG vs T-EDFQ");
+  for (std::size_t i = 0; i < fractions.size(); ++i) {
+    const double* loads = &max_loads[3 * i];
     std::printf("%15.0f%% %9.0f%% %9.0f%% %9.0f%% %11.0f%%\n",
-                fraction * 100.0, loads[0] * 100.0, loads[1] * 100.0,
+                fractions[i] * 100.0, loads[0] * 100.0, loads[1] * 100.0,
                 loads[2] * 100.0, (loads[2] / loads[1] - 1.0) * 100.0);
+    report.row()
+        .add("straggler_fraction", fractions[i])
+        .add("max_load_fifo", loads[0])
+        .add("max_load_tedf", loads[1])
+        .add("max_load_tailguard", loads[2]);
   }
 
   bench::note(

@@ -9,6 +9,7 @@ using namespace tailguard;
 
 int main() {
   bench::title("Figure 3", "task service-time CDFs of the Tailbench workloads");
+  bench::JsonReport report("fig3_workload_cdfs");
 
   for (TailbenchApp app : kAllTailbenchApps) {
     const auto model = make_service_time_model(app);
@@ -19,6 +20,10 @@ int main() {
     for (double p : {0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 0.999,
                      0.9999}) {
       std::printf("%10.4f  %12.4f\n", p, model->quantile(p));
+      report.row()
+          .add("workload", to_string(app))
+          .add("p", p)
+          .add("quantile_ms", model->quantile(p));
     }
 
     std::printf("\n%-34s %10s %10s\n", "", "measured", "paper");

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "sim/parallel.h"
 #include "workloads/tailbench.h"
 
 using namespace tailguard;
@@ -46,29 +47,45 @@ int main() {
        "paper's rule (max loads land in the commercial 20-60% band)"},
   };
 
+  bench::JsonReport report("fig4_single_class_maxload");
+
+  // All (workload, SLO, policy) max-load searches go to the experiment
+  // engine as one batch, so the whole figure saturates the machine.
+  std::vector<MaxLoadJob> jobs;
+  for (const auto& wc : cases) {
+    for (double slo : wc.slos_ms) {
+      for (Policy policy : {Policy::kFifo, Policy::kTfEdf}) {
+        MaxLoadJob job;
+        job.config.num_servers = 100;
+        job.config.fanout = std::make_shared<CategoricalFanout>(
+            CategoricalFanout::paper_mix());
+        job.config.service_time = make_service_time_model(wc.app);
+        job.config.num_queries = bench::queries(120000);
+        job.config.seed = 7;
+        job.config.classes = {{.slo_ms = slo, .percentile = 99.0}};
+        job.config.policy = policy;
+        job.opt.tolerance = 0.01;
+        jobs.push_back(std::move(job));
+      }
+    }
+  }
+  const std::vector<double> max_loads = find_max_loads(jobs);
+
+  std::size_t next = 0;
   for (const auto& wc : cases) {
     bench::section(to_string(wc.app));
-    SimConfig cfg;
-    cfg.num_servers = 100;
-    cfg.fanout =
-        std::make_shared<CategoricalFanout>(CategoricalFanout::paper_mix());
-    cfg.service_time = make_service_time_model(wc.app);
-    cfg.num_queries = bench::queries(120000);
-    cfg.seed = 7;
-
-    MaxLoadOptions opt;
-    opt.tolerance = 0.01;
-
     std::printf("%-14s %12s %12s %10s\n", "x99_SLO (ms)", "FIFO", "TailGuard",
                 "gain");
     for (double slo : wc.slos_ms) {
-      cfg.classes = {{.slo_ms = slo, .percentile = 99.0}};
-      cfg.policy = Policy::kFifo;
-      const double fifo = find_max_load(cfg, opt);
-      cfg.policy = Policy::kTfEdf;
-      const double tailguard = find_max_load(cfg, opt);
+      const double fifo = max_loads[next++];
+      const double tailguard = max_loads[next++];
       std::printf("%-14.1f %11.0f%% %11.0f%% %9.0f%%\n", slo, fifo * 100.0,
                   tailguard * 100.0, (tailguard / fifo - 1.0) * 100.0);
+      report.row()
+          .add("workload", to_string(wc.app))
+          .add("slo_ms", slo)
+          .add("max_load_fifo", fifo)
+          .add("max_load_tailguard", tailguard);
     }
     bench::note(wc.paper_note);
   }

@@ -3,8 +3,10 @@
 // T-EDFQ and TailGuard. The lower class SLO is 1.5x the higher class SLO;
 // each query picks a class uniformly.
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
+#include "sim/parallel.h"
 #include "workloads/tailbench.h"
 
 using namespace tailguard;
@@ -28,20 +30,45 @@ int main() {
 
   const Policy policies[] = {Policy::kFifo, Policy::kPriq, Policy::kTEdf,
                              Policy::kTfEdf};
+  const ArrivalKind kinds[] = {ArrivalKind::kPoisson, ArrivalKind::kPareto};
+  const double slos[] = {0.8, 1.0, 1.2};
 
-  for (ArrivalKind kind : {ArrivalKind::kPoisson, ArrivalKind::kPareto}) {
-    cfg.arrival_kind = kind;
+  // Flatten every (arrival, SLO, policy) search into one engine batch.
+  bench::JsonReport report("fig5_two_class_maxload");
+  std::vector<MaxLoadJob> jobs;
+  for (ArrivalKind kind : kinds) {
+    for (double slo : slos) {
+      for (Policy policy : policies) {
+        MaxLoadJob job;
+        job.config = cfg;
+        job.config.arrival_kind = kind;
+        job.config.classes = {{.slo_ms = slo, .percentile = 99.0},
+                              {.slo_ms = 1.5 * slo, .percentile = 99.0}};
+        job.config.policy = policy;
+        job.opt = opt;
+        jobs.push_back(std::move(job));
+      }
+    }
+  }
+  const std::vector<double> max_loads = find_max_loads(jobs);
+
+  std::size_t next = 0;
+  for (ArrivalKind kind : kinds) {
     bench::section(kind == ArrivalKind::kPoisson ? "(a) Poisson arrivals"
                                                  : "(b) Pareto arrivals");
     std::printf("%-22s %10s %10s %10s %10s\n", "high-class SLO (ms)", "FIFO",
                 "PRIQ", "T-EDFQ", "TailGuard");
-    for (double slo : {0.8, 1.0, 1.2}) {
-      cfg.classes = {{.slo_ms = slo, .percentile = 99.0},
-                     {.slo_ms = 1.5 * slo, .percentile = 99.0}};
+    for (double slo : slos) {
       std::printf("%-22.1f", slo);
+      auto& row = report.row()
+                      .add("arrivals", kind == ArrivalKind::kPoisson
+                                           ? "poisson"
+                                           : "pareto")
+                      .add("high_class_slo_ms", slo);
       for (Policy policy : policies) {
-        cfg.policy = policy;
-        std::printf(" %9.0f%%", find_max_load(cfg, opt) * 100.0);
+        const double max_load = max_loads[next++];
+        std::printf(" %9.0f%%", max_load * 100.0);
+        row.add(to_string(policy), max_load);
       }
       std::printf("\n");
     }

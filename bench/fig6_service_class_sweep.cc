@@ -2,10 +2,12 @@
 // classes with fixed fanout kf = N = 100 (the OLDI case), comparing FIFO,
 // PRIQ and TailGuard. With a fixed fanout T-EDFQ behaves exactly like
 // TailGuard (§IV.C), so it is omitted, as in the paper.
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
 #include "bench_util.h"
+#include "sim/parallel.h"
 #include "workloads/tailbench.h"
 
 using namespace tailguard;
@@ -33,38 +35,56 @@ int main() {
   const std::vector<double> loads = {0.20, 0.25, 0.30, 0.35, 0.40,
                                      0.45, 0.50, 0.55, 0.60};
 
-  for (const auto& wc : cases) {
-    SimConfig cfg;
-    cfg.num_servers = 100;
-    cfg.fanout = std::make_shared<FixedFanout>(100);
-    cfg.service_time = make_service_time_model(wc.app);
-    cfg.classes = {{.slo_ms = wc.slo_class1, .percentile = 99.0},
-                   {.slo_ms = wc.slo_class2, .percentile = 99.0}};
-    cfg.class_probabilities = {0.5, 0.5};
-    cfg.num_queries = bench::queries(15000);
-    cfg.seed = 3;
+  const Policy policies[] = {Policy::kFifo, Policy::kPriq, Policy::kTfEdf};
 
+  // One flat batch of (workload, policy, load) simulations for the engine.
+  bench::JsonReport report("fig6_service_class_sweep");
+  std::vector<SimConfig> configs;
+  for (const auto& wc : cases) {
+    for (Policy policy : policies) {
+      for (double load : loads) {
+        SimConfig cfg;
+        cfg.num_servers = 100;
+        cfg.fanout = std::make_shared<FixedFanout>(100);
+        cfg.service_time = make_service_time_model(wc.app);
+        cfg.classes = {{.slo_ms = wc.slo_class1, .percentile = 99.0},
+                       {.slo_ms = wc.slo_class2, .percentile = 99.0}};
+        cfg.class_probabilities = {0.5, 0.5};
+        cfg.num_queries = bench::queries(15000);
+        cfg.seed = 3;
+        cfg.policy = policy;
+        set_load(cfg, load);
+        configs.push_back(std::move(cfg));
+      }
+    }
+  }
+  const std::vector<SimResult> results = run_simulations(configs);
+
+  std::size_t next = 0;
+  for (const auto& wc : cases) {
     char header[128];
     std::snprintf(header, sizeof(header), "%s (SLO I/II = %.1f/%.1f ms)",
                   to_string(wc.app).c_str(), wc.slo_class1, wc.slo_class2);
     bench::section(header);
 
-    const Policy policies[] = {Policy::kFifo, Policy::kPriq, Policy::kTfEdf};
     for (int pi = 0; pi < 3; ++pi) {
-      cfg.policy = policies[pi];
-      const auto points = sweep_loads(cfg, loads);
       // Max feasible load per class along the sweep.
       double max_ok[2] = {0.0, 0.0};
       std::printf("%-10s", to_string(policies[pi]));
-      for (const auto& pt : points) {
-        std::printf("  %4.0f%%[%.2f|%.2f]", pt.load * 100.0,
-                    pt.result.class_tail_latency(0),
-                    pt.result.class_tail_latency(1));
+      for (double load : loads) {
+        const SimResult& r = results[next++];
+        std::printf("  %4.0f%%[%.2f|%.2f]", load * 100.0,
+                    r.class_tail_latency(0), r.class_tail_latency(1));
+        report.row()
+            .add("workload", to_string(wc.app))
+            .add("policy", to_string(policies[pi]))
+            .add("load", load)
+            .add("p99_class1_ms", r.class_tail_latency(0))
+            .add("p99_class2_ms", r.class_tail_latency(1));
+        const double slos[2] = {wc.slo_class1, wc.slo_class2};
         for (int c = 0; c < 2; ++c) {
-          if (pt.result.class_tail_latency(c) <=
-              cfg.classes[c].slo_ms * 1.001) {
-            max_ok[c] = std::max(max_ok[c], pt.load);
-          }
+          if (r.class_tail_latency(c) <= slos[c] * 1.001)
+            max_ok[c] = std::max(max_ok[c], load);
         }
       }
       const double overall = std::min(max_ok[0], max_ok[1]);

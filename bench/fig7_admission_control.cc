@@ -7,8 +7,10 @@
 // control with that R_th (window = 1000 queries / 100 000 tasks) and sweep
 // the offered load, reporting accepted/rejected load and per-class p99.
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
+#include "sim/parallel.h"
 #include "workloads/tailbench.h"
 
 using namespace tailguard;
@@ -17,6 +19,7 @@ int main() {
   bench::title("Figure 7",
                "TailGuard with query admission control (Masstree, 2 "
                "classes, kf=100)");
+  bench::JsonReport report("fig7_admission_control");
 
   SimConfig cfg;
   cfg.num_servers = 100;
@@ -49,22 +52,41 @@ int main() {
   // faithful-mechanism run here uses a 100-query window (same R_th). The
   // window-length sensitivity itself is ablation_admission_modes.
   bench::section("admission-control sweep (window = 100 queries)");
-  std::printf("%-12s %-12s %-12s %-14s %-14s %-9s\n", "offered", "accepted",
-              "rejected-q", "p99 class-I", "p99 class-II", "SLOs met");
-  for (double load : {0.45, 0.50, 0.55, 0.60, 0.65, 0.70}) {
+  report.row()
+      .add("max_acceptable_load", max_load)
+      .add("r_th", r_th);
+
+  const std::vector<double> loads = {0.45, 0.50, 0.55, 0.60, 0.65, 0.70};
+  std::vector<SimConfig> configs;
+  for (double load : loads) {
     set_load(cfg, load, opt);
     cfg.admission =
         AdmissionOptions{.window_tasks = 100000,
                          .window_ms = 100.0 / cfg.arrival_rate,
                          .miss_ratio_threshold = r_th,
                          .mode = AdmissionMode::kOnOff};
-    const SimResult r = run_simulation(cfg);
+    configs.push_back(cfg);
+  }
+  const std::vector<SimResult> results = run_simulations(configs);
+
+  std::printf("%-12s %-12s %-12s %-14s %-14s %-9s\n", "offered", "accepted",
+              "rejected-q", "p99 class-I", "p99 class-II", "SLOs met");
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    const double load = loads[i];
+    const SimResult& r = results[i];
     const double accepted = load * r.task_admit_fraction();
     std::printf("%10.0f%% %10.1f%% %12lu %11.2f ms %11.2f ms %9s\n",
                 load * 100.0, accepted * 100.0,
                 static_cast<unsigned long>(r.queries_rejected),
                 r.class_tail_latency(0), r.class_tail_latency(1),
                 bench::check_mark(r.all_slos_met(0.02)));
+    report.row()
+        .add("offered_load", load)
+        .add("accepted_load", accepted)
+        .add("queries_rejected", static_cast<double>(r.queries_rejected))
+        .add("p99_class1_ms", r.class_tail_latency(0))
+        .add("p99_class2_ms", r.class_tail_latency(1))
+        .add("slos_met", r.all_slos_met(0.02));
   }
 
   bench::note(

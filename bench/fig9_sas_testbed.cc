@@ -3,9 +3,11 @@
 //   (b,c,d) p99 query tail latency of classes A/B/C vs Server-room cluster
 //   load for FIFO, PRIQ, T-EDFQ and TailGuard, plus max acceptable loads.
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
 #include "sas/testbed.h"
+#include "sim/parallel.h"
 
 using namespace tailguard;
 
@@ -38,34 +40,60 @@ int main() {
                                "B (SLO 1300 ms, fanout 4)",
                                "C (SLO 1800 ms, fanout 32)"};
 
+  // Each (policy, load) point is simulated once and shared across the
+  // three per-class panels; the whole grid runs as one engine batch.
+  const double loads[] = {0.30, 0.40, 0.50, 0.60, 0.70};
+  std::vector<SimConfig> configs;
+  for (Policy policy : policies) {
+    for (double load : loads) {
+      SimConfig cfg = make_sas_config(policy, 11, n);
+      set_load(cfg, load, opt);
+      configs.push_back(std::move(cfg));
+    }
+  }
+  const std::vector<SimResult> results = run_simulations(configs);
+
+  bench::JsonReport report("fig9_sas_testbed");
   for (int cls = 0; cls < 3; ++cls) {
     bench::section(std::string("(") + static_cast<char>('b' + cls) +
                    ") p99 of class " + class_names[cls] +
                    " vs Server-room load");
     std::printf("%-10s", "policy");
-    const double loads[] = {0.30, 0.40, 0.50, 0.60, 0.70};
     for (double load : loads) std::printf(" %9.0f%%", load * 100.0);
     std::printf("\n");
+    std::size_t next = 0;
     for (Policy policy : policies) {
-      SimConfig cfg = make_sas_config(policy, 11, n);
       std::printf("%-10s", to_string(policy));
       for (double load : loads) {
-        set_load(cfg, load, opt);
-        const SimResult r = run_simulation(cfg);
-        std::printf(" %7.0fms",
-                    r.class_tail_latency(static_cast<ClassId>(cls)));
+        const SimResult& r = results[next++];
+        const double p99 = r.class_tail_latency(static_cast<ClassId>(cls));
+        std::printf(" %7.0fms", p99);
+        report.row()
+            .add("class", static_cast<double>(cls))
+            .add("policy", to_string(policy))
+            .add("load", load)
+            .add("p99_ms", p99);
       }
       std::printf("\n");
     }
   }
 
   bench::section("maximum Server-room load meeting all three SLOs");
+  std::vector<MaxLoadJob> jobs;
+  for (Policy policy : policies) {
+    jobs.push_back(MaxLoadJob{
+        .config = make_sas_config(policy, 11, n), .opt = opt, .feasible = {}});
+  }
+  const std::vector<double> max_loads = find_max_loads(jobs);
+
   std::printf("%-10s %10s %14s\n", "policy", "measured", "paper");
   const double paper_max[] = {38.0, 36.0, 42.0, 48.0};
   for (int i = 0; i < 4; ++i) {
-    SimConfig cfg = make_sas_config(policies[i], 11, n);
     std::printf("%-10s %9.0f%% %13.0f%%\n", to_string(policies[i]),
-                find_max_load(cfg, opt) * 100.0, paper_max[i]);
+                max_loads[i] * 100.0, paper_max[i]);
+    report.row()
+        .add("policy", to_string(policies[i]))
+        .add("max_load", max_loads[i]);
   }
 
   bench::note(

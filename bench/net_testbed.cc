@@ -61,6 +61,7 @@ int main() {
   bench::title("Networked testbed",
                "remote dispatcher + TCP task servers vs the in-process "
                "runtime (dispatch overhead and loaded tails)");
+  bench::JsonReport report("net_testbed");
 
   constexpr std::size_t kServers = 4;
   const std::vector<ClassSpec> classes = {{.slo_ms = 60.0, .percentile = 99.0},
@@ -119,6 +120,16 @@ int main() {
               remote.p50, remote.p99);
   std::printf("overhead: +%.3f ms mean, +%.3f ms p99 (%zu queries)\n",
               remote.mean - local.mean, remote.p99 - local.p99, rt_queries);
+  report.row()
+      .add("measurement", "round_trip_in_process")
+      .add("mean_ms", local.mean)
+      .add("p50_ms", local.p50)
+      .add("p99_ms", local.p99);
+  report.row()
+      .add("measurement", "round_trip_remote_tcp")
+      .add("mean_ms", remote.mean)
+      .add("p50_ms", remote.p50)
+      .add("p99_ms", remote.p99);
 
   // --- loaded tails ------------------------------------------------------
   const std::size_t loaded_queries = bench::queries(400);
@@ -172,6 +183,16 @@ int main() {
               "remote-tcp", remote_loaded[0].p99, remote_loaded[1].p99,
               remote_failed, bench::check_mark(remote_loaded[0].p99 <= 60.0),
               bench::check_mark(remote_loaded[1].p99 <= 120.0));
+  report.row()
+      .add("measurement", "loaded_in_process")
+      .add("p99_class1_ms", local_loaded[0].p99)
+      .add("p99_class2_ms", local_loaded[1].p99)
+      .add("tasks_failed", static_cast<double>(local_failed));
+  report.row()
+      .add("measurement", "loaded_remote_tcp")
+      .add("p99_class1_ms", remote_loaded[0].p99)
+      .add("p99_class2_ms", remote_loaded[1].p99)
+      .add("tasks_failed", static_cast<double>(remote_failed));
 
   bench::note(
       "expected shape: loopback TCP adds well under a millisecond of "

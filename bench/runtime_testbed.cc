@@ -25,6 +25,7 @@ int main() {
   bench::title("Runtime testbed",
                "threaded TailGuard implementation under real wall-clock "
                "load");
+  bench::JsonReport json("runtime_testbed");
 
   constexpr std::size_t kWorkers = 8;
   constexpr double kServiceScale = 30.0;  // Masstree ms -> ~5 ms sleeps
@@ -82,6 +83,12 @@ int main() {
                   c1 != nullptr ? c1->p99_ms : 0.0,
                   100.0 * report.deadline_miss_ratio);
       std::fflush(stdout);
+      json.row()
+          .add("policy", to_string(policy))
+          .add("rate_qps", rate)
+          .add("p99_class1_ms", c0 != nullptr ? c0->p99_ms : 0.0)
+          .add("p99_class2_ms", c1 != nullptr ? c1->p99_ms : 0.0)
+          .add("deadline_miss_ratio", report.deadline_miss_ratio);
     }
     std::printf("\n");
   }

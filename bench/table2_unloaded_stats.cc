@@ -14,6 +14,7 @@ int main() {
                "mean service time and unloaded 99th percentile query tail "
                "latency x99u(kf)");
 
+  bench::JsonReport report("table2_unloaded_stats");
   std::printf("%-10s %18s %18s %18s %18s\n", "Bench", "Tm (ms)", "x99u(1)",
               "x99u(10)", "x99u(100)");
   std::printf("%-10s %18s %18s %18s %18s\n", "", "meas / paper",
@@ -29,6 +30,12 @@ int main() {
                 to_string(app).c_str(), model.distribution().mean(),
                 stats.mean_service_ms, x1, stats.x99u_1, x10, stats.x99u_10,
                 x100, stats.x99u_100);
+    report.row()
+        .add("workload", to_string(app))
+        .add("mean_service_ms", model.distribution().mean())
+        .add("x99u_1_ms", x1)
+        .add("x99u_10_ms", x10)
+        .add("x99u_100_ms", x100);
   }
 
   bench::note("x99u(kf) = F^{-1}(0.99^{1/kf}) per Eq. 2 (homogeneous cluster)");

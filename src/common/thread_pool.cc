@@ -1,0 +1,106 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tailguard {
+
+struct ThreadPool::Impl {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<std::function<void()>> queue;
+  std::vector<std::thread> workers;
+  bool stop = false;
+
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [this] { return stop || !queue.empty(); });
+        if (stop && queue.empty()) return;
+        task = std::move(queue.front());
+        queue.pop_front();
+      }
+      task();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t num_threads) : impl_(new Impl) {
+  if (num_threads == 0) num_threads = configured_threads();
+  impl_->workers.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i)
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->cv.notify_all();
+  for (auto& w : impl_->workers) w.join();
+}
+
+std::size_t ThreadPool::num_threads() const { return impl_->workers.size(); }
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(configured_threads());
+  return pool;
+}
+
+std::size_t ThreadPool::parse_thread_count(const char* value) {
+  if (value == nullptr) return 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || parsed <= 0) return 0;
+  // Clamp to something sane: a runaway value would just thrash.
+  return static_cast<std::size_t>(std::min(parsed, 1024L));
+}
+
+std::size_t ThreadPool::configured_threads() {
+  const std::size_t from_env =
+      parse_thread_count(std::getenv("TAILGUARD_THREADS"));
+  if (from_env > 0) return from_env;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->queue.push_back(std::move(task));
+  }
+  impl_->cv.notify_one();
+}
+
+bool ThreadPool::run_one() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    if (impl_->queue.empty()) return false;
+    task = std::move(impl_->queue.front());
+    impl_->queue.pop_front();
+  }
+  task();
+  return true;
+}
+
+void ThreadPool::help_until_ready(const std::function<bool()>& done) {
+  while (!done()) {
+    if (!run_one()) {
+      // Queue momentarily empty but the awaited task is still in flight on
+      // a worker; nap instead of spinning.
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+}
+
+}  // namespace tailguard

@@ -37,6 +37,10 @@ DeadlineEstimator::DeadlineEstimator(
     }
   }
   group_counts_.assign(models_.size(), 0);
+  touched_groups_.reserve(models_.size());
+  models_scratch_.reserve(models_.size());
+  counts_scratch_.reserve(models_.size());
+  for (const auto& m : models_) version_sum_ += m->version();
 }
 
 DeadlineEstimator DeadlineEstimator::homogeneous(
@@ -59,44 +63,46 @@ const ClassSpec& DeadlineEstimator::class_spec(ClassId cls) const {
   return classes_[cls];
 }
 
-std::uint64_t DeadlineEstimator::version_sum() const {
-  std::uint64_t sum = 0;
-  for (const auto& m : models_) sum += m->version();
-  return sum;
-}
-
 TimeMs DeadlineEstimator::unloaded_query_quantile(
     ClassId cls, std::span<const ServerId> servers) {
   const ClassSpec& spec = class_spec(cls);
   TG_CHECK_MSG(!servers.empty(), "query must fan out to at least one server");
   const double prob = spec.percentile / 100.0;
 
-  std::fill(group_counts_.begin(), group_counts_.end(), 0);
-  for (ServerId s : servers) {
-    TG_CHECK_MSG(s < server_group_.size(), "unknown server " << s);
-    ++group_counts_[server_group_[s]];
-  }
-
   if (models_.size() == 1) {
     // Homogeneous cluster: closed form, cache by fanout.
-    const auto kf = static_cast<std::uint32_t>(servers.size());
-    return unloaded_query_quantile(cls, kf);
+    for (ServerId s : servers)
+      TG_CHECK_MSG(s < server_group_.size(), "unknown server " << s);
+    return unloaded_query_quantile(cls,
+                                   static_cast<std::uint32_t>(servers.size()));
+  }
+
+  // Scratch arena: group_counts_ is all-zero between calls, so only the
+  // groups this query touches are written and reset (no per-call fill over
+  // every group).
+  touched_groups_.clear();
+  for (ServerId s : servers) {
+    TG_CHECK_MSG(s < server_group_.size(), "unknown server " << s);
+    const std::uint32_t g = server_group_[s];
+    if (group_counts_[g]++ == 0) touched_groups_.push_back(g);
   }
 
   const std::uint64_t key = hash_key(cls, group_counts_);
-  return cache_.get_or_compute(key, version_sum(), [&] {
-    // Build the compact (model, count) representation for the groups hit.
-    std::vector<const CdfModel*> models;
-    std::vector<std::uint32_t> counts;
-    models.reserve(models_.size());
-    counts.reserve(models_.size());
+  const TimeMs result = cache_.get_or_compute(key, version_sum_, [&] {
+    // Compact (model, count) representation for the groups hit, in group
+    // order so equal compositions always produce the same call.
+    models_scratch_.clear();
+    counts_scratch_.clear();
     for (std::size_t g = 0; g < models_.size(); ++g) {
       if (group_counts_[g] == 0) continue;
-      models.push_back(models_[g].get());
-      counts.push_back(group_counts_[g]);
+      models_scratch_.push_back(models_[g].get());
+      counts_scratch_.push_back(group_counts_[g]);
     }
-    return heterogeneous_unloaded_quantile(models, counts, prob);
+    return heterogeneous_unloaded_quantile(models_scratch_, counts_scratch_,
+                                           prob);
   });
+  for (std::uint32_t g : touched_groups_) group_counts_[g] = 0;
+  return result;
 }
 
 TimeMs DeadlineEstimator::unloaded_query_quantile(ClassId cls,
@@ -106,7 +112,7 @@ TimeMs DeadlineEstimator::unloaded_query_quantile(ClassId cls,
   const ClassSpec& spec = class_spec(cls);
   const std::uint64_t key =
       (static_cast<std::uint64_t>(cls) << 32) | fanout;
-  return cache_.get_or_compute(key, version_sum(), [&] {
+  return cache_.get_or_compute(key, version_sum_, [&] {
     return homogeneous_unloaded_quantile(*models_[0], fanout,
                                          spec.percentile / 100.0);
   });
@@ -128,7 +134,10 @@ TimeMs DeadlineEstimator::slo_deadline(TimeMs t0, ClassId cls) const {
 
 void DeadlineEstimator::observe_post_queuing(ServerId server, TimeMs t) {
   TG_CHECK_MSG(server < server_group_.size(), "unknown server " << server);
-  models_[server_group_[server]]->observe(t);
+  CdfModel& model = *models_[server_group_[server]];
+  const std::uint64_t before = model.version();
+  model.observe(t);
+  version_sum_ += model.version() - before;
 }
 
 const CdfModel& DeadlineEstimator::model_of(ServerId server) const {

@@ -69,14 +69,21 @@ class DeadlineEstimator {
   std::size_t num_groups() const { return models_.size(); }
 
  private:
-  std::uint64_t version_sum() const;
-
   std::vector<std::shared_ptr<CdfModel>> models_;  // one per group
   std::vector<std::uint32_t> server_group_;        // server -> group index
   std::vector<ClassSpec> classes_;
   UnloadedQuantileCache cache_;
-  // Scratch reused across calls to avoid per-query allocation.
+  /// Running Σ model version, maintained by observe_post_queuing — every
+  /// model mutation goes through that method, so cache invalidation never
+  /// needs the O(#groups) recompute on the lookup path.
+  std::uint64_t version_sum_ = 0;
+  // Scratch arena reused across calls to avoid per-query allocation: only
+  // the entries of group_counts_ listed in touched_groups_ are non-zero
+  // during a lookup, and only those are reset afterwards.
   std::vector<std::uint32_t> group_counts_;
+  std::vector<std::uint32_t> touched_groups_;
+  std::vector<const CdfModel*> models_scratch_;
+  std::vector<std::uint32_t> counts_scratch_;
 };
 
 }  // namespace tailguard

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
 
 #include "common/check.h"
 
@@ -35,16 +34,21 @@ TimeMs invert_product_cdf(std::span<const CdfModel* const> models,
     return counts.empty() ? 1.0 : static_cast<double>(counts[i]);
   };
 
-  // log F_Q(t) = Σ_i counts[i] * log F_i(t); we bisect on that.
+  // log F_Q(t) = Σ_i counts[i] * log F_i(t); we bisect on that. Every term
+  // is non-positive, so the scan short-circuits the moment the partial sum
+  // drops below the target — the branch decision is identical to evaluating
+  // the full product, but most iterations stop after a few models (each
+  // cdf() + log() skipped is the dominant cost of the inversion).
   const double log_target = std::log(prob);
-  const auto log_product = [&](TimeMs t) -> double {
+  const auto below_target = [&](TimeMs t) -> bool {
     double lp = 0.0;
     for (std::size_t i = 0; i < models.size(); ++i) {
       const double f = models[i]->cdf(t);
-      if (f <= 0.0) return -std::numeric_limits<double>::infinity();
+      if (f <= 0.0) return true;
       lp += count_of(i) * std::log(f);
+      if (lp < log_target) return true;
     }
-    return lp;
+    return false;
   };
 
   // Bracket. Lower bound: the max over models of their `prob` quantile —
@@ -61,13 +65,17 @@ TimeMs invert_product_cdf(std::span<const CdfModel* const> models,
   if (hi <= lo) return hi;
   // Guard against models whose quantile() is approximate (e.g. streaming
   // histograms): widen until the bracket actually straddles the target.
-  for (int i = 0; i < 64 && log_product(hi) < log_target; ++i)
+  for (int i = 0; i < 64 && below_target(hi); ++i)
     hi += std::max(1e-9, hi - lo);
 
   for (int iter = 0; iter < 200 && hi - lo > 1e-12 * std::max(1.0, hi);
        ++iter) {
     const TimeMs mid = 0.5 * (lo + hi);
-    if (log_product(mid) < log_target) {
+    // The bracket has collapsed to adjacent doubles: further iterations
+    // would re-probe the same midpoint, so stop instead of burning the
+    // remaining iteration budget.
+    if (mid <= lo || mid >= hi) break;
+    if (below_target(mid)) {
       lo = mid;
     } else {
       hi = mid;

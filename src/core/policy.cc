@@ -1,5 +1,8 @@
 #include "core/policy.h"
 
+#include <algorithm>
+#include <bit>
+
 #include "common/check.h"
 
 namespace tailguard {
@@ -26,7 +29,7 @@ const QueuedTask& FifoTaskQueue::peek() const {
 // -------------------------------------------------------------------- PRIQ
 
 ClassPriorityTaskQueue::ClassPriorityTaskQueue(std::size_t num_classes)
-    : per_class_(num_classes) {
+    : per_class_(num_classes), occupancy_((num_classes + 63) / 64, 0) {
   TG_CHECK_MSG(num_classes >= 1, "PRIQ needs at least one class");
 }
 
@@ -35,12 +38,15 @@ void ClassPriorityTaskQueue::push(QueuedTask task) {
                "task class " << task.cls << " out of range");
   task.seq = next_seq_++;
   per_class_[task.cls].push_back(task);
+  occupancy_[task.cls / 64] |= std::uint64_t{1} << (task.cls % 64);
   ++size_;
 }
 
 std::size_t ClassPriorityTaskQueue::first_nonempty() const {
-  for (std::size_t c = 0; c < per_class_.size(); ++c)
-    if (!per_class_[c].empty()) return c;
+  for (std::size_t w = 0; w < occupancy_.size(); ++w) {
+    if (occupancy_[w] != 0)
+      return w * 64 + static_cast<std::size_t>(std::countr_zero(occupancy_[w]));
+  }
   TG_CHECK_MSG(false, "pop/peek on empty PRIQ queue");
   return 0;
 }
@@ -49,6 +55,8 @@ QueuedTask ClassPriorityTaskQueue::pop() {
   const std::size_t c = first_nonempty();
   QueuedTask t = per_class_[c].front();
   per_class_[c].pop_front();
+  if (per_class_[c].empty())
+    occupancy_[c / 64] &= ~(std::uint64_t{1} << (c % 64));
   --size_;
   return t;
 }
@@ -68,19 +76,23 @@ EdfTaskQueue::EdfTaskQueue(Policy reported_policy)
 
 void EdfTaskQueue::push(QueuedTask task) {
   task.seq = next_seq_++;
-  heap_.push(task);
+  heap_.push_back(task);
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 QueuedTask EdfTaskQueue::pop() {
   TG_CHECK_MSG(!heap_.empty(), "pop from empty EDF queue");
-  QueuedTask t = heap_.top();
-  heap_.pop();
+  // pop_heap rotates the head to the back, where it can be moved out —
+  // no copy of the popped task, unlike priority_queue::top().
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  QueuedTask t = std::move(heap_.back());
+  heap_.pop_back();
   return t;
 }
 
 const QueuedTask& EdfTaskQueue::peek() const {
   TG_CHECK_MSG(!heap_.empty(), "peek into empty EDF queue");
-  return heap_.top();
+  return heap_.front();
 }
 
 // ----------------------------------------------------------------- factory

@@ -9,7 +9,6 @@
 
 #include <deque>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "core/types.h"
@@ -79,12 +78,21 @@ class ClassPriorityTaskQueue final : public TaskQueue {
   std::size_t first_nonempty() const;
 
   std::vector<std::deque<QueuedTask>> per_class_;
+  /// Occupancy bitmask, one bit per class (64 classes per word): bit set
+  /// iff the class deque is non-empty, so first_nonempty() is a
+  /// countr_zero instead of a linear scan over the class deques.
+  std::vector<std::uint64_t> occupancy_;
   std::size_t size_ = 0;
   std::uint64_t next_seq_ = 0;
 };
 
 /// Earliest-deadline-first with FIFO tie-breaking; used by both T-EDFQ and
 /// TF-EDFQ depending on how the caller derives `deadline`.
+///
+/// Backed by a raw vector driven with std::push_heap/std::pop_heap rather
+/// than std::priority_queue: priority_queue::top() returns a const
+/// reference, which forces pop() to *copy* the head before popping, while
+/// pop_heap lets the head be moved out of the backing vector.
 class EdfTaskQueue final : public TaskQueue {
  public:
   /// `reported_policy` must be kTEdf or kTfEdf.
@@ -103,7 +111,7 @@ class EdfTaskQueue final : public TaskQueue {
     }
   };
 
-  std::priority_queue<QueuedTask, std::vector<QueuedTask>, Later> heap_;
+  std::vector<QueuedTask> heap_;  // min-heap on (deadline, seq) via Later
   Policy reported_policy_;
   std::uint64_t next_seq_ = 0;
 };

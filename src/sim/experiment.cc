@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/check.h"
+#include "sim/parallel.h"
 
 namespace tailguard {
 
@@ -19,39 +20,16 @@ void set_load(SimConfig& config, double load, const MaxLoadOptions& opt) {
 }
 
 double find_max_load(SimConfig config, const MaxLoadOptions& opt) {
-  TG_CHECK_MSG(opt.lo > 0.0 && opt.hi < 1.0 && opt.lo < opt.hi,
-               "bad search interval");
-  const auto feasible = [&](double load) {
-    set_load(config, load, opt);
-    return run_simulation(config).all_slos_met(opt.slo_epsilon);
-  };
-
-  if (!feasible(opt.lo)) return opt.lo;
-  if (feasible(opt.hi)) return opt.hi;
-
-  double lo = opt.lo;  // feasible
-  double hi = opt.hi;  // infeasible
-  while (hi - lo > opt.tolerance) {
-    const double mid = 0.5 * (lo + hi);
-    if (feasible(mid)) {
-      lo = mid;
-    } else {
-      hi = mid;
-    }
-  }
-  return lo;
+  // Speculative bisection over the shared pool; replaying the serial
+  // search's branch decisions keeps the returned load bit-identical to the
+  // sequential implementation at any thread count.
+  return find_max_load_speculative(config, opt);
 }
 
 std::vector<LoadPoint> sweep_loads(SimConfig config,
                                    const std::vector<double>& loads,
                                    const MaxLoadOptions& opt) {
-  std::vector<LoadPoint> points;
-  points.reserve(loads.size());
-  for (double load : loads) {
-    set_load(config, load, opt);
-    points.push_back(LoadPoint{load, run_simulation(config)});
-  }
-  return points;
+  return sweep_loads_parallel(config, loads, opt);
 }
 
 std::size_t scaled_queries(std::size_t base) {

@@ -28,6 +28,9 @@ void set_load(SimConfig& config, double load, const MaxLoadOptions& opt = {});
 /// Largest load (within tolerance) at which every (class, fanout) group
 /// meets its SLO, found by bisection with common random numbers across
 /// evaluation points. Returns opt.lo if even the floor is infeasible.
+/// Runs as a speculative parallel search over the shared thread pool (see
+/// sim/parallel.h); the result is identical to the serial bisection at any
+/// TAILGUARD_THREADS setting.
 double find_max_load(SimConfig config, const MaxLoadOptions& opt = {});
 
 struct LoadPoint {
@@ -35,7 +38,8 @@ struct LoadPoint {
   SimResult result;
 };
 
-/// Runs the simulation at each load (same seed everywhere).
+/// Runs the simulation at each load (same seed everywhere), fanned out over
+/// the shared thread pool; points come back in `loads` order.
 std::vector<LoadPoint> sweep_loads(SimConfig config,
                                    const std::vector<double>& loads,
                                    const MaxLoadOptions& opt = {});

@@ -1,0 +1,145 @@
+#include "sim/parallel.h"
+
+#include <algorithm>
+#include <array>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace tailguard {
+
+namespace {
+
+ThreadPool& pool_or_shared(ThreadPool* pool) {
+  return pool != nullptr ? *pool : ThreadPool::shared();
+}
+
+// Collects the bisection-tree midpoints reachable within `levels` branch
+// decisions from the bracket [lo, hi], using exactly the arithmetic the
+// serial search uses (mid = 0.5 * (lo + hi)) so the replay below visits
+// bit-identical loads.
+void collect_candidates(double lo, double hi, int levels,
+                        std::vector<double>& out) {
+  if (levels == 0) return;
+  const double mid = 0.5 * (lo + hi);
+  out.push_back(mid);
+  collect_candidates(lo, mid, levels - 1, out);
+  collect_candidates(mid, hi, levels - 1, out);
+}
+
+int auto_levels(const ThreadPool& pool) {
+  // Deepest tree whose candidate count (2^L - 1) still fits the pool.
+  const std::size_t threads = pool.num_threads();
+  int levels = 1;
+  while (levels < 4 && (std::size_t{2} << levels) - 1 <= threads) ++levels;
+  return levels;
+}
+
+}  // namespace
+
+std::vector<SimResult> run_simulations(std::span<const SimConfig> configs,
+                                       ThreadPool* pool) {
+  ThreadPool& p = pool_or_shared(pool);
+  std::vector<std::future<SimResult>> futures;
+  futures.reserve(configs.size());
+  for (const SimConfig& config : configs)
+    futures.push_back(p.submit([&config] { return run_simulation(config); }));
+  std::vector<SimResult> results;
+  results.reserve(configs.size());
+  for (auto& f : futures) results.push_back(p.wait(f));
+  return results;
+}
+
+double find_max_load_speculative(const SimConfig& config,
+                                 const MaxLoadOptions& opt, int levels,
+                                 ThreadPool* pool,
+                                 const FeasiblePredicate& judge) {
+  TG_CHECK_MSG(opt.lo > 0.0 && opt.hi < 1.0 && opt.lo < opt.hi,
+               "bad search interval");
+  ThreadPool& p = pool_or_shared(pool);
+  if (levels <= 0) levels = auto_levels(p);
+
+  // Evaluates SLO feasibility at each load concurrently; keyed by load so
+  // bracket decisions are independent of completion order.
+  std::unordered_map<double, bool> feasible;
+  const auto evaluate = [&](std::span<const double> loads) {
+    std::vector<double> missing;
+    for (double load : loads)
+      if (!feasible.contains(load)) missing.push_back(load);
+    std::vector<SimConfig> configs;
+    configs.reserve(missing.size());
+    for (double load : missing) {
+      configs.push_back(config);
+      set_load(configs.back(), load, opt);
+    }
+    std::vector<SimResult> results = run_simulations(configs, &p);
+    for (std::size_t i = 0; i < missing.size(); ++i)
+      feasible.emplace(missing[i],
+                       judge ? judge(results[i])
+                             : results[i].all_slos_met(opt.slo_epsilon));
+  };
+
+  // The serial search probes lo first and hi only when lo is feasible; here
+  // both endpoints are probed together (one possibly wasted simulation).
+  evaluate(std::array{opt.lo, opt.hi});
+  if (!feasible.at(opt.lo)) return opt.lo;
+  if (feasible.at(opt.hi)) return opt.hi;
+
+  double lo = opt.lo;  // feasible
+  double hi = opt.hi;  // infeasible
+  std::vector<double> candidates;
+  while (hi - lo > opt.tolerance) {
+    // Speculate: evaluate the whole depth-`levels` midpoint tree of the
+    // current bracket, then replay the serial bisection against the results.
+    // 2^levels - 1 probes buy `levels` rounds of bracket narrowing.
+    candidates.clear();
+    collect_candidates(lo, hi, levels, candidates);
+    evaluate(candidates);
+    for (int step = 0; step < levels && hi - lo > opt.tolerance; ++step) {
+      const double mid = 0.5 * (lo + hi);
+      if (feasible.at(mid)) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+  }
+  return lo;
+}
+
+std::vector<double> find_max_loads(std::span<const MaxLoadJob> jobs,
+                                   ThreadPool* pool) {
+  ThreadPool& p = pool_or_shared(pool);
+  std::vector<std::future<double>> futures;
+  futures.reserve(jobs.size());
+  for (const MaxLoadJob& job : jobs) {
+    futures.push_back(p.submit([&job, &p] {
+      return find_max_load_speculative(job.config, job.opt, /*levels=*/0, &p,
+                                       job.feasible);
+    }));
+  }
+  std::vector<double> results;
+  results.reserve(jobs.size());
+  for (auto& f : futures) results.push_back(p.wait(f));
+  return results;
+}
+
+std::vector<LoadPoint> sweep_loads_parallel(const SimConfig& config,
+                                            std::span<const double> loads,
+                                            const MaxLoadOptions& opt,
+                                            ThreadPool* pool) {
+  std::vector<SimConfig> configs;
+  configs.reserve(loads.size());
+  for (double load : loads) {
+    configs.push_back(config);
+    set_load(configs.back(), load, opt);
+  }
+  std::vector<SimResult> results = run_simulations(configs, pool);
+  std::vector<LoadPoint> points;
+  points.reserve(loads.size());
+  for (std::size_t i = 0; i < loads.size(); ++i)
+    points.push_back(LoadPoint{loads[i], std::move(results[i])});
+  return points;
+}
+
+}  // namespace tailguard

@@ -357,7 +357,20 @@ SimResult run_simulation(const SimConfig& config) {
 
   SimResult result;
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+  // Pre-size the event heap's backing vector to the expected pending-event
+  // peak: one next-arrival event, at most one kTaskDone per server, and —
+  // when the network model is on — dispatch/result events in flight (scales
+  // with the per-query fanout). Saves the growth reallocations of the first
+  // simulated seconds on every run the experiment engine fans out.
+  std::vector<Event> event_storage;
+  {
+    std::size_t expected = config.num_servers + 64;
+    if (config.dispatch_delay != nullptr || config.result_delay != nullptr)
+      expected += 4 * config.num_servers;
+    event_storage.reserve(expected);
+  }
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events(
+      std::greater<>{}, std::move(event_storage));
   std::size_t offered = 0;
   TimeMs now = 0.0;
 

@@ -1,0 +1,184 @@
+// Determinism guard for the parallel experiment engine: the contract is
+// that the same seeds produce bit-identical metrics and max loads at any
+// thread count, and that the speculative max-load search returns exactly
+// what the serial bisection returns.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "dist/standard.h"
+#include "sim/parallel.h"
+#include "workloads/fanout.h"
+
+namespace tailguard {
+namespace {
+
+SimConfig small_config() {
+  SimConfig cfg;
+  cfg.num_servers = 20;
+  cfg.policy = Policy::kTfEdf;
+  cfg.classes = {{.slo_ms = 2.0, .percentile = 99.0}};
+  cfg.fanout = std::make_shared<CategoricalFanout>(
+      std::vector<std::uint32_t>{1, 4, 16}, std::vector<double>{16, 4, 1});
+  cfg.service_time = std::make_shared<Exponential>(0.2);
+  cfg.num_queries = 4000;
+  cfg.seed = 11;
+  return cfg;
+}
+
+// Bit-exact comparison: identical seeds must give identical metrics.
+void expect_identical(const SimResult& a, const SimResult& b) {
+  ASSERT_EQ(a.groups.size(), b.groups.size());
+  for (std::size_t i = 0; i < a.groups.size(); ++i) {
+    EXPECT_EQ(a.groups[i].cls, b.groups[i].cls);
+    EXPECT_EQ(a.groups[i].fanout, b.groups[i].fanout);
+    EXPECT_EQ(a.groups[i].queries, b.groups[i].queries);
+    EXPECT_EQ(a.groups[i].tail_latency, b.groups[i].tail_latency);
+    EXPECT_EQ(a.groups[i].mean_latency, b.groups[i].mean_latency);
+  }
+  EXPECT_EQ(a.queries_admitted, b.queries_admitted);
+  EXPECT_EQ(a.queries_rejected, b.queries_rejected);
+  EXPECT_EQ(a.task_deadline_miss_ratio, b.task_deadline_miss_ratio);
+  EXPECT_EQ(a.measured_utilization, b.measured_utilization);
+  EXPECT_EQ(a.end_time, b.end_time);
+}
+
+// The serial bisection exactly as experiment.cc implemented it before the
+// engine became speculative; the speculative search must reproduce it.
+double serial_find_max_load(SimConfig config, const MaxLoadOptions& opt) {
+  const auto feasible = [&](double load) {
+    set_load(config, load, opt);
+    return run_simulation(config).all_slos_met(opt.slo_epsilon);
+  };
+  if (!feasible(opt.lo)) return opt.lo;
+  if (feasible(opt.hi)) return opt.hi;
+  double lo = opt.lo, hi = opt.hi;
+  while (hi - lo > opt.tolerance) {
+    const double mid = 0.5 * (lo + hi);
+    (feasible(mid) ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+TEST(ThreadPool, ParseThreadCount) {
+  EXPECT_EQ(ThreadPool::parse_thread_count(nullptr), 0u);
+  EXPECT_EQ(ThreadPool::parse_thread_count(""), 0u);
+  EXPECT_EQ(ThreadPool::parse_thread_count("junk"), 0u);
+  EXPECT_EQ(ThreadPool::parse_thread_count("-3"), 0u);
+  EXPECT_EQ(ThreadPool::parse_thread_count("0"), 0u);
+  EXPECT_EQ(ThreadPool::parse_thread_count("8"), 8u);
+  EXPECT_EQ(ThreadPool::parse_thread_count(" 4 "), 4u);
+  EXPECT_EQ(ThreadPool::parse_thread_count("99999999"), 1024u);  // clamped
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndex) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 200;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, NestedSubmitAndWaitDoesNotDeadlock) {
+  // More outer tasks than workers, each fanning out inner tasks onto the
+  // same pool: only the help-while-waiting design completes this.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    std::vector<std::future<int>> inner;
+    for (int i = 0; i < 4; ++i)
+      inner.push_back(pool.submit([] { return 1; }));
+    for (auto& f : inner) total.fetch_add(pool.wait(f));
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(ParallelEngine, RunSimulationsMatchesSerialAtAnyThreadCount) {
+  std::vector<SimConfig> configs;
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u, 6u}) {
+    configs.push_back(small_config());
+    configs.back().seed = seed;
+    set_load(configs.back(), 0.4);
+  }
+
+  std::vector<SimResult> serial;
+  for (const auto& cfg : configs) serial.push_back(run_simulation(cfg));
+
+  ThreadPool one(1), four(4);
+  const auto r1 = run_simulations(configs, &one);
+  const auto r4 = run_simulations(configs, &four);
+  ASSERT_EQ(r1.size(), configs.size());
+  ASSERT_EQ(r4.size(), configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    expect_identical(serial[i], r1[i]);
+    expect_identical(serial[i], r4[i]);
+  }
+}
+
+TEST(ParallelEngine, SweepLoadsIdenticalAcrossThreadCounts) {
+  const SimConfig cfg = small_config();
+  const std::vector<double> loads = {0.2, 0.35, 0.5, 0.65};
+  ThreadPool one(1), four(4);
+  const auto s1 = sweep_loads_parallel(cfg, loads, {}, &one);
+  const auto s4 = sweep_loads_parallel(cfg, loads, {}, &four);
+  ASSERT_EQ(s1.size(), loads.size());
+  ASSERT_EQ(s4.size(), loads.size());
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    EXPECT_EQ(s1[i].load, loads[i]);
+    EXPECT_EQ(s4[i].load, loads[i]);
+    expect_identical(s1[i].result, s4[i].result);
+  }
+}
+
+TEST(ParallelEngine, SpeculativeSearchMatchesSerialBisection) {
+  const SimConfig cfg = small_config();
+  MaxLoadOptions opt;
+  opt.tolerance = 0.02;
+
+  const double serial = serial_find_max_load(cfg, opt);
+  ThreadPool one(1), four(4);
+  // levels=1 *is* the serial bisection; deeper speculation must replay to
+  // the same bracket.
+  EXPECT_EQ(find_max_load_speculative(cfg, opt, 1, &one), serial);
+  EXPECT_EQ(find_max_load_speculative(cfg, opt, 2, &four), serial);
+  EXPECT_EQ(find_max_load_speculative(cfg, opt, 3, &four), serial);
+}
+
+TEST(ParallelEngine, FindMaxLoadsBatchMatchesIndividualSearches) {
+  std::vector<MaxLoadJob> jobs;
+  for (Policy policy : {Policy::kFifo, Policy::kTfEdf}) {
+    MaxLoadJob job;
+    job.config = small_config();
+    job.config.policy = policy;
+    job.opt.tolerance = 0.02;
+    jobs.push_back(std::move(job));
+  }
+  ThreadPool four(4);
+  const auto batch = find_max_loads(jobs, &four);
+  ASSERT_EQ(batch.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    EXPECT_EQ(batch[i], serial_find_max_load(jobs[i].config, jobs[i].opt));
+}
+
+TEST(ParallelEngine, CustomFeasibilityPredicate) {
+  // A predicate that judges utilization instead of SLOs still bisects
+  // deterministically.
+  const SimConfig cfg = small_config();
+  MaxLoadOptions opt;
+  opt.tolerance = 0.05;
+  const FeasiblePredicate under_half = [](const SimResult& r) {
+    return r.measured_utilization < 0.5;
+  };
+  ThreadPool one(1), four(4);
+  const double a = find_max_load_speculative(cfg, opt, 1, &one, under_half);
+  const double b = find_max_load_speculative(cfg, opt, 0, &four, under_half);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a, opt.lo);
+  EXPECT_LT(a, opt.hi);
+}
+
+}  // namespace
+}  // namespace tailguard

@@ -91,6 +91,43 @@ TEST(EdfTaskQueue, TiesBreakFifo) {
   for (TaskId i = 0; i < 10; ++i) EXPECT_EQ(q.pop().task, i);
 }
 
+TEST(EdfTaskQueue, PopOrderSurvivesInterleavedPushPop) {
+  // Guards the vector + pop_heap restructure (move-out pop): drain order
+  // must stay exactly (deadline asc, seq asc) even when pushes interleave
+  // with pops, and peek() must always agree with the next pop().
+  EdfTaskQueue q(Policy::kTfEdf);
+  Rng rng(41);
+  std::vector<QueuedTask> expected;
+  TaskId next = 0;
+  for (int round = 0; round < 50; ++round) {
+    const int pushes = 1 + static_cast<int>(rng.uniform_index(6));
+    for (int i = 0; i < pushes; ++i) {
+      // Coarse deadlines force frequent ties, exercising the seq tiebreak.
+      const auto t = make_task(next++, 0, 0.0,
+                               static_cast<double>(rng.uniform_index(8)));
+      q.push(t);
+      expected.push_back(t);
+    }
+    const int pops = static_cast<int>(rng.uniform_index(
+        static_cast<std::uint64_t>(expected.size() + 1)));
+    for (int i = 0; i < pops; ++i) {
+      std::stable_sort(expected.begin(), expected.end(),
+                       [](const QueuedTask& a, const QueuedTask& b) {
+                         return a.deadline < b.deadline;
+                       });
+      EXPECT_EQ(q.peek().task, expected.front().task);
+      EXPECT_EQ(q.pop().task, expected.front().task);
+      expected.erase(expected.begin());
+    }
+  }
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const QueuedTask& a, const QueuedTask& b) {
+                     return a.deadline < b.deadline;
+                   });
+  for (const QueuedTask& t : expected) EXPECT_EQ(q.pop().task, t.task);
+  EXPECT_TRUE(q.empty());
+}
+
 TEST(EdfTaskQueue, EqualDeadlinesDegenerateToFifo) {
   // T-EDFQ with one class: deadline = t0 + const, arrival order == deadline
   // order, so the schedule equals FIFO (paper §III.A).
