@@ -131,13 +131,13 @@ int main() {
     const auto* b = r.find_group(0, 100);
     const auto* c = r.find_group(1, 100);
     std::printf("%-26s %9.1f%% %9.2f ms %9.2f ms\n", modes[i].name,
-                max_loads[i] * 100.0, b != nullptr ? b->tail_latency : 0.0,
-                c != nullptr ? c->tail_latency : 0.0);
+                max_loads[i] * 100.0, b != nullptr ? b->tail_latency_ms : 0.0,
+                c != nullptr ? c->tail_latency_ms : 0.0);
     report.row()
         .add("estimator", modes[i].name)
         .add("max_load", max_loads[i])
-        .add("p99_cls0_kf100_ms", b != nullptr ? b->tail_latency : 0.0)
-        .add("p99_cls1_kf100_ms", c != nullptr ? c->tail_latency : 0.0);
+        .add("p99_cls0_kf100_ms", b != nullptr ? b->tail_latency_ms : 0.0)
+        .add("p99_cls1_kf100_ms", c != nullptr ? c->tail_latency_ms : 0.0);
   }
 
   bench::note(

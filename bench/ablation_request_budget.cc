@@ -50,9 +50,9 @@ int main() {
   std::printf("request unloaded p99 x99uR (Eq. 7 MC):  %.3f ms  "
               "(sub-additive: %.0f%% of the sum)\n",
               x_r, 100.0 * x_r / sum_xu);
-  const double total_budget = request_slo - x_r;
+  const double total_budget_ms = request_slo - x_r;
   std::printf("request budget T_b^R = %.1f - %.3f =     %.3f ms\n",
-              request_slo, x_r, total_budget);
+              request_slo, x_r, total_budget_ms);
 
   // Budget assignments.
   std::vector<TimeMs> naive;
@@ -60,8 +60,8 @@ int main() {
     naive.push_back(request_slo / static_cast<double>(kM) -
                     homogeneous_unloaded_quantile(model, kf, 0.99));
   const auto equal =
-      split_request_budget(total_budget, qspecs, 0.99, BudgetSplit::kEqual);
-  const auto prop = split_request_budget(total_budget, qspecs, 0.99,
+      split_request_budget(total_budget_ms, qspecs, 0.99, BudgetSplit::kEqual);
+  const auto prop = split_request_budget(total_budget_ms, qspecs, 0.99,
                                          BudgetSplit::kProportionalToUnloaded);
 
   SimConfig cfg;
@@ -109,7 +109,7 @@ int main() {
   report.row()
       .add("request_unloaded_p99_ms", x_r)
       .add("sum_per_query_unloaded_p99_ms", sum_xu)
-      .add("total_budget_ms", total_budget);
+      .add("total_budget_ms", total_budget_ms);
   for (std::size_t i = 0; i < std::size(strategies); ++i) {
     const auto& s = strategies[i];
     std::printf("%-34s  {%6.3f,%6.3f,%6.3f,%6.3f} %11.1f%%\n", s.name,

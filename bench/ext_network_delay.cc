@@ -56,10 +56,10 @@ int main() {
       // delay-free so the exact analytic CDFs stay valid for t_po and the
       // comparison isolates the budget-consumption effect of t_pr; see
       // simulator_test.cc for the result-delay path.
-      cfg.dispatch_delay = std::make_shared<Uniform>(0.5 * rtt.one_way_ms,
+      cfg.dispatch_delay_ms = std::make_shared<Uniform>(0.5 * rtt.one_way_ms,
                                                      1.5 * rtt.one_way_ms);
     } else {
-      cfg.dispatch_delay = nullptr;
+      cfg.dispatch_delay_ms = nullptr;
     }
     for (Policy policy : {Policy::kFifo, Policy::kTfEdf}) {
       cfg.policy = policy;

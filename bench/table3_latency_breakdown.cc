@@ -83,7 +83,7 @@ int main() {
       const std::uint32_t fanouts[3] = {1, 10, 100};
       for (int i = 0; i < 3; ++i) {
         const auto* g = r.find_group(0, fanouts[i]);
-        const double p99 = g != nullptr ? g->tail_latency : 0.0;
+        const double p99 = g != nullptr ? g->tail_latency_ms : 0.0;
         std::printf("      %7.3f / %7.3f", p99, paper[i]);
         char key[24];
         std::snprintf(key, sizeof(key), "p99_kf%u_ms", fanouts[i]);

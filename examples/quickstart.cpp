@@ -58,7 +58,7 @@ int main() {
   for (auto& f : pending) {
     const QueryResult r = f.get();
     latency_by_class[r.cls].push_back(r.latency_ms);
-    budget_by_class[r.cls] = r.deadline_budget;
+    budget_by_class[r.cls] = r.deadline_budget_ms;
   }
 
   for (ClassId cls = 0; cls < 2; ++cls) {

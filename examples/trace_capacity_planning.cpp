@@ -52,8 +52,8 @@ int main(int argc, char** argv) {
     for (std::uint32_t kf : {1u, 10u, 100u}) {
       const auto* a = r.find_group(0, kf);
       const auto* b = r.find_group(1, kf);
-      std::printf("      %6.2f / %6.2f", a != nullptr ? a->tail_latency : 0.0,
-                  b != nullptr ? b->tail_latency : 0.0);
+      std::printf("      %6.2f / %6.2f", a != nullptr ? a->tail_latency_ms : 0.0,
+                  b != nullptr ? b->tail_latency_ms : 0.0);
     }
     std::printf(" %9s\n", r.all_slos_met() ? "yes" : "no");
   }

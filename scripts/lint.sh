@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Static-analysis entry point: tg_lint (always), then clang-tidy and cppcheck
+# when installed. Run from the repo root, directly or via the cmake target:
+#
+#   cmake --build build --target lint
+#   scripts/lint.sh                      # autodiscovers build/ and the binary
+#
+# Environment:
+#   TG_LINT_BIN   path to the tg_lint binary   (default: <build>/tools/tg_lint)
+#   TG_BUILD_DIR  build tree with compile_commands.json   (default: build)
+#
+# Exit status is non-zero if any enabled analyzer reports a finding; absent
+# optional analyzers are skipped with a note, never an error, so the script
+# degrades gracefully on machines without clang-tidy/cppcheck.
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${TG_BUILD_DIR:-build}"
+LINT_BIN="${TG_LINT_BIN:-$BUILD_DIR/tools/tg_lint}"
+LINT_PATHS=(src tests bench tools)
+status=0
+
+echo "== tg_lint (TailGuard invariant checker) =="
+if [[ ! -x "$LINT_BIN" ]]; then
+    echo "error: tg_lint not built at $LINT_BIN" >&2
+    echo "hint: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR --target tg_lint" >&2
+    exit 2
+fi
+"$LINT_BIN" --check "${LINT_PATHS[@]}" || status=1
+
+echo
+echo "== clang-tidy =="
+if command -v clang-tidy > /dev/null 2>&1; then
+    if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+        echo "error: $BUILD_DIR/compile_commands.json missing (configure with cmake first)" >&2
+        status=1
+    else
+        # run-clang-tidy parallelizes across the database when available.
+        if command -v run-clang-tidy > /dev/null 2>&1; then
+            run-clang-tidy -quiet -p "$BUILD_DIR" "src/.*\.cc$" || status=1
+        else
+            find src -name '*.cc' -print0 \
+                | xargs -0 -n 4 -P "$(nproc)" clang-tidy -quiet -p "$BUILD_DIR" \
+                || status=1
+        fi
+    fi
+else
+    echo "clang-tidy not installed; skipping (apt-get install clang-tidy)"
+fi
+
+echo
+echo "== cppcheck =="
+if command -v cppcheck > /dev/null 2>&1; then
+    # Self-contained check set; suppressions mirror .clang-tidy's philosophy
+    # (style churn off, real bug classes on).
+    cppcheck --quiet --error-exitcode=1 \
+        --enable=warning,performance,portability \
+        --std=c++20 --inline-suppr \
+        --suppress=missingIncludeSystem \
+        -I src src || status=1
+else
+    echo "cppcheck not installed; skipping (apt-get install cppcheck)"
+fi
+
+echo
+if [[ "$status" -eq 0 ]]; then
+    echo "lint: clean"
+else
+    echo "lint: FINDINGS (see above)"
+fi
+exit "$status"

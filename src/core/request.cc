@@ -34,14 +34,14 @@ TimeMs estimate_request_unloaded_quantile(
 }
 
 std::vector<TimeMs> split_request_budget(
-    TimeMs total_budget, std::span<const RequestQuerySpec> queries,
+    TimeMs total_budget_ms, std::span<const RequestQuerySpec> queries,
     double prob, BudgetSplit split) {
   TG_CHECK_MSG(!queries.empty(), "request needs at least one query");
   const auto m = queries.size();
   std::vector<TimeMs> budgets(m, 0.0);
   switch (split) {
     case BudgetSplit::kEqual: {
-      const TimeMs share = total_budget / static_cast<double>(m);
+      const TimeMs share = total_budget_ms / static_cast<double>(m);
       std::fill(budgets.begin(), budgets.end(), share);
       break;
     }
@@ -57,11 +57,11 @@ std::vector<TimeMs> split_request_budget(
       }
       if (total_weight <= 0.0) {
         // Degenerate: fall back to equal split.
-        const TimeMs share = total_budget / static_cast<double>(m);
+        const TimeMs share = total_budget_ms / static_cast<double>(m);
         std::fill(budgets.begin(), budgets.end(), share);
       } else {
         for (std::size_t i = 0; i < m; ++i)
-          budgets[i] = total_budget * weights[i] / total_weight;
+          budgets[i] = total_budget_ms * weights[i] / total_weight;
       }
       break;
     }

@@ -42,11 +42,11 @@ enum class BudgetSplit {
   kProportionalToUnloaded, ///< T_{b,i} ∝ x_p^u(kf_i)
 };
 
-/// Splits `total_budget` across the queries. The returned budgets sum to
-/// `total_budget` (Eq. 7's additivity), so the request SLO is met whenever
+/// Splits `total_budget_ms` across the queries. The returned budgets sum to
+/// `total_budget_ms` (Eq. 7's additivity), so the request SLO is met whenever
 /// each query's tasks are dequeued within its share.
 std::vector<TimeMs> split_request_budget(
-    TimeMs total_budget, std::span<const RequestQuerySpec> queries,
+    TimeMs total_budget_ms, std::span<const RequestQuerySpec> queries,
     double prob, BudgetSplit split);
 
 }  // namespace tailguard

@@ -165,7 +165,7 @@ std::future<QueryResult> RemoteDispatcher::submit(
       pending.result.id = qid;
       pending.result.cls = cls;
       pending.result.fanout = static_cast<std::uint32_t>(tasks.size());
-      pending.result.deadline_budget = tail_deadline - t0;
+      pending.result.deadline_budget_ms = tail_deadline - t0;
       pending_.emplace(qid, std::move(pending));
 
       for (std::size_t i = 0; i < tasks.size(); ++i) {
@@ -457,9 +457,9 @@ void RemoteDispatcher::net_loop() {
     resolutions.clear();
 
     fds.push_back({wake_.read_fd(), POLLIN, 0});
-    const int timeout =
+    const int timeout_ms =
         std::max(1, static_cast<int>(poll_timeout_ms) + 1);
-    const int ready = ::poll(fds.data(), fds.size(), timeout);
+    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
     if (!running_.load()) break;
     if (ready < 0) continue;
     if (fds.back().revents & POLLIN) wake_.drain();

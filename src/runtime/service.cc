@@ -146,7 +146,7 @@ std::future<QueryResult> TailGuardService::submit(
     pending.result.id = qid;
     pending.result.cls = cls;
     pending.result.fanout = static_cast<std::uint32_t>(tasks.size());
-    pending.result.deadline_budget = tail_deadline - t0;
+    pending.result.deadline_budget_ms = tail_deadline - t0;
     pending_.emplace(qid, std::move(pending));
 
     for (std::size_t i = 0; i < tasks.size(); ++i) {

@@ -64,7 +64,7 @@ struct QueryResult {
   std::uint32_t fanout = 0;
   bool admitted = true;
   TimeMs latency_ms = 0.0;       ///< submit -> last merge
-  TimeMs deadline_budget = 0.0;  ///< T_b assigned at submit
+  TimeMs deadline_budget_ms = 0.0;  ///< T_b assigned at submit
   std::uint32_t tasks_missed_deadline = 0;
   /// Tasks that produced no result (remote server died or timed out). Always
   /// 0 for the in-process runtime; the remote dispatcher counts a query as

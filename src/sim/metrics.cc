@@ -11,8 +11,8 @@ TimeMs LatencySample::percentile(double pct) const {
 TimeMs LatencySample::mean() const { return mean_of(values_); }
 
 void MetricsCollector::record_query(ClassId cls, std::uint32_t fanout,
-                                    TimeMs latency) {
-  groups_[GroupKey{cls, fanout}].add(latency);
+                                    TimeMs latency_ms) {
+  groups_[GroupKey{cls, fanout}].add(latency_ms);
   ++queries_;
 }
 

@@ -16,7 +16,7 @@ namespace tailguard {
 /// Accumulates raw latency samples for one group.
 class LatencySample {
  public:
-  void add(TimeMs latency) { values_.push_back(latency); }
+  void add(TimeMs latency_ms) { values_.push_back(latency_ms); }
   std::size_t count() const { return values_.size(); }
   TimeMs percentile(double pct) const;
   TimeMs mean() const;
@@ -51,7 +51,7 @@ struct GroupKeyHash {
 
 class MetricsCollector {
  public:
-  void record_query(ClassId cls, std::uint32_t fanout, TimeMs latency);
+  void record_query(ClassId cls, std::uint32_t fanout, TimeMs latency_ms);
 
   /// Task dequeue accounting for the deadline-miss ratio.
   void record_task_dequeue(bool missed_deadline) {

@@ -195,7 +195,7 @@ double rate_for_load(const SimConfig& config, double load) {
 bool SimResult::all_slos_met(double epsilon) const {
   for (const auto& g : groups) {
     if (g.queries == 0) continue;
-    if (g.tail_latency > g.slo * (1.0 + epsilon)) return false;
+    if (g.tail_latency_ms > g.slo * (1.0 + epsilon)) return false;
   }
   return true;
 }
@@ -216,7 +216,7 @@ const GroupResult* SimResult::find_group(ClassId cls,
 
 TimeMs SimResult::class_tail_latency(ClassId cls) const {
   for (const auto& c : class_results)
-    if (c.cls == cls) return c.tail_latency;
+    if (c.cls == cls) return c.tail_latency_ms;
   return 0.0;
 }
 
@@ -365,7 +365,7 @@ SimResult run_simulation(const SimConfig& config) {
   std::vector<Event> event_storage;
   {
     std::size_t expected = config.num_servers + 64;
-    if (config.dispatch_delay != nullptr || config.result_delay != nullptr)
+    if (config.dispatch_delay_ms != nullptr || config.result_delay_ms != nullptr)
       expected += 4 * config.num_servers;
     event_storage.reserve(expected);
   }
@@ -382,7 +382,7 @@ SimResult run_simulation(const SimConfig& config) {
   // With a result-path delay, the query handler only learns about a dequeue
   // (and its deadline miss, piggybacked on the result — §III.C) when the
   // result arrives; with central queuing it knows immediately.
-  const bool defer_result_accounting = config.result_delay != nullptr;
+  const bool defer_result_accounting = config.result_delay_ms != nullptr;
 
   // Starts `task` on idle server `sid` at time `t`.
   const auto start_task = [&](ServerState& sv, ServerId sid, QueuedTask task,
@@ -442,14 +442,14 @@ SimResult run_simulation(const SimConfig& config) {
     TG_DCHECK(chosen.size() == kf);
 
     // Queuing deadline for statistics (and EDF ordering). In request mode
-    // the budget comes from the request decomposition; otherwise Eq. 6.
-    TimeMs budget = 0.0;
+    // the budget_ms comes from the request decomposition; otherwise Eq. 6.
+    TimeMs budget_ms = 0.0;
     if (request_mode) {
-      budget = config.request->query_budgets[request_query_idx];
+      budget_ms = config.request->query_budgets[request_query_idx];
     } else {
-      budget = estimator.budget(cls, chosen);
+      budget_ms = estimator.budget(cls, chosen);
     }
-    const TimeMs tail_deadline = t + budget;
+    const TimeMs tail_deadline = t + budget_ms;
 
     const QueryId qid = tracker.begin_query(t, cls, kf, tail_deadline);
     TG_DCHECK(qid == record_query_flag.size());
@@ -482,15 +482,15 @@ SimResult run_simulation(const SimConfig& config) {
       if (config.policy == Policy::kTfEdf && config.task_budget_jitter > 0.0) {
         // Footnote-4 ablation: individually jittered ordering budgets.
         const double u = rng.uniform(-1.0, 1.0);
-        task.deadline = t + budget * (1.0 + config.task_budget_jitter * u);
+        task.deadline = t + budget_ms * (1.0 + config.task_budget_jitter * u);
       }
       // Pre-sample the service demand (common random numbers across
       // policies).
       task.service_time = servers[sid].service->sample(rng);
-      if (config.dispatch_delay != nullptr) {
+      if (config.dispatch_delay_ms != nullptr) {
         const std::uint32_t idx = payloads.alloc();
         payloads[idx].task = task;
-        events.push(Event{t + config.dispatch_delay->sample(rng),
+        events.push(Event{t + config.dispatch_delay_ms->sample(rng),
                           Event::kTaskEnqueue, sid, idx});
       } else {
         deliver_task(task, sid, t);
@@ -622,13 +622,13 @@ SimResult run_simulation(const SimConfig& config) {
       sv.busy = false;
       sv.busy_accum += now - sv.busy_since;
 
-      if (config.result_delay != nullptr) {
+      if (config.result_delay_ms != nullptr) {
         const std::uint32_t idx = payloads.alloc();
         payloads[idx].query = done.query;
         payloads[idx].dequeue_time = dequeue_time;
         payloads[idx].missed = missed;
         payloads[idx].recorded = recorded;
-        events.push(Event{now + config.result_delay->sample(rng),
+        events.push(Event{now + config.result_delay_ms->sample(rng),
                           Event::kResultArrival, ev.server, idx});
       } else {
         handle_result(now, done.query, ev.server, dequeue_time, missed,
@@ -679,10 +679,10 @@ SimResult run_simulation(const SimConfig& config) {
     g.cls = key.cls;
     g.fanout = key.fanout;
     g.queries = sample.count();
-    g.tail_latency = sample.percentile(spec.percentile);
-    g.mean_latency = sample.mean();
+    g.tail_latency_ms = sample.percentile(spec.percentile);
+    g.mean_latency_ms = sample.mean();
     g.slo = spec.slo_ms;
-    g.met = g.tail_latency <= spec.slo_ms;
+    g.met = g.tail_latency_ms <= spec.slo_ms;
     result.groups.push_back(g);
     auto& acc = per_class_values[key.cls];
     acc.insert(acc.end(), sample.values().begin(), sample.values().end());
@@ -694,20 +694,20 @@ SimResult run_simulation(const SimConfig& config) {
     ClassResult c;
     c.cls = static_cast<ClassId>(cls);
     c.queries = per_class_values[cls].size();
-    c.tail_latency = percentile(per_class_values[cls], spec.percentile);
-    c.mean_latency = mean_of(per_class_values[cls]);
+    c.tail_latency_ms = percentile(per_class_values[cls], spec.percentile);
+    c.mean_latency_ms = mean_of(per_class_values[cls]);
     c.slo = spec.slo_ms;
-    c.met = c.tail_latency <= spec.slo_ms;
+    c.met = c.tail_latency_ms <= spec.slo_ms;
     result.class_results.push_back(c);
   }
 
   if (request_mode && !request_latencies.empty()) {
     const ClassSpec& rslo = config.request->request_slo;
     result.requests_recorded = request_latencies.size();
-    result.request_tail_latency =
+    result.request_tail_latency_ms =
         percentile(request_latencies, rslo.percentile);
-    result.request_mean_latency = mean_of(request_latencies);
-    result.request_slo_met = result.request_tail_latency <= rslo.slo_ms;
+    result.request_mean_latency_ms = mean_of(request_latencies);
+    result.request_slo_met = result.request_tail_latency_ms <= rslo.slo_ms;
   }
 
   return result;

@@ -77,16 +77,16 @@ struct SimConfig {
   std::function<double(TimeMs, ServerId)> service_scale;
 
   /// Network model (paper Fig. 2 with queuing at the task servers): each
-  /// task reaches its server's queue `dispatch_delay` after the query is
-  /// processed, and each result reaches the query handler `result_delay`
+  /// task reaches its server's queue `dispatch_delay_ms` after the query is
+  /// processed, and each result reaches the query handler `result_delay_ms`
   /// after the task finishes. Both count against the paper's latency
   /// decomposition correctly: dispatch is part of the pre-dequeuing time
   /// t_pr (it consumes budget), the return path is part of the
   /// post-queuing time t_po (the online estimator observes it; kExact
   /// estimation does not see it and is correspondingly optimistic).
   /// Unset = zero-delay (central queuing at the handler, the default).
-  DistributionPtr dispatch_delay;
-  DistributionPtr result_delay;
+  DistributionPtr dispatch_delay_ms;
+  DistributionPtr result_delay_ms;
 
   ArrivalKind arrival_kind = ArrivalKind::kPoisson;
   double pareto_shape = 1.5;
@@ -151,8 +151,8 @@ struct GroupResult {
   ClassId cls = 0;
   std::uint32_t fanout = 0;
   std::uint64_t queries = 0;
-  TimeMs tail_latency = 0.0;  ///< latency at the class percentile
-  TimeMs mean_latency = 0.0;
+  TimeMs tail_latency_ms = 0.0;  ///< latency at the class percentile
+  TimeMs mean_latency_ms = 0.0;
   TimeMs slo = 0.0;
   bool met = false;
 };
@@ -160,8 +160,8 @@ struct GroupResult {
 struct ClassResult {
   ClassId cls = 0;
   std::uint64_t queries = 0;
-  TimeMs tail_latency = 0.0;  ///< latency at the class percentile
-  TimeMs mean_latency = 0.0;
+  TimeMs tail_latency_ms = 0.0;  ///< latency at the class percentile
+  TimeMs mean_latency_ms = 0.0;
   TimeMs slo = 0.0;
   bool met = false;
 };
@@ -186,8 +186,8 @@ struct SimResult {
 
   /// Request mode only: tail latency of whole requests at the request SLO
   /// percentile, and how many requests were recorded.
-  TimeMs request_tail_latency = 0.0;
-  TimeMs request_mean_latency = 0.0;
+  TimeMs request_tail_latency_ms = 0.0;
+  TimeMs request_mean_latency_ms = 0.0;
   std::uint64_t requests_recorded = 0;
   bool request_slo_met = false;
 

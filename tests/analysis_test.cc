@@ -107,7 +107,7 @@ TEST(QueryTail, CrossValidatesAgainstSimulator) {
   for (double rho : {0.3, 0.5}) {
     set_load(cfg, rho);
     const SimResult r = run_simulation(cfg);
-    const double simulated = r.groups[0].tail_latency;
+    const double simulated = r.groups[0].tail_latency_ms;
     const double analytic = approximate_query_tail(*service, 10, rho, 0.99);
     EXPECT_NEAR(analytic, simulated, 0.30 * simulated) << "rho=" << rho;
     EXPECT_GT(analytic, 0.9 * simulated);  // never wildly optimistic

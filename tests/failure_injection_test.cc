@@ -52,7 +52,7 @@ TEST(FailureInjection, BrownoutDegradesTail) {
     return (t > 0.4 * horizon && t < 0.6 * horizon) ? 3.0 : 1.0;
   };
   const SimResult browned = run_simulation(cfg);
-  EXPECT_GT(browned.groups[0].tail_latency, healthy.groups[0].tail_latency);
+  EXPECT_GT(browned.groups[0].tail_latency_ms, healthy.groups[0].tail_latency_ms);
 }
 
 // A single frozen-slow server (simulating a failing node) must hurt the
@@ -71,8 +71,8 @@ TEST(FailureInjection, SingleStragglerHitsHighFanoutHardest) {
   const SimResult degraded = run_simulation(cfg);
   const auto ratio = [](const SimResult& r, std::uint32_t kf,
                         const SimResult& base) {
-    return r.find_group(0, kf)->tail_latency /
-           base.find_group(0, kf)->tail_latency;
+    return r.find_group(0, kf)->tail_latency_ms /
+           base.find_group(0, kf)->tail_latency_ms;
   };
   // kf=16 touches the bad server with prob ~16/20; kf=1 with ~1/20.
   EXPECT_GT(ratio(degraded, 16, healthy), ratio(degraded, 1, healthy));

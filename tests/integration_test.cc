@@ -60,9 +60,9 @@ TEST_P(UnloadedAgreement, SimApproachesUnloadedPredictionAtLightLoad) {
     const auto* g = r.find_group(0, kf);
     ASSERT_NE(g, nullptr) << to_string(app) << " kf=" << kf;
     const double predicted = homogeneous_unloaded_quantile(model, kf, 0.99);
-    EXPECT_GT(g->tail_latency, 0.93 * predicted)
+    EXPECT_GT(g->tail_latency_ms, 0.93 * predicted)
         << to_string(app) << " kf=" << kf;
-    EXPECT_LT(g->tail_latency, 1.15 * predicted)
+    EXPECT_LT(g->tail_latency_ms, 1.15 * predicted)
         << to_string(app) << " kf=" << kf;
   }
 }
@@ -91,9 +91,9 @@ TEST(Integration, MM1ClosedForm) {
     const double mean_expected = 1.0 / (1.0 - rho);
     // Sojourn time in M/M/1-FCFS is Exponential(mu - lambda).
     const double p99_expected = -std::log(0.01) / (1.0 - rho);
-    EXPECT_NEAR(g->mean_latency, mean_expected, 0.05 * mean_expected)
+    EXPECT_NEAR(g->mean_latency_ms, mean_expected, 0.05 * mean_expected)
         << "rho=" << rho;
-    EXPECT_NEAR(g->tail_latency, p99_expected, 0.07 * p99_expected)
+    EXPECT_NEAR(g->tail_latency_ms, p99_expected, 0.07 * p99_expected)
         << "rho=" << rho;
     EXPECT_NEAR(r.measured_utilization, rho, 0.02) << "rho=" << rho;
   }
@@ -193,8 +193,8 @@ TEST_P(EstimationModes, HomogeneousModesAgree) {
   const SimResult r = run_simulation(cfg);
   ASSERT_EQ(r.groups.size(), exact.groups.size());
   for (std::size_t i = 0; i < r.groups.size(); ++i) {
-    EXPECT_NEAR(r.groups[i].tail_latency, exact.groups[i].tail_latency,
-                0.08 * exact.groups[i].tail_latency)
+    EXPECT_NEAR(r.groups[i].tail_latency_ms, exact.groups[i].tail_latency_ms,
+                0.08 * exact.groups[i].tail_latency_ms)
         << "group " << i;
   }
 }
@@ -240,7 +240,7 @@ TEST(Integration, MixedPercentileClasses) {
   const auto* g99 = r.find_group(0, 100);
   ASSERT_NE(g95, nullptr);
   ASSERT_NE(g99, nullptr);
-  EXPECT_LT(g95->tail_latency, g99->tail_latency);
+  EXPECT_LT(g95->tail_latency_ms, g99->tail_latency_ms);
 }
 
 }  // namespace

@@ -1,0 +1,15 @@
+// Fixture: wall/monotonic clock reads in a deterministic layer (the virtual
+// path this fixture is linted under is src/sim/, not an allowlisted one).
+#include <chrono>
+#include <ctime>
+
+double now() {
+  auto a = std::chrono::steady_clock::now();         // determinism-clock
+  auto b = std::chrono::system_clock::now();         // determinism-clock
+  auto c = std::chrono::high_resolution_clock::now();  // determinism-clock
+  std::time_t seed = time(nullptr);                  // determinism-clock
+  (void)a;
+  (void)b;
+  (void)c;
+  return static_cast<double>(seed);
+}

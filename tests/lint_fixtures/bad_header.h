@@ -1,0 +1,12 @@
+// Fixture: include-guard header (no #pragma once first) that also leaks a
+// namespace into every includer.
+#ifndef TESTS_LINT_FIXTURES_BAD_HEADER_H_
+#define TESTS_LINT_FIXTURES_BAD_HEADER_H_
+
+#include <string>
+
+using namespace std;  // header-hygiene
+
+inline string shout(const string& s) { return s + "!"; }
+
+#endif  // TESTS_LINT_FIXTURES_BAD_HEADER_H_

@@ -1,0 +1,17 @@
+// Fixture: naked mutex manipulation an early return could leak.
+#include <mutex>
+
+std::mutex mu;
+
+int manual(bool fail) {
+  mu.lock();  // lock-discipline
+  if (fail) {
+    mu.unlock();  // lock-discipline
+    return -1;
+  }
+  if (mu.try_lock()) {  // lock-discipline
+    mu.unlock();        // lock-discipline
+  }
+  mu.unlock();  // lock-discipline
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Fixture: every std:: randomness source tg_lint must reject.
+#include <cstdlib>
+#include <random>
+
+int draw() {
+  std::random_device rd;                 // determinism-random
+  std::mt19937 gen(rd());                // determinism-random
+  std::default_random_engine engine;     // determinism-random
+  srand(42);                             // determinism-random
+  return rand() + static_cast<int>(gen());  // determinism-random
+}

@@ -1,0 +1,14 @@
+// Fixture: duration-valued identifiers with no unit suffix.
+using TimeMs = double;
+
+struct Config {
+  TimeMs timeout = 5000.0;        // time-units
+  double budget = 0.0;            // time-units
+  double retry_backoff = 1.0;     // time-units
+};
+
+double measure(double elapsed, TimeMs queue_delay) {  // time-units (x2)
+  Config cfg;
+  double total_latency = elapsed + queue_delay;  // time-units (x3: reuses)
+  return total_latency + cfg.timeout;            // time-units (x2: reuses)
+}

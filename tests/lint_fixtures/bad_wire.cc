@@ -1,0 +1,14 @@
+// Fixture: struct punning and raw integer copies; linted under a virtual
+// src/net/ path, where only wire.cc's endian helpers may touch wire bytes.
+#include <cstdint>
+#include <cstring>
+
+struct Header {
+  std::uint16_t magic;
+  std::uint32_t len;
+};
+
+void encode(char* out, const Header& h, std::uint32_t value) {
+  *reinterpret_cast<Header*>(out) = h;            // wire-safety
+  std::memcpy(out + sizeof(Header), &value, 4);   // wire-safety
+}

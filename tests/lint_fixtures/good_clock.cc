@@ -1,0 +1,9 @@
+// Fixture: simulated-time code observes TimeMs values it is handed, never a
+// clock; `time` as a plain identifier or member is fine.
+using TimeMs = double;
+
+struct Event {
+  TimeMs time = 0.0;
+};
+
+TimeMs advance(Event e, TimeMs dt_ms) { return e.time + dt_ms; }

@@ -1,0 +1,14 @@
+// Fixture: pragma-once header; `using` declarations and aliases are fine,
+// only `using namespace` is banned.
+#pragma once
+
+#include <string>
+
+namespace fixture {
+
+using std::string;
+using Name = std::string;
+
+inline string shout(const string& s) { return s + "!"; }
+
+}  // namespace fixture

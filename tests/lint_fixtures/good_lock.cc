@@ -1,0 +1,19 @@
+// Fixture: RAII guards, and lock-named things that are not member calls.
+#include <mutex>
+
+std::mutex mu;
+
+void lock();  // free function named lock is fine
+
+int guarded(bool fail) {
+  std::lock_guard guard(mu);
+  lock();
+  if (fail) return -1;
+  return 0;
+}
+
+int scoped(std::mutex& a, std::mutex& b) {
+  std::scoped_lock both(a, b);
+  std::unique_lock movable(mu, std::defer_lock);
+  return movable.owns_lock() ? 1 : 0;
+}

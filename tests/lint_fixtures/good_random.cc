@@ -1,0 +1,10 @@
+// Fixture: seeded tailguard::Rng use and benign identifiers that merely
+// resemble banned tokens (operand(), brand_ms) must pass.
+#include "common/rng.h"
+
+double operand() { return 1.0; }
+
+double draw(tailguard::Rng& rng) {
+  double brand_ms = operand();  // "rand" substring, but not the rand() call
+  return rng.uniform() + brand_ms;
+}

@@ -1,0 +1,24 @@
+// Fixture: suffixed identifiers, std::chrono types, and lookalikes
+// (plural containers, function names, qualified chrono names) must pass.
+#include <chrono>
+#include <vector>
+
+using TimeMs = double;
+
+struct Config {
+  TimeMs timeout_ms = 5000.0;
+  double budget_s = 0.0;
+  std::chrono::milliseconds poll_period{200};
+  std::vector<TimeMs> timeouts;  // container of timeouts, not one duration
+};
+
+// A function *named* budget computes one; the unit lives on its results.
+TimeMs budget(const Config& cfg) {
+  const auto as_chrono =
+      std::chrono::duration<double, std::milli>(cfg.timeout_ms);
+  return as_chrono.count() + cfg.budget_s * 1000.0;
+}
+
+struct Estimator {
+  TimeMs budget_ms_ = 0.0;  // member convention: unit before trailing _
+};

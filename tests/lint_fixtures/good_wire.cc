@@ -1,0 +1,10 @@
+// Fixture: the POSIX sockaddr cast is the socket API's own calling
+// convention and stays legal in src/net/.
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+int bind_any(int fd) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  return ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+}

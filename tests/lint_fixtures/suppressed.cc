@@ -1,0 +1,21 @@
+// Fixture: every violation here is deliberately annotated, so the file must
+// lint clean; the same-line form, the line-above form, multi-rule allows and
+// allow(all) are all exercised.
+#include <chrono>
+#include <mutex>
+
+std::mutex mu;
+
+double wall_now() {
+  // tg-lint: allow(determinism-clock)
+  auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+void manual() {
+  mu.lock();    // tg-lint: allow(lock-discipline)
+  mu.unlock();  // tg-lint: allow(lock-discipline, time-units)
+}
+
+// tg-lint: allow(all)
+double timeout = 5.0;

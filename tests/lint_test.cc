@@ -1,0 +1,195 @@
+// Fixture-driven self-test for tg_lint (tools/lint/). Each rule has a bad
+// fixture that must fire and a good fixture (or allowlisted virtual path)
+// that must stay silent; suppression comments are exercised separately.
+//
+// Fixtures are linted under *virtual* repo paths: several rules key off the
+// path (wire-safety only applies under src/net/, clock reads are legal in
+// src/runtime/), so the same bytes can be asserted both ways.
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "lint/tg_lint.h"
+
+namespace tailguard::lint {
+namespace {
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(TG_LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing fixture " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Lints fixture `name` as if it lived at `virtual_path`.
+std::vector<Diagnostic> lint_fixture(const std::string& name,
+                                     const std::string& virtual_path) {
+  return lint_source(virtual_path, read_fixture(name));
+}
+
+std::set<std::string> rules_of(const std::vector<Diagnostic>& diags) {
+  std::set<std::string> rules;
+  for (const auto& d : diags) rules.insert(d.rule);
+  return rules;
+}
+
+int count_rule(const std::vector<Diagnostic>& diags, const std::string& rule) {
+  return static_cast<int>(
+      std::count_if(diags.begin(), diags.end(),
+                    [&](const Diagnostic& d) { return d.rule == rule; }));
+}
+
+TEST(LintTest, BadRandomFiresOnEverySource) {
+  const auto diags = lint_fixture("bad_random.cc", "src/sim/bad_random.cc");
+  EXPECT_EQ(rules_of(diags), std::set<std::string>{"determinism-random"});
+  // random_device, mt19937, default_random_engine, srand, rand.
+  EXPECT_GE(count_rule(diags, "determinism-random"), 5);
+}
+
+TEST(LintTest, RandomBansApplyEvenInRealTimeLayers) {
+  // The clock allowlist (src/net/ etc.) must NOT extend to randomness:
+  // every stochastic draw comes from tailguard::Rng, everywhere.
+  const auto diags = lint_fixture("bad_random.cc", "src/net/bad_random.cc");
+  EXPECT_GE(count_rule(diags, "determinism-random"), 5);
+}
+
+TEST(LintTest, GoodRandomIsClean) {
+  EXPECT_TRUE(lint_fixture("good_random.cc", "src/sim/good_random.cc").empty());
+}
+
+TEST(LintTest, RngHeaderItselfIsExempt) {
+  // src/common/rng.h is the one place allowed to talk about engines.
+  const auto diags = lint_fixture("bad_random.cc", "src/common/rng.h");
+  EXPECT_EQ(count_rule(diags, "determinism-random"), 0);
+}
+
+TEST(LintTest, BadClockFiresInDeterministicLayers) {
+  const auto diags = lint_fixture("bad_clock.cc", "src/sim/bad_clock.cc");
+  EXPECT_EQ(rules_of(diags), std::set<std::string>{"determinism-clock"});
+  // steady, system, high_resolution, time(nullptr).
+  EXPECT_EQ(count_rule(diags, "determinism-clock"), 4);
+}
+
+TEST(LintTest, ClockAllowedInRealTimeLayers) {
+  for (const std::string path :
+       {"src/net/poller.cc", "src/runtime/service.cc", "bench/timing.cc",
+        "tests/net_test.cc"}) {
+    EXPECT_EQ(count_rule(lint_fixture("bad_clock.cc", path),
+                         "determinism-clock"),
+              0)
+        << path;
+  }
+}
+
+TEST(LintTest, GoodClockIsClean) {
+  EXPECT_TRUE(lint_fixture("good_clock.cc", "src/sim/good_clock.cc").empty());
+}
+
+TEST(LintTest, BadUnitsFiresPerUnsuffixedIdentifierUse) {
+  const auto diags = lint_fixture("bad_units.cc", "src/core/bad_units.cc");
+  EXPECT_EQ(rules_of(diags), std::set<std::string>{"time-units"});
+  // timeout, budget, retry_backoff, elapsed + queue_delay params,
+  // total_latency decl line (3 ids), return line (2 ids).
+  EXPECT_EQ(count_rule(diags, "time-units"), 10);
+}
+
+TEST(LintTest, GoodUnitsIsClean) {
+  EXPECT_TRUE(lint_fixture("good_units.cc", "src/core/good_units.cc").empty());
+}
+
+TEST(LintTest, BadLockFiresOnEveryNakedCall) {
+  const auto diags = lint_fixture("bad_lock.cc", "src/runtime/bad_lock.cc");
+  EXPECT_EQ(rules_of(diags), std::set<std::string>{"lock-discipline"});
+  EXPECT_EQ(count_rule(diags, "lock-discipline"), 5);
+}
+
+TEST(LintTest, GoodLockIsClean) {
+  EXPECT_TRUE(lint_fixture("good_lock.cc", "src/runtime/good_lock.cc").empty());
+}
+
+TEST(LintTest, BadHeaderFiresPragmaAndUsingNamespace) {
+  const auto diags = lint_fixture("bad_header.h", "src/core/bad_header.h");
+  EXPECT_EQ(count_rule(diags, "header-hygiene"), 2);
+}
+
+TEST(LintTest, HeaderRulesOnlyApplyToHeaders) {
+  // The same bytes as a .cc file: include guards and using namespace are
+  // (stylistically questionable but) legal in a translation unit.
+  const auto diags = lint_fixture("bad_header.h", "src/core/bad_header.cc");
+  EXPECT_EQ(count_rule(diags, "header-hygiene"), 0);
+}
+
+TEST(LintTest, GoodHeaderIsClean) {
+  EXPECT_TRUE(lint_fixture("good_header.h", "src/core/good_header.h").empty());
+}
+
+TEST(LintTest, BadWireFiresUnderSrcNet) {
+  const auto diags = lint_fixture("bad_wire.cc", "src/net/bad_wire.cc");
+  EXPECT_EQ(rules_of(diags), std::set<std::string>{"wire-safety"});
+  EXPECT_EQ(count_rule(diags, "wire-safety"), 2);
+}
+
+TEST(LintTest, WireRuleScopedToSrcNetAndExemptsWireCc) {
+  EXPECT_EQ(count_rule(lint_fixture("bad_wire.cc", "src/sim/bad_wire.cc"),
+                       "wire-safety"),
+            0)
+      << "wire-safety must only apply under src/net/";
+  EXPECT_EQ(count_rule(lint_fixture("bad_wire.cc", "src/net/wire.cc"),
+                       "wire-safety"),
+            0)
+      << "wire.cc hosts the endian helpers and is exempt";
+}
+
+TEST(LintTest, SockaddrCastStaysLegal) {
+  EXPECT_TRUE(lint_fixture("good_wire.cc", "src/net/good_wire.cc").empty());
+}
+
+TEST(LintTest, SuppressionsSilenceEveryForm) {
+  // Same-line allow, line-above allow, multi-rule allow, allow(all).
+  EXPECT_TRUE(lint_fixture("suppressed.cc", "src/sim/suppressed.cc").empty());
+}
+
+TEST(LintTest, SuppressionIsRuleSpecific) {
+  // An allow() for the wrong rule must not silence a finding.
+  const auto diags = lint_source(
+      "src/sim/x.cc",
+      "double timeout = 1.0;  // tg-lint: allow(lock-discipline)\n");
+  EXPECT_EQ(count_rule(diags, "time-units"), 1);
+}
+
+TEST(LintTest, CommentsAndStringsNeverMatch) {
+  const auto diags = lint_source("src/sim/x.cc",
+                                 "// rand() and steady_clock in a comment\n"
+                                 "/* mu.lock() in a block comment */\n"
+                                 "const char* s = \"rand() timeout\";\n"
+                                 "const char* r = R\"(mu.unlock())\";\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(LintTest, DiagnosticsCarryPathLineAndRule) {
+  const auto diags =
+      lint_source("src/sim/x.cc", "int a;\ndouble timeout = 1.0;\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].path, "src/sim/x.cc");
+  EXPECT_EQ(diags[0].line, 2);
+  EXPECT_EQ(diags[0].rule, "time-units");
+  EXPECT_NE(diags[0].message.find("timeout"), std::string::npos);
+}
+
+TEST(LintTest, RuleSummaryMentionsEveryRule) {
+  const std::string summary = rule_summary();
+  for (const std::string rule :
+       {"determinism-random", "determinism-clock", "time-units",
+        "lock-discipline", "header-hygiene", "wire-safety"}) {
+    EXPECT_NE(summary.find(rule), std::string::npos) << rule;
+  }
+}
+
+}  // namespace
+}  // namespace tailguard::lint

@@ -60,9 +60,9 @@ TEST_P(ConfigMatrix, RunsAndSatisfiesInvariants) {
   // Sane tails: every group's tail at least the unloaded per-task scale and
   // finite.
   for (const auto& g : r.groups) {
-    EXPECT_GT(g.tail_latency, 0.1);
-    EXPECT_LT(g.tail_latency, 1000.0);
-    EXPECT_GE(g.tail_latency, g.mean_latency);
+    EXPECT_GT(g.tail_latency_ms, 0.1);
+    EXPECT_LT(g.tail_latency_ms, 1000.0);
+    EXPECT_GE(g.tail_latency_ms, g.mean_latency_ms);
   }
 
   // Per-class aggregation is present for both classes.

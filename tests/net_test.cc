@@ -470,7 +470,7 @@ TEST(RemoteDispatcher, TaskTimeoutFailsQueryNotHang) {
 // dispatcher reconnects when it returns.
 struct GroupStats {
   std::vector<double> latencies;
-  double budget = 0.0;
+  double budget_ms = 0.0;
 };
 
 double p99(std::vector<double> v) {
@@ -508,7 +508,7 @@ TEST(RemoteDispatcher, LoopbackEndToEndMatchesInProcessRuntime) {
       EXPECT_EQ(r.tasks_failed, 0u);
       auto& g = groups[key];
       g.latencies.push_back(r.latency_ms);
-      if (g.budget == 0.0) g.budget = r.deadline_budget;
+      if (g.budget_ms == 0.0) g.budget_ms = r.deadline_budget_ms;
     }
     return groups;
   };
@@ -554,14 +554,14 @@ TEST(RemoteDispatcher, LoopbackEndToEndMatchesInProcessRuntime) {
     EXPECT_LE(p99(local.latencies), slo)
         << "local class " << key.first << " fanout " << key.second;
     // ...and assign near-identical Eq. 6 budgets from the shared profile.
-    EXPECT_NEAR(remote.budget, local.budget, 0.3 * local.budget + 5.0)
+    EXPECT_NEAR(remote.budget_ms, local.budget_ms, 0.3 * local.budget_ms + 5.0)
         << "class " << key.first << " fanout " << key.second;
   }
   // Deadline ordering: the fanout-4 loose class still gets a larger budget
   // than the fanout-2 tight class here (SLO gap dominates), and within the
   // remote run budgets are finite and positive after seeding.
-  const double b_tight = remote_groups.at({0, 2}).budget;
-  const double b_loose = remote_groups.at({1, 4}).budget;
+  const double b_tight = remote_groups.at({0, 2}).budget_ms;
+  const double b_loose = remote_groups.at({1, 4}).budget_ms;
   EXPECT_GT(b_tight, 0.0);
   EXPECT_GT(b_loose, b_tight);
 }

@@ -36,8 +36,8 @@ void expect_identical(const SimResult& a, const SimResult& b) {
     EXPECT_EQ(a.groups[i].cls, b.groups[i].cls);
     EXPECT_EQ(a.groups[i].fanout, b.groups[i].fanout);
     EXPECT_EQ(a.groups[i].queries, b.groups[i].queries);
-    EXPECT_EQ(a.groups[i].tail_latency, b.groups[i].tail_latency);
-    EXPECT_EQ(a.groups[i].mean_latency, b.groups[i].mean_latency);
+    EXPECT_EQ(a.groups[i].tail_latency_ms, b.groups[i].tail_latency_ms);
+    EXPECT_EQ(a.groups[i].mean_latency_ms, b.groups[i].mean_latency_ms);
   }
   EXPECT_EQ(a.queries_admitted, b.queries_admitted);
   EXPECT_EQ(a.queries_rejected, b.queries_rejected);

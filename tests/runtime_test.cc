@@ -183,7 +183,7 @@ TEST(Service, SeedProfileSetsBudgets) {
   for (auto& t : tasks) t.simulated_service_ms = 0.01;
   const QueryResult r = svc.submit(0, std::move(tasks)).get();
   // Budget = 50 - x99u(2 workers at ~5 ms) ~ 45 ms.
-  EXPECT_NEAR(r.deadline_budget, 45.0, 2.0);
+  EXPECT_NEAR(r.deadline_budget_ms, 45.0, 2.0);
 }
 
 TEST(Service, OnlineModelLearnsServiceTimes) {
@@ -291,7 +291,7 @@ TEST(Service, BudgetOverrideSetsDeadline) {
   std::vector<ServiceTaskSpec> tasks(2);
   for (auto& t : tasks) t.simulated_service_ms = 0.01;
   const QueryResult r = svc.submit(0, std::move(tasks), 12.5).get();
-  EXPECT_NEAR(r.deadline_budget, 12.5, 1e-9);
+  EXPECT_NEAR(r.deadline_budget_ms, 12.5, 1e-9);
 }
 
 TEST(RequestRunner, SequentialExecutionAndLatency) {

@@ -69,7 +69,7 @@ TEST(Simulator, LatencyAtLeastMaxUnloadedTask) {
   const SimResult r = run_simulation(cfg);
   const auto* g1 = r.find_group(0, 1);
   ASSERT_NE(g1, nullptr);
-  EXPECT_GE(g1->mean_latency, 0.95 * cfg.service_time->mean());
+  EXPECT_GE(g1->mean_latency_ms, 0.95 * cfg.service_time->mean());
 }
 
 TEST(Simulator, HigherLoadHigherTail) {
@@ -78,7 +78,7 @@ TEST(Simulator, HigherLoadHigherTail) {
   const SimResult light = run_simulation(cfg);
   set_load(cfg, 0.85);
   const SimResult heavy = run_simulation(cfg);
-  EXPECT_GT(heavy.groups[0].tail_latency, light.groups[0].tail_latency);
+  EXPECT_GT(heavy.groups[0].tail_latency_ms, light.groups[0].tail_latency_ms);
   EXPECT_GT(heavy.measured_utilization, light.measured_utilization);
 }
 
@@ -98,7 +98,7 @@ TEST(Simulator, DeterministicForSameSeed) {
   const SimResult b = run_simulation(cfg);
   ASSERT_EQ(a.groups.size(), b.groups.size());
   for (std::size_t i = 0; i < a.groups.size(); ++i) {
-    EXPECT_DOUBLE_EQ(a.groups[i].tail_latency, b.groups[i].tail_latency);
+    EXPECT_DOUBLE_EQ(a.groups[i].tail_latency_ms, b.groups[i].tail_latency_ms);
     EXPECT_EQ(a.groups[i].queries, b.groups[i].queries);
   }
   EXPECT_DOUBLE_EQ(a.end_time, b.end_time);
@@ -127,8 +127,8 @@ TEST(Simulator, SingleClassPolicyDegeneracy) {
   const SimResult tedf = run_simulation(cfg);
   ASSERT_EQ(fifo.groups.size(), priq.groups.size());
   for (std::size_t i = 0; i < fifo.groups.size(); ++i) {
-    EXPECT_DOUBLE_EQ(fifo.groups[i].tail_latency, priq.groups[i].tail_latency);
-    EXPECT_DOUBLE_EQ(fifo.groups[i].tail_latency, tedf.groups[i].tail_latency);
+    EXPECT_DOUBLE_EQ(fifo.groups[i].tail_latency_ms, priq.groups[i].tail_latency_ms);
+    EXPECT_DOUBLE_EQ(fifo.groups[i].tail_latency_ms, tedf.groups[i].tail_latency_ms);
   }
 }
 
@@ -149,8 +149,8 @@ TEST(Simulator, FixedFanoutTfEdfEqualsTEdf) {
   const SimResult tfedf = run_simulation(cfg);
   ASSERT_EQ(tedf.groups.size(), tfedf.groups.size());
   for (std::size_t i = 0; i < tedf.groups.size(); ++i)
-    EXPECT_DOUBLE_EQ(tedf.groups[i].tail_latency,
-                     tfedf.groups[i].tail_latency);
+    EXPECT_DOUBLE_EQ(tedf.groups[i].tail_latency_ms,
+                     tfedf.groups[i].tail_latency_ms);
 }
 
 TEST(Simulator, AdmissionControlCapsMissRatio) {
@@ -187,8 +187,8 @@ TEST(Simulator, ParetoArrivalsDegradeTail) {
   const SimResult pareto = run_simulation(cfg);
   // Burstier arrivals at equal mean load push the p99 up (Fig. 5b shows
   // max loads dropping by a few percent).
-  EXPECT_GT(pareto.groups[0].tail_latency,
-            0.9 * poisson.groups[0].tail_latency);
+  EXPECT_GT(pareto.groups[0].tail_latency_ms,
+            0.9 * poisson.groups[0].tail_latency_ms);
 }
 
 TEST(Simulator, ClassFanoutCoupling) {
@@ -221,7 +221,7 @@ TEST(Simulator, CustomPlacementIsHonoured) {
   const SimResult r = run_simulation(cfg);
   // Mean utilization across 20 servers ≈ 0.9 / 20.
   EXPECT_NEAR(r.measured_utilization, 0.045, 0.01);
-  EXPECT_GT(r.groups[0].tail_latency, 1.0);  // queuing on the hot server
+  EXPECT_GT(r.groups[0].tail_latency_ms, 1.0);  // queuing on the hot server
 }
 
 TEST(Simulator, EstimatedCdfsTrackExactEstimation) {
@@ -238,8 +238,8 @@ TEST(Simulator, EstimatedCdfsTrackExactEstimation) {
     const SimResult est = run_simulation(cfg);
     ASSERT_EQ(est.groups.size(), exact.groups.size());
     for (std::size_t i = 0; i < est.groups.size(); ++i) {
-      EXPECT_NEAR(est.groups[i].tail_latency, exact.groups[i].tail_latency,
-                  0.05 * exact.groups[i].tail_latency)
+      EXPECT_NEAR(est.groups[i].tail_latency_ms, exact.groups[i].tail_latency_ms,
+                  0.05 * exact.groups[i].tail_latency_ms)
           << "mode=" << static_cast<int>(mode) << " group " << i;
     }
   }
@@ -271,9 +271,9 @@ TEST(Simulator, TraceReplayMatchesGenerativeStatistics) {
   EXPECT_EQ(replayed.queries_offered, cfg.num_queries);
   ASSERT_EQ(replayed.groups.size(), generative.groups.size());
   for (std::size_t i = 0; i < replayed.groups.size(); ++i) {
-    EXPECT_NEAR(replayed.groups[i].tail_latency,
-                generative.groups[i].tail_latency,
-                0.25 * generative.groups[i].tail_latency)
+    EXPECT_NEAR(replayed.groups[i].tail_latency_ms,
+                generative.groups[i].tail_latency_ms,
+                0.25 * generative.groups[i].tail_latency_ms)
         << "group " << i;
   }
 }
@@ -306,8 +306,8 @@ TEST(Simulator, RequestModeRunsSequentialQueries) {
   // A request of 3 sequential queries is at least as slow as one query.
   const auto* g = r.find_group(0, 4);
   ASSERT_NE(g, nullptr);
-  EXPECT_GT(r.request_mean_latency, 2.5 * g->mean_latency);
-  EXPECT_GT(r.request_tail_latency, g->tail_latency);
+  EXPECT_GT(r.request_mean_latency_ms, 2.5 * g->mean_latency_ms);
+  EXPECT_GT(r.request_tail_latency_ms, g->tail_latency_ms);
 }
 
 TEST(Simulator, RequestModeBudgetsActAsDeadlines) {
@@ -344,7 +344,7 @@ TEST(Simulator, TaskBudgetJitterChangesScheduleButConservesWork) {
   const SimResult jittered = run_simulation(cfg);
   // Same offered queries, different schedule.
   EXPECT_EQ(jittered.queries_offered, equal.queries_offered);
-  EXPECT_NE(jittered.groups[0].tail_latency, equal.groups[0].tail_latency);
+  EXPECT_NE(jittered.groups[0].tail_latency_ms, equal.groups[0].tail_latency_ms);
   EXPECT_NEAR(jittered.measured_utilization, equal.measured_utilization,
               0.05);
 }
@@ -394,12 +394,12 @@ TEST(Simulator, NetworkDelaysAddToLatency) {
   cfg.fanout = std::make_shared<FixedFanout>(1);
   set_load(cfg, 0.05);
   const SimResult base = run_simulation(cfg);
-  cfg.dispatch_delay = std::make_shared<Deterministic>(3.0);
-  cfg.result_delay = std::make_shared<Deterministic>(2.0);
+  cfg.dispatch_delay_ms = std::make_shared<Deterministic>(3.0);
+  cfg.result_delay_ms = std::make_shared<Deterministic>(2.0);
   const SimResult delayed = run_simulation(cfg);
   // Every query gains exactly dispatch + result = 5 ms at light load.
-  EXPECT_NEAR(delayed.groups[0].mean_latency,
-              base.groups[0].mean_latency + 5.0, 0.15);
+  EXPECT_NEAR(delayed.groups[0].mean_latency_ms,
+              base.groups[0].mean_latency_ms + 5.0, 0.15);
   EXPECT_EQ(delayed.queries_admitted, cfg.num_queries);
 }
 
@@ -410,9 +410,9 @@ TEST(Simulator, DispatchDelayConsumesBudget) {
   cfg.fanout = std::make_shared<FixedFanout>(2);
   cfg.classes = {{.slo_ms = 10.0, .percentile = 99.0}};
   set_load(cfg, 0.05);
-  const SimResult no_delay = run_simulation(cfg);
-  EXPECT_LT(no_delay.task_deadline_miss_ratio, 0.05);
-  cfg.dispatch_delay = std::make_shared<Deterministic>(20.0);  // > SLO
+  const SimResult no_delay_ms = run_simulation(cfg);
+  EXPECT_LT(no_delay_ms.task_deadline_miss_ratio, 0.05);
+  cfg.dispatch_delay_ms = std::make_shared<Deterministic>(20.0);  // > SLO
   const SimResult delayed = run_simulation(cfg);
   EXPECT_GT(delayed.task_deadline_miss_ratio, 0.95);
 }
@@ -421,7 +421,7 @@ TEST(Simulator, ResultDelayDefersAdmissionSignal) {
   // Admission control still functions when misses are piggybacked on
   // delayed results (§III.C).
   SimConfig cfg = base_config();
-  cfg.result_delay = std::make_shared<Uniform>(0.5, 1.5);
+  cfg.result_delay_ms = std::make_shared<Uniform>(0.5, 1.5);
   cfg.admission = AdmissionOptions{.window_tasks = 2000,
                                    .window_ms = 50.0,
                                    .miss_ratio_threshold = 0.02};
@@ -433,8 +433,8 @@ TEST(Simulator, ResultDelayDefersAdmissionSignal) {
 
 TEST(Simulator, NetworkDelaysConserveQueries) {
   SimConfig cfg = base_config();
-  cfg.dispatch_delay = std::make_shared<Exponential>(1.0);
-  cfg.result_delay = std::make_shared<Exponential>(2.0);
+  cfg.dispatch_delay_ms = std::make_shared<Exponential>(1.0);
+  cfg.result_delay_ms = std::make_shared<Exponential>(2.0);
   set_load(cfg, 0.5);
   const SimResult r = run_simulation(cfg);
   EXPECT_EQ(r.queries_admitted, cfg.num_queries);
@@ -452,12 +452,12 @@ TEST(Simulator, OnlineEstimatorSeesResultDelay) {
   cfg.classes = {{.slo_ms = 60.0, .percentile = 99.0}};
   cfg.estimation = EstimationMode::kOnlineStreaming;
   cfg.offline_seed_samples = 100;  // let online observations dominate
-  cfg.result_delay = std::make_shared<Deterministic>(7.0);
+  cfg.result_delay_ms = std::make_shared<Deterministic>(7.0);
   set_load(cfg, 0.3);
   const SimResult r = run_simulation(cfg);
   // Latency now ~ service + wait + 7; at this load the p99 must clearly
   // exceed service-only p99 (~4.6 for exp(1)) plus the delay.
-  EXPECT_GT(r.groups[0].tail_latency, 7.0 + 4.0);
+  EXPECT_GT(r.groups[0].tail_latency_ms, 7.0 + 4.0);
 }
 
 TEST(Simulator, TraceWithUnknownClassThrows) {
@@ -526,8 +526,8 @@ TEST(Experiment, SweepLoadsReturnsOnePointPerLoad) {
   const auto points = sweep_loads(cfg, {0.2, 0.4, 0.6});
   ASSERT_EQ(points.size(), 3u);
   EXPECT_DOUBLE_EQ(points[0].load, 0.2);
-  EXPECT_LT(points[0].result.groups[0].tail_latency,
-            points[2].result.groups[0].tail_latency);
+  EXPECT_LT(points[0].result.groups[0].tail_latency_ms,
+            points[2].result.groups[0].tail_latency_ms);
 }
 
 TEST(Experiment, ScaledQueriesEnvelope) {

@@ -1,0 +1,555 @@
+#include "lint/tg_lint.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace tailguard::lint {
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+/// Replaces comments, string literals and char literals with spaces so the
+/// rule scanners never match inside them. Newlines are preserved (including
+/// inside block comments and raw strings) so line numbers stay valid.
+std::string scrub(std::string_view src) {
+  std::string out(src);
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kCode;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"' &&
+                   (i == 0 || src[i - 1] != 'R' ||
+                    (i >= 2 && is_ident_char(src[i - 2])))) {
+          state = State::kString;
+          out[i] = ' ';
+        } else if (c == '"') {  // R"...
+          raw_delim.clear();
+          std::size_t j = i + 1;
+          while (j < src.size() && src[j] != '(') raw_delim += src[j++];
+          state = State::kRawString;
+          out[i] = ' ';
+        } else if (c == '\'' && (i == 0 || !is_ident_char(src[i - 1]))) {
+          // Leading-char test keeps digit separators (1'000'000) intact.
+          state = State::kChar;
+          out[i] = ' ';
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n')
+          state = State::kCode;
+        else
+          out[i] = ' ';
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          out[i] = ' ';
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          out[i] = ' ';
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kRawString: {
+        const std::string closer = ")" + raw_delim + "\"";
+        if (src.compare(i, closer.size(), closer) == 0) {
+          for (std::size_t k = 0; k < closer.size(); ++k) out[i + k] = ' ';
+          i += closer.size() - 1;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string_view> split_lines(std::string_view text) {
+  std::vector<std::string_view> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+/// Parses `// tg-lint: allow(rule-a, rule-b)` suppressions out of the raw
+/// (un-scrubbed) line. Returns the allowed rule names, or empty if none.
+std::set<std::string> parse_allows(std::string_view raw_line) {
+  std::set<std::string> rules;
+  const std::size_t at = raw_line.find("tg-lint:");
+  if (at == std::string_view::npos) return rules;
+  const std::size_t open = raw_line.find('(', at);
+  const std::size_t close =
+      open == std::string_view::npos ? open : raw_line.find(')', open);
+  if (open == std::string_view::npos || close == std::string_view::npos)
+    return rules;
+  std::string token;
+  for (std::size_t i = open + 1; i <= close; ++i) {
+    const char c = raw_line[i];
+    if (c == ',' || c == ')') {
+      if (!token.empty()) rules.insert(token);
+      token.clear();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      token += c;
+    }
+  }
+  return rules;
+}
+
+/// Finds whole-word occurrences of `word` in `line`; `from` advances the scan.
+std::size_t find_word(std::string_view line, std::string_view word,
+                      std::size_t from = 0) {
+  while (from < line.size()) {
+    const std::size_t at = line.find(word, from);
+    if (at == std::string_view::npos) return std::string_view::npos;
+    const bool left_ok = at == 0 || !is_ident_char(line[at - 1]);
+    const std::size_t end = at + word.size();
+    const bool right_ok = end >= line.size() || !is_ident_char(line[end]);
+    if (left_ok && right_ok) return at;
+    from = at + 1;
+  }
+  return std::string_view::npos;
+}
+
+char next_nonspace(std::string_view line, std::size_t from) {
+  while (from < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[from])))
+    ++from;
+  return from < line.size() ? line[from] : '\0';
+}
+
+// ---------------------------------------------------------------------------
+// Rule context
+// ---------------------------------------------------------------------------
+
+struct FileCtx {
+  std::string path;                          // repo-relative
+  std::vector<std::string_view> raw_lines;   // for suppressions
+  std::vector<std::string_view> code_lines;  // scrubbed
+  std::vector<Diagnostic>* diags = nullptr;
+
+  bool in_dir(std::string_view dir) const { return starts_with(path, dir); }
+
+  void report(int line_1based, std::string rule, std::string message) const {
+    // A `tg-lint: allow(...)` on the offending line or the line above
+    // suppresses the rule (or every rule, with `allow(all)`).
+    for (int l = line_1based; l >= line_1based - 1 && l >= 1; --l) {
+      const auto allows = parse_allows(raw_lines[static_cast<std::size_t>(l) - 1]);
+      if (allows.count("all") || allows.count(rule)) return;
+    }
+    diags->push_back(Diagnostic{path, line_1based, std::move(rule),
+                                std::move(message)});
+  }
+};
+
+// ---------------------------------------------------------------------------
+// determinism-random — std:: randomness sources outside src/common/rng.h
+// ---------------------------------------------------------------------------
+
+void check_determinism_random(const FileCtx& ctx) {
+  if (ctx.path == "src/common/rng.h") return;
+  static constexpr std::array<std::string_view, 8> kBanned = {
+      "random_device",     "mt19937",  "mt19937_64", "minstd_rand",
+      "default_random_engine", "ranlux24", "ranlux48", "knuth_b"};
+  static constexpr std::array<std::string_view, 4> kBannedCalls = {
+      "rand", "srand", "rand_r", "drand48"};
+  for (std::size_t i = 0; i < ctx.code_lines.size(); ++i) {
+    const std::string_view line = ctx.code_lines[i];
+    for (const auto token : kBanned) {
+      if (find_word(line, token) != std::string_view::npos) {
+        ctx.report(static_cast<int>(i) + 1, "determinism-random",
+                   "nondeterminism source '" + std::string(token) +
+                       "'; draw from a seeded tailguard::Rng "
+                       "(src/common/rng.h) so runs are reproducible");
+        break;
+      }
+    }
+    for (const auto fn : kBannedCalls) {
+      const std::size_t at = find_word(line, fn);
+      if (at != std::string_view::npos &&
+          next_nonspace(line, at + fn.size()) == '(') {
+        ctx.report(static_cast<int>(i) + 1, "determinism-random",
+                   "libc randomness '" + std::string(fn) +
+                       "()'; draw from a seeded tailguard::Rng "
+                       "(src/common/rng.h) so runs are reproducible");
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// determinism-clock — wall/monotonic clock reads outside real-time layers
+// ---------------------------------------------------------------------------
+
+bool clock_allowed(const FileCtx& ctx) {
+  // The networked runtime, the threaded runtime, and wall-clock bench timing
+  // are genuinely real-time; everything else must run on simulated time.
+  return ctx.in_dir("src/net/") || ctx.in_dir("src/runtime/") ||
+         ctx.in_dir("bench/") || ctx.path == "tools/tailguard_served.cc" ||
+         ctx.path == "tests/net_test.cc" || ctx.path == "tests/runtime_test.cc" ||
+         ctx.path == "tests/loadgen_test.cc";
+}
+
+void check_determinism_clock(const FileCtx& ctx) {
+  if (clock_allowed(ctx)) return;
+  static constexpr std::array<std::string_view, 5> kClocks = {
+      "system_clock", "steady_clock", "high_resolution_clock", "clock_gettime",
+      "gettimeofday"};
+  for (std::size_t i = 0; i < ctx.code_lines.size(); ++i) {
+    const std::string_view line = ctx.code_lines[i];
+    for (const auto token : kClocks) {
+      if (find_word(line, token) != std::string_view::npos) {
+        ctx.report(static_cast<int>(i) + 1, "determinism-clock",
+                   "wall/monotonic clock '" + std::string(token) +
+                       "' in a deterministic layer; simulation code must "
+                       "only observe simulated TimeMs");
+        break;
+      }
+    }
+    // time(nullptr) / time(NULL) / time(0) — the classic seed leak.
+    std::size_t at = 0;
+    while ((at = find_word(line, "time", at)) != std::string_view::npos) {
+      std::size_t j = at + 4;
+      while (j < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[j])))
+        ++j;
+      if (j < line.size() && line[j] == '(') {
+        std::size_t k = j + 1;
+        while (k < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[k])))
+          ++k;
+        for (const std::string_view arg : {"nullptr", "NULL", "0"}) {
+          if (line.compare(k, arg.size(), arg) == 0 &&
+              next_nonspace(line, k + arg.size()) == ')') {
+            ctx.report(static_cast<int>(i) + 1, "determinism-clock",
+                       "'time(" + std::string(arg) +
+                           ")' wall-clock read; seed from configuration, "
+                           "never from the clock");
+            break;
+          }
+        }
+      }
+      at += 4;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// time-units — duration identifiers must carry a unit suffix
+// ---------------------------------------------------------------------------
+
+bool has_unit_suffix(std::string_view id) {
+  if (ends_with(id, "_")) id.remove_suffix(1);  // member convention foo_ms_
+  return ends_with(id, "_s") || ends_with(id, "_ms") || ends_with(id, "_us") ||
+         ends_with(id, "_ns");
+}
+
+void check_time_units(const FileCtx& ctx) {
+  static constexpr std::array<std::string_view, 9> kDurationWords = {
+      "timeout", "elapsed",  "interval", "delay",  "latency",
+      "duration", "budget",  "backoff",  "period"};
+  for (std::size_t i = 0; i < ctx.code_lines.size(); ++i) {
+    const std::string_view line = ctx.code_lines[i];
+    std::string_view trimmed = line;
+    while (!trimmed.empty() &&
+           std::isspace(static_cast<unsigned char>(trimmed.front())))
+      trimmed.remove_prefix(1);
+    if (starts_with(trimmed, "#")) continue;  // preprocessor lines
+    // std::chrono declarations carry their unit in the type system, which is
+    // exactly what the rule wants — the identifier needs no suffix.
+    if (line.find("chrono") != std::string_view::npos) continue;
+    std::size_t pos = 0;
+    while (pos < line.size()) {
+      if (!is_ident_char(line[pos]) ||
+          std::isdigit(static_cast<unsigned char>(line[pos]))) {
+        ++pos;
+        continue;
+      }
+      std::size_t end = pos;
+      while (end < line.size() && is_ident_char(line[end])) ++end;
+      std::string_view id = line.substr(pos, end - pos);
+      const std::size_t id_start = pos;
+      pos = end;
+      // Qualified names (std::chrono::duration) and callees/templates
+      // (estimator.budget(...), duration<double>) name operations or chrono
+      // types, not unit-ambiguous quantities.
+      if (id_start >= 2 && line[id_start - 1] == ':' &&
+          line[id_start - 2] == ':')
+        continue;
+      const char after = next_nonspace(line, end);
+      if (after == '(' || after == '<') continue;
+      std::string_view stem = id;
+      if (ends_with(stem, "_")) stem.remove_suffix(1);
+      for (const auto word : kDurationWords) {
+        if ((stem == word || ends_with(stem, std::string("_") + std::string(word))) &&
+            !has_unit_suffix(id)) {
+          ctx.report(static_cast<int>(i) + 1, "time-units",
+                     "duration-valued identifier '" + std::string(id) +
+                         "' has no unit suffix; name it '" + std::string(id) +
+                         "_ms' (or _s/_us/_ns) or use std::chrono types "
+                         "(Eq. 6 budgets and deadlines must be "
+                         "unit-unambiguous)");
+          break;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// lock-discipline — no naked .lock()/.unlock()/.try_lock()
+// ---------------------------------------------------------------------------
+
+void check_lock_discipline(const FileCtx& ctx) {
+  static constexpr std::array<std::string_view, 3> kCalls = {"lock", "unlock",
+                                                             "try_lock"};
+  for (std::size_t i = 0; i < ctx.code_lines.size(); ++i) {
+    const std::string_view line = ctx.code_lines[i];
+    for (const auto fn : kCalls) {
+      std::size_t at = 0;
+      while ((at = find_word(line, fn, at)) != std::string_view::npos) {
+        const bool member_call =
+            (at >= 1 && line[at - 1] == '.') ||
+            (at >= 2 && line[at - 2] == '-' && line[at - 1] == '>');
+        std::size_t j = at + fn.size();
+        const bool zero_arg_call =
+            next_nonspace(line, j) == '(' &&
+            next_nonspace(line, line.find('(', j) + 1) == ')';
+        if (member_call && zero_arg_call) {
+          ctx.report(static_cast<int>(i) + 1, "lock-discipline",
+                     "naked ." + std::string(fn) +
+                         "(); hold mutexes via std::lock_guard / "
+                         "std::unique_lock / std::scoped_lock so early "
+                         "returns and exceptions cannot leak the lock "
+                         "(suppress for weak_ptr::lock with tg-lint: allow)");
+          break;
+        }
+        at += fn.size();
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// header-hygiene — #pragma once first; no `using namespace` in headers
+// ---------------------------------------------------------------------------
+
+void check_header_hygiene(const FileCtx& ctx) {
+  if (!ends_with(ctx.path, ".h")) return;
+  bool saw_code = false;
+  bool pragma_first = false;
+  for (std::size_t i = 0; i < ctx.code_lines.size(); ++i) {
+    const std::string_view line = ctx.code_lines[i];
+    std::string_view trimmed = line;
+    while (!trimmed.empty() &&
+           std::isspace(static_cast<unsigned char>(trimmed.front())))
+      trimmed.remove_prefix(1);
+    while (!trimmed.empty() &&
+           std::isspace(static_cast<unsigned char>(trimmed.back())))
+      trimmed.remove_suffix(1);
+    if (!saw_code && !trimmed.empty()) {
+      saw_code = true;
+      pragma_first = trimmed == "#pragma once";
+      if (!pragma_first)
+        ctx.report(static_cast<int>(i) + 1, "header-hygiene",
+                   "header's first code line must be '#pragma once' "
+                   "(include guards and late pragmas are error-prone)");
+    }
+    const std::size_t at = find_word(trimmed, "using");
+    if (at != std::string_view::npos) {
+      const std::size_t ns = find_word(trimmed, "namespace", at);
+      if (ns != std::string_view::npos && ns > at &&
+          trimmed.substr(at + 5, ns - at - 5).find_first_not_of(" \t") ==
+              std::string_view::npos) {
+        ctx.report(static_cast<int>(i) + 1, "header-hygiene",
+                   "'using namespace' in a header leaks into every includer; "
+                   "qualify names or alias instead");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// wire-safety — struct punning stays inside wire.cc's endian helpers
+// ---------------------------------------------------------------------------
+
+void check_wire_safety(const FileCtx& ctx) {
+  if (!ctx.in_dir("src/net/") || ctx.path == "src/net/wire.cc") return;
+  for (std::size_t i = 0; i < ctx.code_lines.size(); ++i) {
+    const std::string_view line = ctx.code_lines[i];
+    // Casting to sockaddr* is the POSIX API's own calling convention.
+    if (find_word(line, "sockaddr") != std::string_view::npos) continue;
+    if (find_word(line, "reinterpret_cast") != std::string_view::npos) {
+      ctx.report(static_cast<int>(i) + 1, "wire-safety",
+                 "reinterpret_cast in src/net/; wire bytes must go through "
+                 "wire.cc's explicit little-endian helpers, never struct "
+                 "punning (host endianness would leak onto the wire)");
+    }
+    if (find_word(line, "memcpy") != std::string_view::npos) {
+      ctx.report(static_cast<int>(i) + 1, "wire-safety",
+                 "memcpy in src/net/; serialize through wire.cc's explicit "
+                 "little-endian helpers so multi-byte integers have one wire "
+                 "order");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Diagnostic> lint_source(const std::string& rel_path,
+                                    std::string_view content) {
+  const std::string scrubbed = scrub(content);
+  FileCtx ctx;
+  ctx.path = rel_path;
+  ctx.raw_lines = split_lines(content);
+  ctx.code_lines = split_lines(scrubbed);
+  std::vector<Diagnostic> diags;
+  ctx.diags = &diags;
+
+  check_determinism_random(ctx);
+  check_determinism_clock(ctx);
+  check_time_units(ctx);
+  check_lock_discipline(ctx);
+  check_header_hygiene(ctx);
+  check_wire_safety(ctx);
+
+  std::sort(diags.begin(), diags.end(), [](const auto& a, const auto& b) {
+    return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
+  });
+  return diags;
+}
+
+std::vector<Diagnostic> lint_paths(const std::string& root,
+                                   const std::vector<std::string>& paths,
+                                   std::string* error,
+                                   std::size_t* num_files) {
+  namespace fs = std::filesystem;
+  error->clear();
+  std::set<std::string> files;  // repo-relative, deduped, sorted
+  const fs::path root_path(root);
+  for (const auto& p : paths) {
+    const fs::path abs = root_path / p;
+    std::error_code ec;
+    if (fs::is_directory(abs, ec)) {
+      for (auto it = fs::recursive_directory_iterator(abs, ec);
+           !ec && it != fs::recursive_directory_iterator(); ++it) {
+        if (!it->is_regular_file()) continue;
+        const std::string ext = it->path().extension().string();
+        if (ext != ".h" && ext != ".cc") continue;
+        const std::string rel =
+            fs::relative(it->path(), root_path).generic_string();
+        // The lint self-test's bad fixtures are violations on purpose; they
+        // are linted explicitly by tests/lint_test.cc, not by tree walks.
+        if (rel.find("lint_fixtures/") != std::string::npos) continue;
+        files.insert(rel);
+      }
+    } else if (fs::is_regular_file(abs, ec)) {
+      files.insert(fs::relative(abs, root_path).generic_string());
+    } else {
+      *error = "no such file or directory: " + abs.string();
+      return {};
+    }
+  }
+  std::vector<Diagnostic> diags;
+  for (const auto& rel : files) {
+    std::ifstream in(root_path / rel, std::ios::binary);
+    if (!in) {
+      *error = "cannot read: " + rel;
+      return {};
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string content = ss.str();
+    auto file_diags = lint_source(rel, content);
+    diags.insert(diags.end(), file_diags.begin(), file_diags.end());
+  }
+  if (num_files) *num_files = files.size();
+  return diags;
+}
+
+std::string rule_summary() {
+  return
+      "determinism-random  std:: randomness sources; use tailguard::Rng "
+      "(allowed: src/common/rng.h)\n"
+      "determinism-clock   wall/monotonic clock reads in deterministic "
+      "layers (allowed: src/net, src/runtime, bench, their tests)\n"
+      "time-units          duration identifiers must end in _s/_ms/_us/_ns "
+      "or use std::chrono\n"
+      "lock-discipline     no naked .lock()/.unlock()/.try_lock(); RAII "
+      "guards only\n"
+      "header-hygiene      #pragma once first in headers; no 'using "
+      "namespace' in headers\n"
+      "wire-safety         no reinterpret_cast/memcpy in src/net outside "
+      "wire.cc (sockaddr exempt)\n"
+      "\nSuppress a finding with '// tg-lint: allow(<rule>)' on the line or "
+      "the line above.\n";
+}
+
+}  // namespace tailguard::lint

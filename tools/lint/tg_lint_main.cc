@@ -1,0 +1,66 @@
+// CLI for the TailGuard invariant checker. Exit status 0 iff clean.
+//
+//   tg_lint --check src tests bench tools          # lint the repo tree
+//   tg_lint --root /path/to/repo --check src       # from anywhere
+//   tg_lint --list-rules                           # what is enforced, and why
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint/tg_lint.h"
+
+namespace {
+
+int usage(std::FILE* to) {
+  std::fputs(
+      "usage: tg_lint [--root DIR] [--check] PATH...\n"
+      "       tg_lint --list-rules\n"
+      "\nLints *.h / *.cc under each PATH (file or directory, resolved\n"
+      "against --root, default '.') for TailGuard invariant violations.\n"
+      "Prints one line per finding and exits non-zero if any.\n",
+      to);
+  return to == stdout ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return usage(stdout);
+    if (arg == "--list-rules") {
+      std::fputs(tailguard::lint::rule_summary().c_str(), stdout);
+      return 0;
+    }
+    if (arg == "--check") continue;  // checking is the only mode
+    if (arg == "--root") {
+      if (++i >= argc) return usage(stderr);
+      root = argv[i];
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "tg_lint: unknown flag '%s'\n", arg.c_str());
+      return usage(stderr);
+    }
+    paths.push_back(arg);
+  }
+  if (paths.empty()) return usage(stderr);
+
+  std::string error;
+  std::size_t num_files = 0;
+  const auto diags =
+      tailguard::lint::lint_paths(root, paths, &error, &num_files);
+  if (!error.empty()) {
+    std::fprintf(stderr, "tg_lint: %s\n", error.c_str());
+    return 2;
+  }
+  for (const auto& d : diags) {
+    std::fprintf(stdout, "%s:%d: [%s] %s\n", d.path.c_str(), d.line,
+                 d.rule.c_str(), d.message.c_str());
+  }
+  std::fprintf(stdout, "tg_lint: %zu finding(s) in %zu file(s) scanned\n",
+               diags.size(), num_files);
+  return diags.empty() ? 0 : 1;
+}

@@ -175,14 +175,14 @@ int main(int argc, char** argv) {
         if (csv) {
           std::printf("%s,%.3f,%u,%u,%lu,%.4f,%.4f,%.3f,%d\n",
                       to_string(policy), l, g.cls, g.fanout,
-                      static_cast<unsigned long>(g.queries), g.tail_latency,
-                      g.mean_latency, g.slo, g.met ? 1 : 0);
+                      static_cast<unsigned long>(g.queries), g.tail_latency_ms,
+                      g.mean_latency_ms, g.slo, g.met ? 1 : 0);
         } else {
           std::printf(
               "  class %u kf %-5u %8lu queries   p%.0f %8.3f ms   (SLO %.3f "
               "ms) %s\n",
               g.cls, g.fanout, static_cast<unsigned long>(g.queries),
-              percentile_pct, g.tail_latency, g.slo, g.met ? "ok" : "MISS");
+              percentile_pct, g.tail_latency_ms, g.slo, g.met ? "ok" : "MISS");
         }
       }
     }
