@@ -22,17 +22,26 @@ std::vector<std::shared_ptr<CdfModel>> make_server_models(
         std::make_shared<StreamingCdfModel>(options.model_options));
   return models;
 }
+
+ControlPlaneOptions make_control_plane_options(
+    const DispatcherOptions& options) {
+  ControlPlaneOptions cp;
+  cp.policy = options.policy;
+  cp.classes = options.classes;
+  cp.admission = options.admission;
+  cp.seed = options.seed;
+  return cp;
+}
 }  // namespace
 
 RemoteDispatcher::RemoteDispatcher(DispatcherOptions options)
     : options_(std::move(options)),
       epoch_(std::chrono::steady_clock::now()),
-      estimator_(make_server_models(options_)),
-      rng_(options_.seed) {
+      control_(make_control_plane_options(options_),
+               make_server_models(options_)) {
   TG_CHECK_MSG(!options_.servers.empty(), "need at least one task server");
   TG_CHECK_MSG(!options_.classes.empty(), "need at least one service class");
   TG_CHECK_MSG(options_.task_timeout_ms > 0.0, "task timeout must be positive");
-  for (const auto& spec : options_.classes) estimator_.add_class(spec);
   servers_.resize(options_.servers.size());
   for (std::size_t i = 0; i < servers_.size(); ++i) {
     servers_[i].spec = options_.servers[i];
@@ -76,7 +85,7 @@ void RemoteDispatcher::seed_profile(std::span<const double> samples_ms) {
   std::lock_guard lock(mu_);
   for (std::size_t s = 0; s < servers_.size(); ++s)
     for (double sample : samples_ms)
-      estimator_.observe_post_queuing(static_cast<ServerId>(s), sample);
+      control_.observe_post_queuing(static_cast<ServerId>(s), sample);
 }
 
 std::future<QueryResult> RemoteDispatcher::submit(
@@ -92,6 +101,19 @@ std::future<QueryResult> RemoteDispatcher::submit(
   {
     std::lock_guard lock(mu_);
     const TimeMs t0 = now_ms();
+
+    // Admission decision (§III.C) comes first: a rejected query costs no
+    // placement work and never reaches a daemon.
+    if (!control_.should_admit(t0)) {
+      control_.count_rejected();
+      QueryResult r;
+      r.cls = cls;
+      r.fanout = static_cast<std::uint32_t>(tasks.size());
+      r.admitted = false;
+      promise.set_value(r);
+      return future;
+    }
+    control_.count_admitted();
 
     std::vector<PlacementCandidate> alive;
     for (std::size_t s = 0; s < servers_.size(); ++s)
@@ -119,7 +141,8 @@ std::future<QueryResult> RemoteDispatcher::submit(
       if (alive.empty()) {
         for (std::size_t i : unassigned) failed_at_submit[i] = true;
       } else {
-        const auto picked = pick_least_loaded(alive, unassigned.size(), rng_);
+        const auto picked =
+            control_.place_least_loaded(alive, unassigned.size());
         for (std::size_t j = 0; j < unassigned.size(); ++j)
           placement[unassigned[j]] = picked[j];
       }
@@ -136,36 +159,22 @@ std::future<QueryResult> RemoteDispatcher::submit(
       r.fanout = static_cast<std::uint32_t>(tasks.size());
       r.tasks_failed = r.fanout;
       tasks_failed_ += r.fanout;
-      ++completed_;
+      ++degraded_queries_;
       resolutions.emplace_back(std::move(promise), r);
     } else {
-      // Eq. 6 deadline over the intended server set (dead explicit targets
-      // included: their frozen models still describe the intent).
-      const TimeMs tail_deadline =
-          budget_override ? t0 + *budget_override
-                          : estimator_.deadline(t0, cls, placement);
-      TimeMs order_deadline = t0;
-      switch (options_.policy) {
-        case Policy::kTfEdf:
-          order_deadline = tail_deadline;
-          break;
-        case Policy::kTEdf:
-          order_deadline = estimator_.slo_deadline(t0, cls);
-          break;
-        case Policy::kFifo:
-        case Policy::kPriq:
-          order_deadline = t0;
-          break;
-      }
-
-      const QueryId qid = tracker_.begin_query(
-          t0, cls, static_cast<std::uint32_t>(tasks.size()), tail_deadline);
+      // Budget (Eq. 6 over the intended server set — dead explicit targets
+      // included, their frozen models still describe the intent — or the
+      // caller's Eq. 7 override), t_D and the ordering key all come from
+      // the control plane.
+      const QueryPlan plan =
+          control_.begin_query(t0, cls, placement, budget_override);
+      const QueryId qid = plan.id;
       PendingQuery pending;
       pending.promise = std::move(promise);
       pending.result.id = qid;
       pending.result.cls = cls;
       pending.result.fanout = static_cast<std::uint32_t>(tasks.size());
-      pending.result.deadline_budget_ms = tail_deadline - t0;
+      pending.result.deadline_budget_ms = plan.budget_ms;
       pending_.emplace(qid, std::move(pending));
 
       for (std::size_t i = 0; i < tasks.size(); ++i) {
@@ -177,7 +186,7 @@ std::future<QueryResult> RemoteDispatcher::submit(
         msg.task = next_task_id_++;
         msg.query = qid;
         msg.cls = cls;
-        msg.relative_deadline_ms = order_deadline - t0;
+        msg.relative_deadline_ms = plan.order_deadline - t0;
         msg.simulated_service_ms = tasks[i].simulated_service_ms;
         ServerConn& conn = servers_[placement[i]];
         conn.outbox.push_back(encode(msg));
@@ -229,7 +238,14 @@ std::size_t RemoteDispatcher::alive_servers() const {
 
 std::uint64_t RemoteDispatcher::completed_queries() const {
   std::lock_guard lock(mu_);
-  return completed_;
+  // Degraded (no-server) queries resolve without ever registering with the
+  // control plane; callers still see them as completed.
+  return control_.queries_completed() + degraded_queries_;
+}
+
+std::uint64_t RemoteDispatcher::rejected_queries() const {
+  std::lock_guard lock(mu_);
+  return control_.queries_rejected();
 }
 
 std::uint64_t RemoteDispatcher::failed_tasks() const {
@@ -239,14 +255,12 @@ std::uint64_t RemoteDispatcher::failed_tasks() const {
 
 double RemoteDispatcher::deadline_miss_ratio() const {
   std::lock_guard lock(mu_);
-  return tasks_done_ == 0 ? 0.0
-                          : static_cast<double>(tasks_missed_) /
-                                static_cast<double>(tasks_done_);
+  return control_.task_miss_ratio();
 }
 
 const CdfModel& RemoteDispatcher::server_model(ServerId server) const {
   std::lock_guard lock(mu_);
-  return estimator_.model_of(server);
+  return control_.model_of(server);
 }
 
 // ------------------------------------------------------------ task endings
@@ -259,15 +273,14 @@ void RemoteDispatcher::finish_task(QueryId query, bool missed, bool failed,
     ++tasks_failed_;
     ++it->second.result.tasks_failed;
   } else {
-    ++tasks_done_;
-    if (missed) {
-      ++tasks_missed_;
-      ++it->second.result.tasks_missed_deadline;
-    }
+    // Feeds the per-class miss accounting and the admission window: over
+    // the wire the dequeue-side miss flag arrives with the completion.
+    control_.record_task_dequeue(now_ms(), control_.query_state(query).cls,
+                                 missed);
+    if (missed) ++it->second.result.tasks_missed_deadline;
   }
   QueryState final_state;
-  if (tracker_.complete_task(query, &final_state)) {
-    ++completed_;
+  if (control_.complete_task(query, &final_state)) {
     it->second.result.latency_ms = now_ms() - final_state.t0;
     resolutions->emplace_back(std::move(it->second.promise),
                               it->second.result);
@@ -391,7 +404,7 @@ void RemoteDispatcher::handle_frame(ServerId server, const Frame& frame,
       if (!decode(frame, &msg)) break;
       // The observation is valid even when the task already timed out — the
       // server really took that long (online updating, §III.B.2).
-      estimator_.observe_post_queuing(server, msg.service_ms);
+      control_.observe_post_queuing(server, msg.service_ms);
       const auto it = in_flight_.find(msg.task);
       if (it == in_flight_.end()) break;  // late reply after timeout/failover
       const QueryId query = it->second.query;
@@ -404,7 +417,7 @@ void RemoteDispatcher::handle_frame(ServerId server, const Frame& frame,
       ModelSyncMsg sync;
       if (!decode(frame, &sync)) break;
       for (double s : sync.samples_ms)
-        estimator_.observe_post_queuing(server, s);
+        control_.observe_post_queuing(server, s);
       break;
     }
     case MsgType::kStatsResponse: {

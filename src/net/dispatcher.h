@@ -32,8 +32,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "core/deadline.h"
-#include "core/query_tracker.h"
+#include "core/control_plane.h"
 #include "net/socket.h"
 #include "net/wire.h"
 #include "runtime/service.h"
@@ -70,6 +69,10 @@ struct DispatcherOptions {
   TimeMs task_timeout_ms = 5000.0;
   TimeMs reconnect_initial_backoff_ms = 25.0;
   TimeMs reconnect_max_backoff_ms = 1000.0;
+  /// Query admission control (§III.C); disabled when unset. The window is
+  /// fed by TaskDone miss flags, so the distributed deployment sheds load
+  /// exactly like the in-process runtime.
+  std::optional<AdmissionOptions> admission;
   std::uint64_t seed = 42;
   std::string name = "tailguard-dispatcher";
 };
@@ -110,6 +113,7 @@ class RemoteDispatcher {
   std::size_t num_servers() const { return servers_.size(); }
   std::size_t alive_servers() const;
   std::uint64_t completed_queries() const;
+  std::uint64_t rejected_queries() const;
   std::uint64_t failed_tasks() const;
   double deadline_miss_ratio() const;
   const CdfModel& server_model(ServerId server) const;
@@ -171,16 +175,17 @@ class RemoteDispatcher {
   mutable std::mutex mu_;
   std::condition_variable alive_cv_;
   std::vector<ServerConn> servers_;
-  DeadlineEstimator estimator_;
-  QueryTracker tracker_;
+  /// The shared query-handler pipeline (core/control_plane.h): admission,
+  /// Eq. 6/7 budgets, t_D and ordering keys, query tracking, per-class miss
+  /// accounting, online model updates. Guarded by mu_.
+  QueryControlPlane control_;
   std::unordered_map<QueryId, PendingQuery> pending_;
   std::unordered_map<TaskId, InFlightTask> in_flight_;
   std::multimap<TimeMs, TaskId> timeouts_;
-  Rng rng_;
   TaskId next_task_id_ = 0;
-  std::uint64_t completed_ = 0;
-  std::uint64_t tasks_done_ = 0;
-  std::uint64_t tasks_missed_ = 0;
+  /// Queries that degraded to an immediate all-tasks-failed result without
+  /// ever registering with the control plane (no server reachable).
+  std::uint64_t degraded_queries_ = 0;
   std::uint64_t tasks_failed_ = 0;
 
   std::thread net_thread_;

@@ -18,17 +18,24 @@ std::vector<std::shared_ptr<CdfModel>> make_worker_models(
         std::make_shared<StreamingCdfModel>(options.model_options));
   return models;
 }
+
+ControlPlaneOptions make_control_plane_options(const ServiceOptions& options) {
+  ControlPlaneOptions cp;
+  cp.policy = options.policy;
+  cp.classes = options.classes;
+  cp.admission = options.admission;
+  cp.seed = options.seed;
+  return cp;
+}
 }  // namespace
 
 TailGuardService::TailGuardService(ServiceOptions options)
     : options_(std::move(options)),
       epoch_(std::chrono::steady_clock::now()),
-      estimator_(make_worker_models(options_)),
-      rng_(options_.seed) {
+      control_(make_control_plane_options(options_),
+               make_worker_models(options_)) {
   TG_CHECK_MSG(options_.num_workers >= 1, "need at least one worker");
   TG_CHECK_MSG(!options_.classes.empty(), "need at least one service class");
-  for (const auto& spec : options_.classes) estimator_.add_class(spec);
-  if (options_.admission) admission_.emplace(*options_.admission);
 
   const auto clock = [this] { return now_ms(); };
   const auto on_complete = [this](ServerId worker, const RuntimeTask& task,
@@ -59,7 +66,7 @@ void TailGuardService::seed_profile(std::span<const double> samples_ms) {
   std::lock_guard lock(mu_);
   for (std::size_t w = 0; w < workers_.size(); ++w)
     for (double s : samples_ms)
-      estimator_.observe_post_queuing(static_cast<ServerId>(w), s);
+      control_.observe_post_queuing(static_cast<ServerId>(w), s);
 }
 
 std::vector<ServerId> TailGuardService::pick_workers(std::size_t count) {
@@ -69,7 +76,7 @@ std::vector<ServerId> TailGuardService::pick_workers(std::size_t count) {
   std::vector<PlacementCandidate> load;
   load.reserve(workers_.size());
   for (const auto& w : workers_) load.emplace_back(w->queue_depth(), w->id());
-  return pick_least_loaded(std::move(load), count, rng_);
+  return control_.place_least_loaded(std::move(load), count);
 }
 
 std::future<QueryResult> TailGuardService::submit(
@@ -85,7 +92,6 @@ std::future<QueryResult> TailGuardService::submit(
   std::vector<ServerId> placement(tasks.size());
   std::vector<RuntimeTask> runtime_tasks(tasks.size());
   TimeMs order_deadline = 0.0;
-  TimeMs tail_deadline = 0.0;
   QueryId qid = 0;
 
   {
@@ -110,9 +116,8 @@ std::future<QueryResult> TailGuardService::submit(
     }
 
     // Admission decision (paper §III.C).
-    if (admission_ && !admission_->should_admit(t0)) {
-      admission_->count_rejected();
-      ++rejected_;
+    if (!control_.should_admit(t0)) {
+      control_.count_rejected();
       QueryResult r;
       r.cls = cls;
       r.fanout = static_cast<std::uint32_t>(tasks.size());
@@ -120,33 +125,20 @@ std::future<QueryResult> TailGuardService::submit(
       promise.set_value(r);
       return future;
     }
-    if (admission_) admission_->count_admitted();
+    control_.count_admitted();
 
-    // Task queuing deadline: Eq. 6, or the caller-imposed budget (Eq. 7
-    // request decomposition).
-    tail_deadline = budget_override ? t0 + *budget_override
-                                    : estimator_.deadline(t0, cls, placement);
-    switch (options_.policy) {
-      case Policy::kTfEdf:
-        order_deadline = tail_deadline;
-        break;
-      case Policy::kTEdf:
-        order_deadline = estimator_.slo_deadline(t0, cls);
-        break;
-      case Policy::kFifo:
-      case Policy::kPriq:
-        order_deadline = t0;
-        break;
-    }
-
-    qid = tracker_.begin_query(t0, cls, static_cast<std::uint32_t>(tasks.size()),
-                               tail_deadline);
+    // Budget (Eq. 6, or the caller-imposed Eq. 7 override), t_D and the
+    // ordering key all come from the control plane.
+    const QueryPlan plan =
+        control_.begin_query(t0, cls, placement, budget_override);
+    qid = plan.id;
+    order_deadline = plan.order_deadline;
     PendingQuery pending;
     pending.promise = std::move(promise);
     pending.result.id = qid;
     pending.result.cls = cls;
     pending.result.fanout = static_cast<std::uint32_t>(tasks.size());
-    pending.result.deadline_budget_ms = tail_deadline - t0;
+    pending.result.deadline_budget_ms = plan.budget_ms;
     pending_.emplace(qid, std::move(pending));
 
     for (std::size_t i = 0; i < tasks.size(); ++i) {
@@ -173,23 +165,20 @@ void TailGuardService::on_task_complete(ServerId worker,
   bool finished = false;
   {
     std::lock_guard lock(mu_);
-    const QueryState& qs = tracker_.state(task.query);
+    const QueryState& qs = control_.query_state(task.query);
     const bool missed = dequeue_ms > qs.deadline;
-    ++tasks_done_;
-    if (missed) ++tasks_missed_;
-    if (admission_) admission_->record_task_dequeue(dequeue_ms, missed);
+    control_.record_task_dequeue(dequeue_ms, task.cls, missed);
 
     // Online updating (§III.B.2): post-queuing time = completion - dequeue.
-    estimator_.observe_post_queuing(worker, complete_ms - dequeue_ms);
+    control_.observe_post_queuing(worker, complete_ms - dequeue_ms);
 
     auto it = pending_.find(task.query);
     TG_CHECK_MSG(it != pending_.end(), "no pending entry for query");
     if (missed) ++it->second.result.tasks_missed_deadline;
 
     QueryState final_state;
-    if (tracker_.complete_task(task.query, &final_state)) {
+    if (control_.complete_task(task.query, &final_state)) {
       finished = true;
-      ++completed_;
       it->second.result.latency_ms = complete_ms - final_state.t0;
       result = it->second.result;
       to_fulfill = std::move(it->second.promise);
@@ -201,24 +190,22 @@ void TailGuardService::on_task_complete(ServerId worker,
 
 std::uint64_t TailGuardService::completed_queries() const {
   std::lock_guard lock(mu_);
-  return completed_;
+  return control_.queries_completed();
 }
 
 std::uint64_t TailGuardService::rejected_queries() const {
   std::lock_guard lock(mu_);
-  return rejected_;
+  return control_.queries_rejected();
 }
 
 double TailGuardService::deadline_miss_ratio() const {
   std::lock_guard lock(mu_);
-  return tasks_done_ == 0 ? 0.0
-                          : static_cast<double>(tasks_missed_) /
-                                static_cast<double>(tasks_done_);
+  return control_.task_miss_ratio();
 }
 
 const CdfModel& TailGuardService::worker_model(ServerId worker) const {
   std::lock_guard lock(mu_);
-  return estimator_.model_of(worker);
+  return control_.model_of(worker);
 }
 
 }  // namespace tailguard

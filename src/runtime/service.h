@@ -25,8 +25,7 @@
 #include <vector>
 
 #include "core/admission.h"
-#include "core/deadline.h"
-#include "core/query_tracker.h"
+#include "core/control_plane.h"
 #include "runtime/worker.h"
 
 namespace tailguard {
@@ -122,17 +121,12 @@ class TailGuardService {
   std::chrono::steady_clock::time_point epoch_;
 
   mutable std::mutex mu_;
-  DeadlineEstimator estimator_;
-  QueryTracker tracker_;
+  /// The shared query-handler pipeline (core/control_plane.h): admission,
+  /// Eq. 6/7 budgets, t_D and ordering keys, query tracking, per-class miss
+  /// accounting, online model updates. Guarded by mu_.
+  QueryControlPlane control_;
   std::unordered_map<QueryId, PendingQuery> pending_;
-  std::optional<AdmissionController> admission_;
-  Rng rng_;
   TaskId next_task_id_ = 0;
-  std::uint64_t completed_ = 0;
-  std::uint64_t rejected_ = 0;
-  std::uint64_t tasks_done_ = 0;
-  std::uint64_t tasks_missed_ = 0;
-  std::condition_variable drain_cv_;
 
   // Workers last: their threads must stop before the state above dies, and
   // member destruction order (reverse declaration) guarantees it.

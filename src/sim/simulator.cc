@@ -7,7 +7,6 @@
 
 #include "common/check.h"
 #include "common/stats.h"
-#include "core/query_tracker.h"
 #include "dist/arrival.h"
 
 namespace tailguard {
@@ -268,12 +267,24 @@ SimResult run_simulation(const SimConfig& config) {
   }
   TG_CHECK_MSG(per_server.size() == config.num_servers,
                "per_server_service size must equal num_servers");
+  TG_CHECK_MSG(config.server_models.empty() ||
+                   config.server_models.size() == config.num_servers,
+               "server_models size must equal num_servers");
 
-  // --- deadline estimator --------------------------------------------------
-  DeadlineEstimator estimator(build_models(per_server, config.estimation,
-                                           config.offline_seed_samples,
-                                           estimation_rng));
-  for (const auto& spec : config.classes) estimator.add_class(spec);
+  // --- control plane -------------------------------------------------------
+  // Owns the whole Fig. 2 query-handler pipeline (admission, Eq. 6/7
+  // budgets, t_D, tracking, per-class accounting); the simulator is just the
+  // event-driven execution backend around it.
+  ControlPlaneOptions cp_options;
+  cp_options.policy = config.policy;
+  cp_options.classes = config.classes;
+  cp_options.admission = config.admission;
+  QueryControlPlane control(
+      std::move(cp_options),
+      !config.server_models.empty()
+          ? config.server_models
+          : build_models(per_server, config.estimation,
+                         config.offline_seed_samples, estimation_rng));
 
   // --- arrival process ------------------------------------------------------
   std::unique_ptr<ArrivalProcess> arrivals;
@@ -335,11 +346,8 @@ SimResult run_simulation(const SimConfig& config) {
                                 default_placement);
 
   // --- bookkeeping -------------------------------------------------------------
-  QueryTracker tracker;
   std::vector<bool> record_query_flag;  // indexed by admitted QueryId
   MetricsCollector metrics;
-  std::optional<AdmissionController> admission;
-  if (config.admission) admission.emplace(*config.admission);
 
   // Request mode state.
   struct RequestState {
@@ -394,9 +402,10 @@ SimResult run_simulation(const SimConfig& config) {
     sv.current_started = t;
     sv.current_recorded =
         task.query < record_query_flag.size() && record_query_flag[task.query];
-    sv.current_missed = t > tracker.state(task.query).deadline + 1e-12;
+    sv.current_missed =
+        t > control.query_state(task.query).deadline + 1e-12;
     if (!defer_result_accounting) {
-      if (admission) admission->record_task_dequeue(t, sv.current_missed);
+      control.record_task_dequeue(t, task.cls, sv.current_missed);
       if (sv.current_recorded) metrics.record_task_dequeue(sv.current_missed);
     }
     const TimeMs service = task.service_time * scale_at(t, sid);
@@ -441,36 +450,23 @@ SimResult run_simulation(const SimConfig& config) {
     place(rng, cls, kf, chosen);
     TG_DCHECK(chosen.size() == kf);
 
-    // Queuing deadline for statistics (and EDF ordering). In request mode
-    // the budget_ms comes from the request decomposition; otherwise Eq. 6.
-    TimeMs budget_ms = 0.0;
+    // The control plane computes the budget (Eq. 6, or the Eq. 7 request
+    // decomposition via the override), the shared t_D and the policy
+    // ordering key, and registers the query. Request mode judges T-EDFQ
+    // ordering by the request-level SLO.
+    std::optional<TimeMs> budget_override;
+    std::optional<TimeMs> order_slo_ms;
     if (request_mode) {
-      budget_ms = config.request->query_budgets[request_query_idx];
-    } else {
-      budget_ms = estimator.budget(cls, chosen);
+      budget_override = config.request->query_budgets[request_query_idx];
+      order_slo_ms = config.request->request_slo.slo_ms;
     }
-    const TimeMs tail_deadline = t + budget_ms;
-
-    const QueryId qid = tracker.begin_query(t, cls, kf, tail_deadline);
+    const QueryPlan plan =
+        control.begin_query(t, cls, chosen, budget_override, order_slo_ms);
+    const QueryId qid = plan.id;
     TG_DCHECK(qid == record_query_flag.size());
     record_query_flag.push_back(record);
     if (request_id != ~0ULL) query_request.emplace(qid, request_id);
-
-    TimeMs order_deadline = 0.0;
-    switch (config.policy) {
-      case Policy::kTfEdf:
-        order_deadline = tail_deadline;
-        break;
-      case Policy::kTEdf:
-        order_deadline = request_mode
-                             ? t + config.request->request_slo.slo_ms
-                             : estimator.slo_deadline(t, cls);
-        break;
-      case Policy::kFifo:
-      case Policy::kPriq:
-        order_deadline = t;  // unused for ordering
-        break;
-    }
+    if (config.on_query_planned) config.on_query_planned(plan);
 
     for (std::uint32_t k = 0; k < kf; ++k) {
       const ServerId sid = chosen[k];
@@ -478,11 +474,12 @@ SimResult run_simulation(const SimConfig& config) {
       task.query = qid;
       task.cls = cls;
       task.enqueue_time = t;
-      task.deadline = order_deadline;
+      task.deadline = plan.order_deadline;
       if (config.policy == Policy::kTfEdf && config.task_budget_jitter > 0.0) {
         // Footnote-4 ablation: individually jittered ordering budgets.
         const double u = rng.uniform(-1.0, 1.0);
-        task.deadline = t + budget_ms * (1.0 + config.task_budget_jitter * u);
+        task.deadline =
+            t + plan.budget_ms * (1.0 + config.task_budget_jitter * u);
       }
       // Pre-sample the service demand (common random numbers across
       // policies).
@@ -506,15 +503,15 @@ SimResult run_simulation(const SimConfig& config) {
                                  bool recorded) {
     if (config.estimation == EstimationMode::kOnlineStreaming ||
         config.estimation == EstimationMode::kOnlineFromSingleProfile)
-      estimator.observe_post_queuing(server, t - dequeue_time);
+      control.observe_post_queuing(server, t - dequeue_time);
 
     if (defer_result_accounting) {
-      if (admission) admission->record_task_dequeue(t, missed);
+      control.record_task_dequeue(t, control.query_state(query).cls, missed);
       if (recorded) metrics.record_task_dequeue(missed);
     }
 
     QueryState finished;
-    if (!tracker.complete_task(query, &finished)) return;
+    if (!control.complete_task(query, &finished)) return;
     if (recorded)
       metrics.record_query(finished.cls, finished.fanout, t - finished.t0);
 
@@ -582,14 +579,18 @@ SimResult run_simulation(const SimConfig& config) {
         }
       }
 
-      // Admission decision (per arrival: per query, or per request).
-      if (admission && !admission->should_admit(now, rng.uniform())) {
-        admission->count_rejected();
+      // Admission decision (per arrival: per query, or per request). The
+      // coin is drawn from the simulator's own Rng so the event stream stays
+      // replayable; the short-circuit keeps the draw out of admission-free
+      // runs.
+      if (control.admission_enabled() &&
+          !control.should_admit(now, rng.uniform())) {
+        control.count_rejected();
         ++result.queries_rejected;
         result.tasks_rejected += kf;
         continue;
       }
-      if (admission) admission->count_admitted();
+      control.count_admitted();
       ++result.queries_admitted;
       result.tasks_admitted += kf;
 

@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "core/admission.h"
-#include "core/deadline.h"
+#include "core/control_plane.h"
 #include "core/policy.h"
 #include "dist/distribution.h"
 #include "sim/metrics.h"
@@ -110,6 +110,17 @@ struct SimConfig {
   /// Offline profiling sample size per model (kOfflineEmpirical /
   /// kOnlineStreaming).
   std::size_t offline_seed_samples = 20000;
+
+  /// When non-empty, these models (one per server; shared_ptr identity forms
+  /// the groups) are handed to the control plane verbatim and `estimation` /
+  /// `offline_seed_samples` are ignored. Lets cross-backend tests drive the
+  /// simulator with the exact models another backend uses.
+  std::vector<std::shared_ptr<CdfModel>> server_models;
+
+  /// Observer called once per admitted query with the control plane's
+  /// decision (budget, t_D, ordering key). Purely observational — used by
+  /// the cross-backend parity tests.
+  std::function<void(const QueryPlan&)> on_query_planned;
 
   /// Admission control (paper §III.C); disabled when unset.
   std::optional<AdmissionOptions> admission;

@@ -1,0 +1,22 @@
+// A backend owning the scheduling components directly. Linted under
+// src/sim/, src/runtime/, src/net/ or src/sas/ every component mention
+// below must fire control-plane-boundary; anywhere else the same bytes
+// are legal (core owns the parts, tests may poke them).
+#include "core/admission.h"
+#include "core/deadline.h"
+#include "core/query_tracker.h"
+
+namespace tailguard {
+
+struct HomegrownBackend {
+  DeadlineEstimator estimator;
+  QueryTracker tracker;
+  AdmissionController admission{AdmissionOptions{}};
+};
+
+double plan_next(HomegrownBackend& b) {
+  if (!b.admission.should_admit(0.0, 0.5)) return -1.0;
+  return b.estimator.budget(0, {});
+}
+
+}  // namespace tailguard

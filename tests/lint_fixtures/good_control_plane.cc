@@ -1,0 +1,21 @@
+// The same backend built the sanctioned way: it drives a QueryControlPlane
+// and never names the underlying components, so it lints clean even under
+// the backend directories the boundary rule watches.
+#include "core/control_plane.h"
+
+namespace tailguard {
+
+struct ThinBackend {
+  QueryControlPlane control;
+};
+
+double plan_next(ThinBackend& b, TimeMs now_ms) {
+  if (b.control.admission_enabled() && !b.control.should_admit(now_ms)) {
+    b.control.count_rejected();
+    return -1.0;
+  }
+  b.control.count_admitted();
+  return b.control.budget(0, {});
+}
+
+}  // namespace tailguard

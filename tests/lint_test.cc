@@ -150,6 +150,37 @@ TEST(LintTest, SockaddrCastStaysLegal) {
   EXPECT_TRUE(lint_fixture("good_wire.cc", "src/net/good_wire.cc").empty());
 }
 
+TEST(LintTest, BadControlPlaneFiresInEveryBackend) {
+  for (const std::string path :
+       {"src/sim/bad_control_plane.cc", "src/runtime/bad_control_plane.cc",
+        "src/net/bad_control_plane.cc", "src/sas/bad_control_plane.cc"}) {
+    const auto diags = lint_fixture("bad_control_plane.cc", path);
+    EXPECT_EQ(rules_of(diags), std::set<std::string>{"control-plane-boundary"})
+        << path;
+    // One finding per component member: DeadlineEstimator, QueryTracker,
+    // AdmissionController.
+    EXPECT_EQ(count_rule(diags, "control-plane-boundary"), 3) << path;
+  }
+}
+
+TEST(LintTest, ControlPlaneComponentsLegalOutsideBackends) {
+  // core owns the components, and tests/tools may exercise them directly.
+  for (const std::string path :
+       {"src/core/bad_control_plane.cc", "tests/bad_control_plane.cc",
+        "tools/bad_control_plane.cc"}) {
+    EXPECT_EQ(count_rule(lint_fixture("bad_control_plane.cc", path),
+                         "control-plane-boundary"),
+              0)
+        << path;
+  }
+}
+
+TEST(LintTest, GoodControlPlaneIsClean) {
+  EXPECT_TRUE(
+      lint_fixture("good_control_plane.cc", "src/net/good_control_plane.cc")
+          .empty());
+}
+
 TEST(LintTest, SuppressionsSilenceEveryForm) {
   // Same-line allow, line-above allow, multi-rule allow, allow(all).
   EXPECT_TRUE(lint_fixture("suppressed.cc", "src/sim/suppressed.cc").empty());
@@ -186,7 +217,8 @@ TEST(LintTest, RuleSummaryMentionsEveryRule) {
   const std::string summary = rule_summary();
   for (const std::string rule :
        {"determinism-random", "determinism-clock", "time-units",
-        "lock-discipline", "header-hygiene", "wire-safety"}) {
+        "lock-discipline", "header-hygiene", "wire-safety",
+        "control-plane-boundary"}) {
     EXPECT_NE(summary.find(rule), std::string::npos) << rule;
   }
 }

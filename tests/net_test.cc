@@ -464,6 +464,47 @@ TEST(RemoteDispatcher, TaskTimeoutFailsQueryNotHang) {
   EXPECT_EQ(dispatcher.submit(0, std::move(ok)).get().tasks_failed, 0u);
 }
 
+TEST(RemoteDispatcher, AdmissionControlShedsLoadBeforeTheWire) {
+  auto fleet = start_fleet(1, Policy::kTfEdf, 1);
+  auto options = dispatcher_options(fleet, Policy::kTfEdf,
+                                    {{.slo_ms = 50.0, .percentile = 99.0}});
+  AdmissionOptions admission;
+  admission.window_tasks = 100000;
+  admission.window_ms = 1e9;  // effectively unbounded for this test
+  admission.miss_ratio_threshold = 0.0005;
+  admission.mode = AdmissionMode::kOnOff;
+  options.admission = admission;
+  net::RemoteDispatcher dispatcher(options);
+  ASSERT_TRUE(dispatcher.wait_for_servers(1, 5000.0));
+
+  // Poison the miss window: a negative budget override makes the task late
+  // by construction, so its TaskDone carries missed_deadline=true and the
+  // dispatcher's admission window sees a 100% miss ratio.
+  std::vector<net::RemoteTaskSpec> late(1);
+  late[0].simulated_service_ms = 0.2;
+  const QueryResult poison =
+      dispatcher.submit(0, std::move(late), /*budget_override=*/-1.0).get();
+  EXPECT_TRUE(poison.admitted);
+  EXPECT_EQ(poison.tasks_missed_deadline, 1u);
+  EXPECT_EQ(fleet[0]->tasks_executed(), 1u);
+
+  // Every new query is now rejected at the dispatcher: resolved immediately
+  // with admitted=false, never serialized onto a connection.
+  for (int q = 0; q < 10; ++q) {
+    std::vector<net::RemoteTaskSpec> tasks(2);
+    for (auto& t : tasks) t.simulated_service_ms = 0.2;
+    const QueryResult r = dispatcher.submit(0, std::move(tasks)).get();
+    EXPECT_FALSE(r.admitted);
+    EXPECT_EQ(r.tasks_failed, 0u);
+  }
+  EXPECT_EQ(dispatcher.rejected_queries(), 10u);
+  EXPECT_EQ(dispatcher.completed_queries(), 1u);
+  EXPECT_EQ(dispatcher.failed_tasks(), 0u);
+  // Rejected queries never hit the wire: the daemon still saw only the
+  // poison task.
+  EXPECT_EQ(fleet[0]->tasks_executed(), 1u);
+}
+
 // The acceptance scenario: a 4-daemon fleet under TF-EDFQ on the quickstart
 // workload meets per-(class,fanout) SLOs, matching the in-process runtime on
 // the same workload; killing a daemon mid-run degrades gracefully and the

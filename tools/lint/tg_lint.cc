@@ -461,6 +461,33 @@ void check_wire_safety(const FileCtx& ctx) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// control-plane-boundary — backends drive the control plane, never the parts
+// ---------------------------------------------------------------------------
+
+void check_control_plane_boundary(const FileCtx& ctx) {
+  if (!ctx.in_dir("src/sim/") && !ctx.in_dir("src/runtime/") &&
+      !ctx.in_dir("src/net/") && !ctx.in_dir("src/sas/"))
+    return;
+  static constexpr std::array<std::string_view, 3> kComponents = {
+      "DeadlineEstimator", "QueryTracker", "AdmissionController"};
+  for (std::size_t i = 0; i < ctx.code_lines.size(); ++i) {
+    const std::string_view line = ctx.code_lines[i];
+    for (const auto token : kComponents) {
+      if (find_word(line, token) != std::string_view::npos) {
+        ctx.report(static_cast<int>(i) + 1, "control-plane-boundary",
+                   "'" + std::string(token) +
+                       "' referenced in an execution backend; the per-query "
+                       "pipeline (admission, Eq. 6/7 budgets, placement, t_D, "
+                       "tracking, accounting) lives in core/control_plane.h — "
+                       "drive a QueryControlPlane instead of owning its parts, "
+                       "so scheduling changes land once, not per backend");
+        break;
+      }
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<Diagnostic> lint_source(const std::string& rel_path,
@@ -479,6 +506,7 @@ std::vector<Diagnostic> lint_source(const std::string& rel_path,
   check_lock_discipline(ctx);
   check_header_hygiene(ctx);
   check_wire_safety(ctx);
+  check_control_plane_boundary(ctx);
 
   std::sort(diags.begin(), diags.end(), [](const auto& a, const auto& b) {
     return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
@@ -548,6 +576,9 @@ std::string rule_summary() {
       "namespace' in headers\n"
       "wire-safety         no reinterpret_cast/memcpy in src/net outside "
       "wire.cc (sockaddr exempt)\n"
+      "control-plane-boundary  src/sim, src/runtime, src/net and src/sas "
+      "must drive core/control_plane.h, not DeadlineEstimator/QueryTracker/"
+      "AdmissionController directly\n"
       "\nSuppress a finding with '// tg-lint: allow(<rule>)' on the line or "
       "the line above.\n";
 }
