@@ -47,6 +47,76 @@ BENCHMARK_CAPTURE(BM_QueuePushPop, tf_edf, Policy::kTfEdf)
     ->Arg(100)
     ->Arg(10000);
 
+// ------------------------------------------ EDF backends: wheel vs heap
+//
+// Steady-state push+pop against both pop-order-identical EDF structures,
+// swept across queue depth (1e2..1e6) and deadline distribution:
+//   * uniform    — deadlines spread over ~4000 wheel ticks; the calendar
+//                  queue's O(1) bucketing should shine as depth grows,
+//   * clustered  — deadlines pile up around a few class SLOs (the realistic
+//                  TailGuard shape: every class maps arrivals to t0 + SLO),
+//   * same_bucket — adversarial: every deadline lands inside ONE 0.25 ms
+//                  wheel tick, collapsing the wheel to a single slot whose
+//                  in-slot ordering does all the work. This is the wheel's
+//                  worst case and bounds the regression vs the heap.
+
+enum class DeadlinePattern { kUniform, kClustered, kSameBucket };
+
+double draw_deadline(Rng& rng, DeadlinePattern pattern) {
+  switch (pattern) {
+    case DeadlinePattern::kUniform:
+      return rng.uniform(0.0, 1000.0);
+    case DeadlinePattern::kClustered: {
+      static constexpr double kSlos[] = {10.0, 50.0, 200.0};
+      return kSlos[rng.uniform_index(3)] + rng.uniform(0.0, 2.0);
+    }
+    case DeadlinePattern::kSameBucket:
+      // All inside one kDefaultTickMs=0.25 bucket.
+      return 500.0 + rng.uniform(0.0, 0.2);
+  }
+  return 0.0;
+}
+
+void BM_EdfQueueSweep(benchmark::State& state, EdfQueueImpl impl,
+                      DeadlinePattern pattern) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  const auto queue = make_task_queue(Policy::kTfEdf, 1, impl);
+  Rng rng(42);
+  std::vector<QueuedTask> seed(depth);
+  for (std::size_t i = 0; i < depth; ++i) {
+    seed[i].task = i;
+    seed[i].deadline = draw_deadline(rng, pattern);
+    queue->push(seed[i]);
+  }
+  QueuedTask t;
+  for (auto _ : state) {
+    t.deadline = draw_deadline(rng, pattern);
+    queue->push(t);
+    benchmark::DoNotOptimize(queue->pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+#define TG_EDF_SWEEP(name, impl, pattern)                        \
+  BENCHMARK_CAPTURE(BM_EdfQueueSweep, name, impl, pattern)       \
+      ->RangeMultiplier(10)                                      \
+      ->Range(100, 1000000)
+
+TG_EDF_SWEEP(wheel_uniform, EdfQueueImpl::kTimerWheel,
+             DeadlinePattern::kUniform);
+TG_EDF_SWEEP(heap_uniform, EdfQueueImpl::kBinaryHeap,
+             DeadlinePattern::kUniform);
+TG_EDF_SWEEP(wheel_clustered, EdfQueueImpl::kTimerWheel,
+             DeadlinePattern::kClustered);
+TG_EDF_SWEEP(heap_clustered, EdfQueueImpl::kBinaryHeap,
+             DeadlinePattern::kClustered);
+TG_EDF_SWEEP(wheel_same_bucket, EdfQueueImpl::kTimerWheel,
+             DeadlinePattern::kSameBucket);
+TG_EDF_SWEEP(heap_same_bucket, EdfQueueImpl::kBinaryHeap,
+             DeadlinePattern::kSameBucket);
+
+#undef TG_EDF_SWEEP
+
 // --------------------------------------------------- deadline estimation
 
 void BM_DeadlineCached(benchmark::State& state) {

@@ -130,6 +130,11 @@ int main() {
       .add("mean_ms", remote.mean)
       .add("p50_ms", remote.p50)
       .add("p99_ms", remote.p99);
+  // Fanout-1 queries, so per-query overhead == per-task overhead.
+  report.row()
+      .add("measurement", "dispatch_overhead_per_task")
+      .add("mean_ms", remote.mean - local.mean)
+      .add("p99_ms", remote.p99 - local.p99);
 
   // --- loaded tails ------------------------------------------------------
   const std::size_t loaded_queries = bench::queries(400);

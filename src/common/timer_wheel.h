@@ -1,0 +1,207 @@
+// Hierarchical timer wheel (calendar queue) with *exact* pop order.
+//
+// Classic timing wheels trade ordering precision for O(1) inserts: items
+// within one slot pop in arbitrary order. That is unusable here — the
+// deterministic core promises bit-identical schedules (DESIGN.md), so the
+// wheel must pop in exactly the order a binary heap over `ExactLess` would.
+// The fix is hybrid: the wheel's slots provide coarse O(1) radix ordering by
+// tick, and each slot keeps a small binary heap on the exact comparator for
+// everything that collides. Pop cost is O(log slot-occupancy) instead of
+// O(log n); with a sane tick size slot occupancy is a small constant.
+//
+// Layout: kLevels levels of kSlots slots each. Level l slot width is
+// 64^l ticks, so the in-wheel horizon is 64^kLevels ticks (= 2^24 for the
+// default 4 levels); items beyond it go to an overflow heap that is drained
+// level-by-level as the wheel advances. Per-level occupancy bitmasks make
+// "first non-empty slot" a countr_zero.
+//
+// Ordering contract (the part the parity tests pin down):
+//   * ticks are floor(key / tick_ms), so tick(a) < tick(b) implies
+//     key(a) < key(b) — cross-slot order is always consistent with ExactLess;
+//   * equal ticks land in the same slot heap, ordered by ExactLess;
+//   * keys earlier than the wheel's current position (monotonicity-violating
+//     pushes) are clamped *into* the current slot, which preserves exactness
+//     because every occupied later slot holds strictly larger keys.
+//
+// The wheel's cursor only moves forward while non-empty; it re-anchors when
+// the structure empties. `ExactLess` must be a strict total order (ties
+// broken by a unique sequence number) and `KeyMs` must be monotone w.r.t.
+// it: ExactLess(a, b) implies KeyMs(a) <= KeyMs(b).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace tailguard {
+
+template <typename T, typename ExactLess, typename KeyMs>
+class TimerWheel {
+ public:
+  explicit TimerWheel(double tick_ms, ExactLess less = ExactLess{},
+                      KeyMs key = KeyMs{})
+      : inv_tick_(1.0 / tick_ms), less_(less), key_(key), later_{less} {
+    TG_CHECK_MSG(tick_ms > 0.0, "timer wheel tick must be positive");
+    occ_.fill(0);
+  }
+
+  void push(T item) {
+    const std::int64_t t = tick_of(key_(item));
+    if (size_ == 0) cur_ = t;  // re-anchor an empty wheel
+    place(std::move(item), t < cur_ ? cur_ : t);
+    ++size_;
+    if (occ_[0] == 0) settle();
+  }
+
+  /// Removes and returns the global minimum under ExactLess.
+  /// Precondition: !empty().
+  T pop() {
+    TG_DCHECK(size_ > 0);
+    const int j = std::countr_zero(occ_[0]);
+    std::vector<T>& slot = slots_[static_cast<std::size_t>(j)];
+    std::pop_heap(slot.begin(), slot.end(), later_);
+    T out = std::move(slot.back());
+    slot.pop_back();
+    if (slot.empty()) occ_[0] &= ~(std::uint64_t{1} << j);
+    --size_;
+    if (size_ != 0 && occ_[0] == 0) settle();
+    return out;
+  }
+
+  /// The item pop() would return. Precondition: !empty().
+  const T& peek() const {
+    TG_DCHECK(size_ > 0);
+    return slots_[static_cast<std::size_t>(std::countr_zero(occ_[0]))].front();
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  static constexpr int kSlotBits = 6;
+  static constexpr int kSlots = 1 << kSlotBits;  // 64
+  static constexpr int kLevels = 4;
+  // Clamp ticks well inside int64 so window arithmetic cannot overflow even
+  // for infinite or absurd keys (kNoTime is -inf).
+  static constexpr std::int64_t kMaxTick = std::int64_t{1} << 62;
+
+  struct LaterOnHeap {
+    ExactLess less;
+    bool operator()(const T& a, const T& b) const { return less(b, a); }
+  };
+
+  std::int64_t tick_of(double key_ms) const {
+    const double t = std::floor(key_ms * inv_tick_);
+    if (!(t > static_cast<double>(-kMaxTick))) return -kMaxTick;
+    if (t >= static_cast<double>(kMaxTick)) return kMaxTick;
+    return static_cast<std::int64_t>(t);
+  }
+
+  std::vector<T>& slot_at(int level, int idx) {
+    return slots_[static_cast<std::size_t>(level * kSlots + idx)];
+  }
+
+  void heap_push(std::vector<T>& heap, T&& item) {
+    // First touch of a slot skips the 1→2→4 growth chain; capacity is never
+    // released afterwards (pop_back keeps it), so steady state is malloc-free.
+    if (heap.capacity() == 0) heap.reserve(4);
+    heap.push_back(std::move(item));
+    std::push_heap(heap.begin(), heap.end(), later_);
+  }
+
+  /// Files `item` (tick `t`, already clamped to >= cur_) into the finest
+  /// level whose current window contains it, else the overflow heap.
+  void place(T&& item, std::int64_t t) {
+    for (int l = 0; l < kLevels; ++l) {
+      const int window_bits = kSlotBits * (l + 1);
+      if ((t >> window_bits) == (cur_ >> window_bits)) {
+        const int idx = static_cast<int>((t >> (kSlotBits * l)) & (kSlots - 1));
+        heap_push(slot_at(l, idx), std::move(item));
+        occ_[static_cast<std::size_t>(l)] |= std::uint64_t{1} << idx;
+        return;
+      }
+    }
+    heap_push(overflow_, std::move(item));
+  }
+
+  /// Re-establishes the invariant behind O(1) peek: whenever the wheel is
+  /// non-empty, level 0 is non-empty. Cascades the first occupied slot of
+  /// the finest occupied level down, pulling from overflow when the wheel
+  /// proper is empty.
+  void settle() {
+    while (occ_[0] == 0) {
+      int l = 1;
+      while (l < kLevels && occ_[static_cast<std::size_t>(l)] == 0) ++l;
+      if (l < kLevels) {
+        cascade(l);
+      } else if (!overflow_.empty()) {
+        refill_from_overflow();
+      } else {
+        return;  // wheel empty
+      }
+    }
+  }
+
+  /// Advances the cursor to the first occupied slot of level `l` and
+  /// redistributes its items into finer levels. Every item's tick lies in
+  /// that slot's range (clamped items only ever land on level 0), which is
+  /// exactly one window of level l-1 — so nothing moves backwards.
+  void cascade(int l) {
+    const int j = std::countr_zero(occ_[static_cast<std::size_t>(l)]);
+    occ_[static_cast<std::size_t>(l)] &= ~(std::uint64_t{1} << j);
+    std::vector<T>& slot = slot_at(l, j);
+    std::swap(scratch_, slot);  // keeps the slot's capacity for reuse
+    const int window_bits = kSlotBits * (l + 1);
+    const std::int64_t slot_span = std::int64_t{1} << (kSlotBits * l);
+    const std::int64_t base =
+        ((cur_ >> window_bits) << window_bits) + j * slot_span;
+    TG_DCHECK(base >= cur_);
+    cur_ = base;
+    for (T& item : scratch_) {
+      const std::int64_t t = tick_of(key_(item));
+      TG_DCHECK(t >= cur_);
+      place(std::move(item), t);
+    }
+    scratch_.clear();
+  }
+
+  /// All wheel levels are empty: re-anchor at the overflow minimum and move
+  /// over every overflow item inside the new coarsest window. The overflow
+  /// heap yields items in ExactLess order, and window membership is monotone
+  /// in the tick, so the drain can stop at the first item outside.
+  void refill_from_overflow() {
+    std::pop_heap(overflow_.begin(), overflow_.end(), later_);
+    T first = std::move(overflow_.back());
+    overflow_.pop_back();
+    cur_ = tick_of(key_(first));
+    place(std::move(first), cur_);
+    const std::int64_t horizon = cur_ >> (kSlotBits * kLevels);
+    while (!overflow_.empty() &&
+           (tick_of(key_(overflow_.front())) >> (kSlotBits * kLevels)) ==
+               horizon) {
+      std::pop_heap(overflow_.begin(), overflow_.end(), later_);
+      T item = std::move(overflow_.back());
+      overflow_.pop_back();
+      place(std::move(item), tick_of(key_(item)));
+    }
+  }
+
+  double inv_tick_;
+  ExactLess less_;
+  KeyMs key_;
+  LaterOnHeap later_;
+  std::array<std::vector<T>, kLevels * kSlots> slots_;
+  std::array<std::uint64_t, kLevels> occ_;
+  std::vector<T> overflow_;  // min-heap on ExactLess via later_
+  std::vector<T> scratch_;   // cascade staging, capacity recycled
+  std::int64_t cur_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace tailguard

@@ -110,6 +110,21 @@ TimeMs DeadlineEstimator::unloaded_query_quantile(ClassId cls,
   TG_CHECK_MSG(models_.size() == 1,
                "fanout-only lookup requires a homogeneous cluster");
   const ClassSpec& spec = class_spec(cls);
+  const std::size_t stride = server_group_.size() + 1;
+  if (fanout < stride) {
+    const std::size_t want = classes_.size() * stride;
+    if (flat_tags_.size() != want) {
+      flat_tags_.assign(want, 0);
+      flat_vals_.resize(want);
+    }
+    const std::size_t idx = cls * stride + fanout;
+    if (flat_tags_[idx] == version_sum_ + 1) return flat_vals_[idx];
+    const TimeMs value = homogeneous_unloaded_quantile(
+        *models_[0], fanout, spec.percentile / 100.0);
+    flat_tags_[idx] = version_sum_ + 1;
+    flat_vals_[idx] = value;
+    return value;
+  }
   const std::uint64_t key =
       (static_cast<std::uint64_t>(cls) << 32) | fanout;
   return cache_.get_or_compute(key, version_sum_, [&] {

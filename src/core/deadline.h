@@ -73,6 +73,14 @@ class DeadlineEstimator {
   std::vector<std::uint32_t> server_group_;        // server -> group index
   std::vector<ClassSpec> classes_;
   UnloadedQuantileCache cache_;
+  // Direct-mapped memo for the homogeneous (class, fanout) lookup — one
+  // slot per (class, fanout <= num_servers) pair, tagged with the model
+  // version it was computed at. This path runs once per query in the
+  // homogeneous configurations, where it replaces a hash probe with an
+  // indexed load. Entries with a stale tag recompute lazily, exactly like
+  // the hash cache's invalidate-on-version-change.
+  std::vector<std::uint64_t> flat_tags_;  // version_sum_ + 1, 0 = empty
+  std::vector<TimeMs> flat_vals_;
   /// Running Σ model version, maintained by observe_post_queuing — every
   /// model mutation goes through that method, so cache invalidation never
   /// needs the O(#groups) recompute on the lookup path.

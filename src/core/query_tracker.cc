@@ -8,28 +8,41 @@ QueryId QueryTracker::begin_query(TimeMs t0, ClassId cls, std::uint32_t fanout,
                                   TimeMs deadline) {
   TG_CHECK_MSG(fanout >= 1, "query must spawn at least one task");
   const QueryId id = next_id_++;
-  states_.emplace(id, QueryState{.t0 = t0,
-                                 .cls = cls,
-                                 .fanout = fanout,
-                                 .remaining = fanout,
-                                 .deadline = deadline});
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slab_.size());
+    slab_.emplace_back();
+  }
+  slab_[slot] = QueryState{.t0 = t0,
+                           .cls = cls,
+                           .fanout = fanout,
+                           .remaining = fanout,
+                           .deadline = deadline};
+  slot_by_id_.push_back(slot);
+  ++in_flight_;
   return id;
 }
 
 bool QueryTracker::complete_task(QueryId id, QueryState* finished) {
-  const auto it = states_.find(id);
-  TG_CHECK_MSG(it != states_.end(), "unknown query " << id);
-  TG_CHECK_MSG(it->second.remaining > 0, "query " << id << " over-completed");
-  if (--it->second.remaining > 0) return false;
-  if (finished != nullptr) *finished = it->second;
-  states_.erase(it);
+  const std::uint32_t slot = slot_of(id);
+  TG_CHECK_MSG(slot != kNoSlot, "unknown query " << id);
+  QueryState& st = slab_[slot];
+  TG_CHECK_MSG(st.remaining > 0, "query " << id << " over-completed");
+  if (--st.remaining > 0) return false;
+  if (finished != nullptr) *finished = st;
+  slot_by_id_[id] = kNoSlot;
+  free_slots_.push_back(slot);
+  --in_flight_;
   return true;
 }
 
 const QueryState& QueryTracker::state(QueryId id) const {
-  const auto it = states_.find(id);
-  TG_CHECK_MSG(it != states_.end(), "unknown query " << id);
-  return it->second;
+  const std::uint32_t slot = slot_of(id);
+  TG_CHECK_MSG(slot != kNoSlot, "unknown query " << id);
+  return slab_[slot];
 }
 
 }  // namespace tailguard

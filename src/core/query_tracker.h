@@ -3,10 +3,18 @@
 // Models the query-handler side of Fig. 2: a query spawns kf tasks; the
 // query finishes when the last task result has been merged, and the query
 // response time is that completion time minus t_0.
+//
+// Storage: query ids are dense (begin_query hands out 0, 1, 2, ...), so the
+// tracker is a slot slab plus an id -> slot table indexed directly by id —
+// every lookup is two array loads instead of a hash probe. complete_task and
+// state() sit on the per-task hot path of all three backends. The id table
+// grows by 4 bytes per query ever started and is never shrunk; slots of
+// finished queries are recycled through a freelist, so resident state is
+// proportional to the in-flight count.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
 #include "core/types.h"
 
@@ -32,11 +40,21 @@ class QueryTracker {
 
   const QueryState& state(QueryId id) const;
 
-  std::size_t in_flight() const { return states_.size(); }
+  std::size_t in_flight() const { return in_flight_; }
   std::uint64_t started() const { return next_id_; }
 
  private:
-  std::unordered_map<QueryId, QueryState> states_;
+  static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+
+  /// Slot of a live query, or kNoSlot if `id` is unknown or finished.
+  std::uint32_t slot_of(QueryId id) const {
+    return id < slot_by_id_.size() ? slot_by_id_[id] : kNoSlot;
+  }
+
+  std::vector<QueryState> slab_;          ///< slot -> state (recycled)
+  std::vector<std::uint32_t> slot_by_id_; ///< id -> slot, kNoSlot when done
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t in_flight_ = 0;
   QueryId next_id_ = 0;
 };
 

@@ -28,19 +28,6 @@ PiecewiseLinearQuantile::PiecewiseLinearQuantile(
   mean_ = m;
 }
 
-double PiecewiseLinearQuantile::quantile(double p) const {
-  TG_CHECK_MSG(p >= 0.0 && p <= 1.0, "quantile prob out of range: " << p);
-  // First anchor with anchor.p >= p.
-  const auto it = std::lower_bound(
-      anchors_.begin(), anchors_.end(), p,
-      [](const QuantileAnchor& a, double prob) { return a.p < prob; });
-  if (it == anchors_.begin()) return it->q;
-  const auto& hi = *it;
-  const auto& lo = *(it - 1);
-  const double frac = (p - lo.p) / (hi.p - lo.p);
-  return lo.q + frac * (hi.q - lo.q);
-}
-
 double PiecewiseLinearQuantile::cdf(double x) const {
   if (x <= anchors_.front().q) return 0.0;
   if (x >= anchors_.back().q) return 1.0;
@@ -54,10 +41,6 @@ double PiecewiseLinearQuantile::cdf(double x) const {
   if (hi.q <= lo.q) return hi.p;  // flat segment: jump in the CDF
   const double frac = (x - lo.q) / (hi.q - lo.q);
   return lo.p + frac * (hi.p - lo.p);
-}
-
-double PiecewiseLinearQuantile::sample(Rng& rng) const {
-  return quantile(rng.uniform());
 }
 
 double PiecewiseLinearQuantile::mean() const { return mean_; }

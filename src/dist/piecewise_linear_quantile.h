@@ -10,10 +10,12 @@
 // (the CDF) — everything the simulator and the order-statistics engine need.
 #pragma once
 
+#include <algorithm>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "dist/distribution.h"
 
 namespace tailguard {
@@ -32,9 +34,24 @@ class PiecewiseLinearQuantile final : public Distribution {
   PiecewiseLinearQuantile(std::vector<QuantileAnchor> anchors,
                           std::string name = "PiecewiseLinearQuantile");
 
-  double sample(Rng& rng) const override;
+  // sample()/quantile() are defined inline: the class is final, so a caller
+  // holding a concrete PiecewiseLinearQuantile* devirtualizes the call and
+  // inlines the whole per-task draw (the simulator does exactly this on its
+  // hot path; through a Distribution* nothing changes).
+  double sample(Rng& rng) const override { return quantile(rng.uniform()); }
   double cdf(double x) const override;
-  double quantile(double p) const override;
+  double quantile(double p) const override {
+    TG_CHECK_MSG(p >= 0.0 && p <= 1.0, "quantile prob out of range: " << p);
+    // First anchor with anchor.p >= p.
+    const auto it = std::lower_bound(
+        anchors_.begin(), anchors_.end(), p,
+        [](const QuantileAnchor& a, double prob) { return a.p < prob; });
+    if (it == anchors_.begin()) return it->q;
+    const auto& hi = *it;
+    const auto& lo = *(it - 1);
+    const double frac = (p - lo.p) / (hi.p - lo.p);
+    return lo.q + frac * (hi.q - lo.q);
+  }
   /// Closed form: sum over segments of dp * (q_i + q_{i+1}) / 2.
   double mean() const override;
   std::string name() const override { return name_; }

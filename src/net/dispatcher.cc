@@ -1,6 +1,5 @@
 #include "net/dispatcher.h"
 
-#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -42,6 +41,7 @@ RemoteDispatcher::RemoteDispatcher(DispatcherOptions options)
   TG_CHECK_MSG(!options_.servers.empty(), "need at least one task server");
   TG_CHECK_MSG(!options_.classes.empty(), "need at least one service class");
   TG_CHECK_MSG(options_.task_timeout_ms > 0.0, "task timeout must be positive");
+  poller_ = Poller::create();
   servers_.resize(options_.servers.size());
   for (std::size_t i = 0; i < servers_.size(); ++i) {
     servers_[i].spec = options_.servers[i];
@@ -189,7 +189,9 @@ std::future<QueryResult> RemoteDispatcher::submit(
         msg.relative_deadline_ms = plan.order_deadline - t0;
         msg.simulated_service_ms = tasks[i].simulated_service_ms;
         ServerConn& conn = servers_[placement[i]];
-        conn.outbox.push_back(encode(msg));
+        // Frames for the same server coalesce into one chunk here and leave
+        // in a single vectored send from the net loop.
+        encode_into(msg, conn.out.chunk());
         ++conn.in_flight;
         in_flight_.emplace(msg.task, InFlightTask{qid, placement[i]});
         timeouts_.emplace(t0 + options_.task_timeout_ms, msg.task);
@@ -218,7 +220,7 @@ void RemoteDispatcher::request_stats(ServerId server) {
   std::lock_guard lock(mu_);
   TG_CHECK_MSG(server < servers_.size(), "unknown server " << server);
   if (servers_[server].state != ConnState::kAlive) return;
-  servers_[server].outbox.push_back(encode(StatsRequestMsg{}));
+  encode_into(StatsRequestMsg{}, servers_[server].out.chunk());
   wake_.wake();
 }
 
@@ -325,11 +327,11 @@ void RemoteDispatcher::start_connect(ServerId server, TimeMs now) {
 void RemoteDispatcher::disconnect(ServerId server, TimeMs now,
                                   std::vector<Resolution>* resolutions) {
   ServerConn& conn = servers_[server];
+  if (conn.fd.valid()) poller_->forget(conn.fd.get());
   conn.fd.reset();
   conn.state = ConnState::kBackoff;
   conn.in = FrameBuffer{};
-  conn.outbox.clear();
-  conn.out_offset = 0;
+  conn.out.clear();
   conn.next_attempt_ms = now + conn.backoff_ms;
   conn.backoff_ms =
       std::min(conn.backoff_ms * 2.0, options_.reconnect_max_backoff_ms);
@@ -345,25 +347,6 @@ void RemoteDispatcher::disconnect(ServerId server, TimeMs now,
     in_flight_.erase(task);
     finish_task(query, /*missed=*/false, /*failed=*/true, resolutions);
   }
-}
-
-bool RemoteDispatcher::flush_server(ServerConn& conn) {
-  while (!conn.outbox.empty()) {
-    const auto& msg = conn.outbox.front();
-    const ssize_t n = ::send(conn.fd.get(), msg.data() + conn.out_offset,
-                             msg.size() - conn.out_offset, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
-      if (errno == EINTR) continue;
-      return false;
-    }
-    conn.out_offset += static_cast<std::size_t>(n);
-    if (conn.out_offset == msg.size()) {
-      conn.outbox.pop_front();
-      conn.out_offset = 0;
-    }
-  }
-  return true;
 }
 
 bool RemoteDispatcher::read_server(ServerId server,
@@ -431,13 +414,11 @@ void RemoteDispatcher::handle_frame(ServerId server, const Frame& frame,
 }
 
 void RemoteDispatcher::net_loop() {
-  std::vector<pollfd> fds;
-  std::vector<ServerId> fd_server;
+  poller_->watch(wake_.read_fd(), /*want_read=*/true, /*want_write=*/false);
+  std::vector<Poller::Event> events;
   while (running_.load()) {
     std::vector<Resolution> resolutions;
     double poll_timeout_ms = 200.0;
-    fds.clear();
-    fd_server.clear();
     {
       std::lock_guard lock(mu_);
       const TimeMs now = now_ms();
@@ -452,15 +433,14 @@ void RemoteDispatcher::net_loop() {
                 std::min(poll_timeout_ms, conn.next_attempt_ms - now);
         }
         if (!conn.fd.valid()) continue;
-        short events = 0;
-        if (conn.state == ConnState::kConnecting) {
-          events = POLLOUT;
-        } else {
-          events = POLLIN;
-          if (!conn.outbox.empty()) events |= POLLOUT;
-        }
-        fds.push_back({conn.fd.get(), events, 0});
-        fd_server.push_back(static_cast<ServerId>(s));
+        // Interest edges only: steady-state rounds re-assert the same
+        // interest and cost no syscall (see Poller::watch).
+        if (conn.state == ConnState::kConnecting)
+          poller_->watch(conn.fd.get(), /*want_read=*/false,
+                         /*want_write=*/true);
+        else
+          poller_->watch(conn.fd.get(), /*want_read=*/true,
+                         /*want_write=*/!conn.out.empty());
       }
       if (!timeouts_.empty())
         poll_timeout_ms =
@@ -469,41 +449,59 @@ void RemoteDispatcher::net_loop() {
     resolve(std::move(resolutions));
     resolutions.clear();
 
-    fds.push_back({wake_.read_fd(), POLLIN, 0});
     const int timeout_ms =
         std::max(1, static_cast<int>(poll_timeout_ms) + 1);
-    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    events.clear();
+    poller_->wait(events, timeout_ms);
     if (!running_.load()) break;
-    if (ready < 0) continue;
-    if (fds.back().revents & POLLIN) wake_.drain();
 
     {
       std::lock_guard lock(mu_);
       const TimeMs now = now_ms();
-      for (std::size_t i = 0; i + 1 < fds.size(); ++i) {
-        const ServerId s = fd_server[i];
-        ServerConn& conn = servers_[s];
-        if (!conn.fd.valid() || conn.fd.get() != fds[i].fd) continue;
-        if (conn.state == ConnState::kConnecting) {
-          if (fds[i].revents & (POLLOUT | POLLERR | POLLHUP)) {
-            if (connect_finished(conn.fd.get())) {
-              HelloMsg hello;
-              hello.peer_name = options_.name;
-              conn.outbox.push_back(encode(hello));
-              conn.state = ConnState::kHandshaking;
-              if (!flush_server(conn)) disconnect(s, now, &resolutions);
-            } else {
-              disconnect(s, now, &resolutions);
-            }
+      for (const Poller::Event& ev : events) {
+        if (ev.fd == wake_.read_fd()) {
+          wake_.drain();
+          continue;
+        }
+        // Map the event back to its server; a connection torn down earlier
+        // in this batch simply no longer matches.
+        ServerConn* conn = nullptr;
+        ServerId s = 0;
+        for (std::size_t i = 0; i < servers_.size(); ++i) {
+          if (servers_[i].fd.valid() && servers_[i].fd.get() == ev.fd) {
+            conn = &servers_[i];
+            s = static_cast<ServerId>(i);
+            break;
+          }
+        }
+        if (conn == nullptr) continue;
+        if (conn->state == ConnState::kConnecting) {
+          if (connect_finished(conn->fd.get())) {
+            HelloMsg hello;
+            hello.peer_name = options_.name;
+            encode_into(hello, conn->out.chunk());
+            conn->state = ConnState::kHandshaking;
+          } else {
+            disconnect(s, now, &resolutions);
           }
           continue;
         }
-        bool ok = true;
-        if (fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) ok = false;
-        if (ok && (fds[i].revents & POLLIN)) ok = read_server(s, &resolutions);
-        if (ok && conn.fd.valid() && !conn.outbox.empty())
-          ok = flush_server(conn);
+        bool ok = !ev.closed;
+        if (ok && ev.readable) ok = read_server(s, &resolutions);
         if (!ok) disconnect(s, now, &resolutions);
+      }
+
+      // Opportunistic flush over every live connection: submit() queues
+      // frames from caller threads and rings the wake pipe, so pending
+      // output usually arrives with no POLLOUT event at all. One vectored
+      // send drains a whole burst.
+      for (std::size_t s = 0; s < servers_.size(); ++s) {
+        ServerConn& conn = servers_[s];
+        if (!conn.fd.valid() || conn.state == ConnState::kConnecting ||
+            conn.out.empty())
+          continue;
+        if (conn.out.flush(conn.fd.get()) == SendQueue::FlushResult::kError)
+          disconnect(static_cast<ServerId>(s), now, &resolutions);
       }
     }
     resolve(std::move(resolutions));

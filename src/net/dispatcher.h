@@ -21,9 +21,9 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <future>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
@@ -33,6 +33,8 @@
 #include <vector>
 
 #include "core/control_plane.h"
+#include "net/poller.h"
+#include "net/send_queue.h"
 #include "net/socket.h"
 #include "net/wire.h"
 #include "runtime/service.h"
@@ -131,8 +133,10 @@ class RemoteDispatcher {
     ScopedFd fd;
     ConnState state = ConnState::kBackoff;
     FrameBuffer in;
-    std::deque<std::vector<std::uint8_t>> outbox;
-    std::size_t out_offset = 0;
+    /// Outbound frames, coalesced and flushed with vectored sends. Encode
+    /// with `encode_into(msg, conn.out.chunk())` — a fan-out burst of
+    /// SubmitTask frames becomes one buffer and one syscall.
+    SendQueue out;
     TimeMs next_attempt_ms = 0.0;
     TimeMs backoff_ms = 0.0;
     std::size_t in_flight = 0;
@@ -157,7 +161,6 @@ class RemoteDispatcher {
   void disconnect(ServerId server, TimeMs now,
                   std::vector<Resolution>* resolutions);
   bool read_server(ServerId server, std::vector<Resolution>* resolutions);
-  bool flush_server(ServerConn& conn);
   void handle_frame(ServerId server, const Frame& frame,
                     std::vector<Resolution>* resolutions);
   /// Records one finished/failed task; appends a resolution when it was the
@@ -170,6 +173,7 @@ class RemoteDispatcher {
   DispatcherOptions options_;
   std::chrono::steady_clock::time_point epoch_;
   WakePipe wake_;
+  std::unique_ptr<Poller> poller_;
   std::atomic<bool> running_{true};
 
   mutable std::mutex mu_;

@@ -1,0 +1,84 @@
+#include "net/send_queue.h"
+
+#include <sys/socket.h>
+#include <sys/uio.h>
+
+#include <cerrno>
+#include <utility>
+
+namespace tailguard::net {
+
+std::vector<std::uint8_t>& SendQueue::chunk() {
+  if (chunks_.empty() || chunks_.back().size() >= kChunkBytes) {
+    if (!pool_.empty()) {
+      chunks_.push_back(std::move(pool_.back()));
+      pool_.pop_back();
+      chunks_.back().clear();  // keeps capacity: the reuse the pool exists for
+    } else {
+      chunks_.emplace_back();
+    }
+  }
+  return chunks_.back();
+}
+
+std::size_t SendQueue::bytes_pending() const {
+  std::size_t total = 0;
+  for (const auto& c : chunks_) total += c.size();
+  return total - head_sent_;
+}
+
+SendQueue::FlushResult SendQueue::flush(int fd) {
+  while (!chunks_.empty()) {
+    // The front chunk can be empty (chunk() handed out a buffer nothing was
+    // appended to); recycle it rather than issuing a zero-byte send.
+    if (chunks_.front().size() == head_sent_) {
+      head_sent_ = 0;
+      if (pool_.size() < kMaxPooled) pool_.push_back(std::move(chunks_.front()));
+      chunks_.pop_front();
+      continue;
+    }
+
+    // Gather every pending chunk into one vectored send. More chunks than
+    // kMaxIov (a deep backlog) just means another loop iteration.
+    constexpr std::size_t kMaxIov = 16;
+    iovec iov[kMaxIov];
+    const std::size_t niov =
+        chunks_.size() < kMaxIov ? chunks_.size() : kMaxIov;
+    for (std::size_t i = 0; i < niov; ++i) {
+      const std::size_t off = i == 0 ? head_sent_ : 0;
+      iov[i].iov_base = chunks_[i].data() + off;
+      iov[i].iov_len = chunks_[i].size() - off;
+    }
+    msghdr mh{};
+    mh.msg_iov = iov;
+    mh.msg_iovlen = niov;
+    const ssize_t n = ::sendmsg(fd, &mh, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return FlushResult::kBlocked;
+      return FlushResult::kError;
+    }
+
+    // Advance across however many chunks the kernel took.
+    std::size_t taken = static_cast<std::size_t>(n);
+    while (taken > 0) {
+      const std::size_t front_left = chunks_.front().size() - head_sent_;
+      if (taken < front_left) {
+        head_sent_ += taken;
+        break;
+      }
+      taken -= front_left;
+      head_sent_ = 0;
+      if (pool_.size() < kMaxPooled) pool_.push_back(std::move(chunks_.front()));
+      chunks_.pop_front();
+    }
+  }
+  return FlushResult::kDrained;
+}
+
+void SendQueue::clear() {
+  chunks_.clear();
+  head_sent_ = 0;
+}
+
+}  // namespace tailguard::net

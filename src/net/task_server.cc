@@ -1,6 +1,5 @@
 #include "net/task_server.h"
 
-#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -19,6 +18,7 @@ TaskServer::TaskServer(TaskServerOptions options)
   listen_fd_ = listen_tcp(options_.port, &error);
   TG_CHECK_MSG(listen_fd_.valid(), "task server cannot listen: " << error);
   port_ = local_port(listen_fd_.get());
+  poller_ = Poller::create();
 
   const auto clock = [this] { return now_ms(); };
   const auto on_complete = [this](ServerId executor, const RuntimeTask& task,
@@ -49,6 +49,7 @@ void TaskServer::stop() {
   for (auto& e : executors_) e->shutdown();
   std::lock_guard lock(mu_);
   conns_.clear();
+  fd_conn_.clear();
   listen_fd_.reset();
 }
 
@@ -82,6 +83,7 @@ void TaskServer::accept_new_connections() {
     set_tcp_nodelay(fd);
     Connection conn;
     conn.fd.reset(fd);
+    fd_conn_[fd] = next_conn_id_;
     conns_.emplace(next_conn_id_++, std::move(conn));
   }
 }
@@ -104,45 +106,26 @@ bool TaskServer::read_connection(std::uint64_t conn_id, Connection& conn) {
   return conn.in.error().empty();
 }
 
-bool TaskServer::flush_connection(Connection& conn) {
-  while (!conn.outbox.empty()) {
-    const auto& msg = conn.outbox.front();
-    const ssize_t n = ::send(conn.fd.get(), msg.data() + conn.out_offset,
-                             msg.size() - conn.out_offset, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
-      if (errno == EINTR) continue;
-      return false;
-    }
-    conn.out_offset += static_cast<std::size_t>(n);
-    if (conn.out_offset == msg.size()) {
-      conn.outbox.pop_front();
-      conn.out_offset = 0;
-    }
-  }
-  return true;
-}
-
 void TaskServer::handle_frame(std::uint64_t conn_id, Connection& conn,
                               const Frame& frame) {
   switch (frame.type) {
     case MsgType::kHello: {
       HelloMsg hello;
       if (!decode(frame, &hello) || hello.protocol_version != kWireVersion) {
-        conn.outbox.clear();  // hard error; close on next poll round
-        conn.fd.reset();
+        conn.out.clear();   // hard error; swept (and the fd deregistered
+        conn.dead = true;   // from the poller) at the end of this round
         return;
       }
       HelloAckMsg ack;
       ack.policy = static_cast<std::uint8_t>(options_.policy);
       ack.num_executors = static_cast<std::uint32_t>(options_.num_executors);
-      conn.outbox.push_back(encode(ack));
+      encode_into(ack, conn.out.chunk());
       // Backfill: post-queuing samples observed while disconnected.
       if (!pending_samples_.empty()) {
         ModelSyncMsg sync;
         sync.samples_ms = std::move(pending_samples_);
         pending_samples_.clear();
-        conn.outbox.push_back(encode(sync));
+        encode_into(sync, conn.out.chunk());
       }
       conn.hello_done = true;
       break;
@@ -171,17 +154,13 @@ void TaskServer::handle_frame(std::uint64_t conn_id, Connection& conn,
       stats.queue_depth = static_cast<std::uint32_t>(queue_depth());
       stats.tasks_executed = tasks_executed_;
       stats.tasks_missed_deadline = tasks_missed_;
-      conn.outbox.push_back(encode(stats));
+      encode_into(stats, conn.out.chunk());
       break;
     }
     default:
       // Unknown/unexpected types are skippable by design (versioned framing).
       break;
   }
-}
-
-void TaskServer::close_connection(std::uint64_t conn_id) {
-  conns_.erase(conn_id);
 }
 
 void TaskServer::on_task_complete(ServerId /*executor*/,
@@ -206,8 +185,10 @@ void TaskServer::on_task_complete(ServerId /*executor*/,
   msg.queue_ms = dequeue_ms - origin.enqueue_ms;
   const auto conn_it = conns_.find(origin.conn);
   if (conn_it != conns_.end() && conn_it->second.hello_done &&
-      conn_it->second.fd.valid()) {
-    conn_it->second.outbox.push_back(encode(msg));
+      !conn_it->second.dead && conn_it->second.fd.valid()) {
+    // Completions land in the connection's coalescing buffer; a burst of
+    // them becomes one contiguous chunk and (after the wake) one sendmsg.
+    encode_into(msg, conn_it->second.out.chunk());
     wake_.wake();
   } else if (pending_samples_.size() < options_.max_buffered_samples) {
     // No dispatcher to tell: keep the observation for the next ModelSync.
@@ -215,50 +196,67 @@ void TaskServer::on_task_complete(ServerId /*executor*/,
   }
 }
 
-void TaskServer::net_loop() {
-  std::vector<pollfd> fds;
-  std::vector<std::uint64_t> fd_conn;  // conn id per pollfd (0 = fixed fds)
-  while (running_.load()) {
-    fds.clear();
-    fd_conn.clear();
-    fds.push_back({listen_fd_.get(), POLLIN, 0});
-    fd_conn.push_back(0);
-    fds.push_back({wake_.read_fd(), POLLIN, 0});
-    fd_conn.push_back(0);
-    {
-      std::lock_guard lock(mu_);
-      for (auto& [id, conn] : conns_) {
-        if (!conn.fd.valid()) continue;
-        short events = POLLIN;
-        if (!conn.outbox.empty()) events |= POLLOUT;
-        fds.push_back({conn.fd.get(), events, 0});
-        fd_conn.push_back(id);
+void TaskServer::flush_and_sweep_connections() {
+  // Runs once per loop round, after the readiness events: flush whatever is
+  // queued (completions from executor threads arrive with a wake, not a
+  // POLLOUT, and a Hello handler queues its ack before any writability
+  // event — the opportunistic flush keeps both off the slow path), then
+  // close dead connections and refresh poller interest for the rest.
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    Connection& conn = it->second;
+    if (!conn.dead && conn.fd.valid() && !conn.out.empty() &&
+        conn.out.flush(conn.fd.get()) == SendQueue::FlushResult::kError)
+      conn.dead = true;
+    if (conn.dead || !conn.fd.valid()) {
+      if (conn.fd.valid()) {
+        poller_->forget(conn.fd.get());
+        fd_conn_.erase(conn.fd.get());
       }
+      it = conns_.erase(it);
+    } else {
+      poller_->watch(conn.fd.get(), /*want_read=*/true,
+                     /*want_write=*/!conn.out.empty());
+      ++it;
     }
-    const int ready = ::poll(fds.data(), fds.size(), /*timeout_ms=*/200);
-    if (!running_.load()) break;
-    if (ready <= 0) continue;
+  }
+}
 
-    if (fds[1].revents & POLLIN) wake_.drain();
+void TaskServer::net_loop() {
+  poller_->watch(listen_fd_.get(), /*want_read=*/true, /*want_write=*/false);
+  poller_->watch(wake_.read_fd(), /*want_read=*/true, /*want_write=*/false);
+  std::vector<Poller::Event> events;
+  while (running_.load()) {
+    events.clear();
+    poller_->wait(events, /*timeout_ms=*/200);
+    if (!running_.load()) break;
 
     std::lock_guard lock(mu_);
-    if (fds[0].revents & POLLIN) accept_new_connections();
-    for (std::size_t i = 2; i < fds.size(); ++i) {
-      const std::uint64_t id = fd_conn[i];
-      const auto it = conns_.find(id);
-      if (it == conns_.end() || !it->second.fd.valid() ||
-          it->second.fd.get() != fds[i].fd)
-        continue;  // connection replaced/closed since the poll set was built
+    bool accept_ready = false;
+    for (const Poller::Event& ev : events) {
+      if (ev.fd == wake_.read_fd()) {
+        wake_.drain();
+        continue;
+      }
+      if (ev.fd == listen_fd_.get()) {
+        accept_ready = true;
+        continue;
+      }
+      const auto id_it = fd_conn_.find(ev.fd);
+      if (id_it == fd_conn_.end()) continue;  // closed earlier this round
+      const auto it = conns_.find(id_it->second);
+      if (it == conns_.end()) continue;
       Connection& conn = it->second;
-      bool ok = true;
-      if (fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) ok = false;
-      if (ok && (fds[i].revents & POLLIN)) ok = read_connection(id, conn);
-      // A Hello may have queued an ack even without POLLOUT readiness;
-      // opportunistically flush whenever there is something to send.
-      if (ok && !conn.outbox.empty() && conn.fd.valid())
-        ok = flush_connection(conn);
-      if (!ok || !conn.fd.valid()) close_connection(id);
+      if (ev.closed) conn.dead = true;
+      if (!conn.dead && ev.readable &&
+          !read_connection(id_it->second, conn))
+        conn.dead = true;
     }
+    // Accept after the connection events and before the sweep: descriptors
+    // are only ever closed inside the sweep, so an accepted fd can never
+    // alias a stale event in this batch, and the sweep registers the new
+    // connections' read interest with the poller.
+    if (accept_ready) accept_new_connections();
+    flush_and_sweep_connections();
   }
 }
 

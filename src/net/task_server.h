@@ -1,8 +1,9 @@
 // A networked TailGuard task server (one box of Fig. 2's task-server tier).
 //
 // Wraps the same policy queues and worker execution loop as the in-process
-// runtime (runtime/Worker — the code path is shared, not duplicated) behind a
-// poll()-based async TCP loop speaking the net/wire.h protocol:
+// runtime (runtime/Worker — the code path is shared, not duplicated) behind
+// an async TCP loop (epoll via net/poller.h, with a poll(2) fallback)
+// speaking the net/wire.h protocol:
 //
 //   dispatcher --- SubmitTask ---> [policy queue] -> executor thread(s)
 //   dispatcher <--- TaskDone ----- (queue_ms, post-queuing time, miss flag)
@@ -18,7 +19,6 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -26,6 +26,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/poller.h"
+#include "net/send_queue.h"
 #include "net/socket.h"
 #include "net/wire.h"
 #include "runtime/worker.h"
@@ -74,9 +76,13 @@ class TaskServer {
   struct Connection {
     ScopedFd fd;
     FrameBuffer in;
-    std::deque<std::vector<std::uint8_t>> outbox;
-    std::size_t out_offset = 0;  ///< bytes of outbox.front() already written
+    /// Outbound frames, coalesced and flushed with vectored sends. Encode
+    /// with `encode_into(msg, conn.out.chunk())`.
+    SendQueue out;
     bool hello_done = false;
+    /// Marked instead of closing inline so the net loop's sweep can
+    /// deregister the fd from the poller before the number is recycled.
+    bool dead = false;
   };
 
   /// Where a task came from, for routing its TaskDone.
@@ -89,10 +95,12 @@ class TaskServer {
   void accept_new_connections();
   /// Returns false when the connection must be closed.
   bool read_connection(std::uint64_t conn_id, Connection& conn);
-  bool flush_connection(Connection& conn);
   void handle_frame(std::uint64_t conn_id, Connection& conn,
                     const Frame& frame);
-  void close_connection(std::uint64_t conn_id);
+  /// Flushes pending output on every live connection, closes dead ones
+  /// (deregistering from the poller first) and refreshes poller interest.
+  /// Requires mu_.
+  void flush_and_sweep_connections();
   void on_task_complete(ServerId executor, const RuntimeTask& task,
                         TimeMs dequeue_ms, TimeMs complete_ms);
 
@@ -101,10 +109,12 @@ class TaskServer {
   std::uint16_t port_ = 0;
   ScopedFd listen_fd_;
   WakePipe wake_;
+  std::unique_ptr<Poller> poller_;
   std::atomic<bool> running_{true};
 
   mutable std::mutex mu_;
   std::unordered_map<std::uint64_t, Connection> conns_;
+  std::unordered_map<int, std::uint64_t> fd_conn_;  ///< fd -> connection id
   std::uint64_t next_conn_id_ = 1;
   std::unordered_map<TaskId, TaskOrigin> task_origin_;
   std::vector<double> pending_samples_;

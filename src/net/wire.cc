@@ -10,8 +10,21 @@ namespace {
 
 // ----------------------------------------------------------------- writer
 
+// Serialises one frame straight into the caller's buffer, header first: the
+// constructor writes the 8-byte header with a zero length, payload fields
+// append behind it, and finish() patches the real length in. One buffer, no
+// payload staging copy — and because the buffer is caller-owned, consecutive
+// frames coalesce into it (SendQueue hands the same chunk to many writers).
 class Writer {
  public:
+  Writer(std::vector<std::uint8_t>& out, MsgType type)
+      : out_(out), len_at_(out.size() + 4) {
+    u16(kWireMagic);
+    u8(kWireVersion);
+    u8(static_cast<std::uint8_t>(type));
+    u32(0);  // payload length, patched by finish()
+  }
+
   void u8(std::uint8_t v) { out_.push_back(v); }
   void u16(std::uint16_t v) {
     out_.push_back(static_cast<std::uint8_t>(v));
@@ -31,19 +44,17 @@ class Writer {
     out_.insert(out_.end(), s.begin(), s.end());
   }
 
-  /// Wraps the accumulated payload in a frame header.
-  std::vector<std::uint8_t> frame(MsgType type) && {
-    Writer header;
-    header.u16(kWireMagic);
-    header.u8(kWireVersion);
-    header.u8(static_cast<std::uint8_t>(type));
-    header.u32(static_cast<std::uint32_t>(out_.size()));
-    header.out_.insert(header.out_.end(), out_.begin(), out_.end());
-    return std::move(header.out_);
+  /// Back-patches the payload length now that the payload is complete.
+  void finish() {
+    const std::size_t payload = out_.size() - (len_at_ + 4);
+    for (int i = 0; i < 4; ++i)
+      out_[len_at_ + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(payload >> (8 * i));
   }
 
  private:
-  std::vector<std::uint8_t> out_;
+  std::vector<std::uint8_t>& out_;
+  std::size_t len_at_;  ///< offset of the length field within out_
 };
 
 // ----------------------------------------------------------------- reader
@@ -104,58 +115,88 @@ bool expect_type(const Frame& frame, MsgType type) {
 
 // ------------------------------------------------------------------ encode
 
-std::vector<std::uint8_t> encode(const HelloMsg& msg) {
-  Writer w;
+void encode_into(const HelloMsg& msg, std::vector<std::uint8_t>& out) {
+  Writer w(out, MsgType::kHello);
   w.u32(msg.protocol_version);
   w.str(msg.peer_name);
-  return std::move(w).frame(MsgType::kHello);
+  w.finish();
 }
 
-std::vector<std::uint8_t> encode(const HelloAckMsg& msg) {
-  Writer w;
+void encode_into(const HelloAckMsg& msg, std::vector<std::uint8_t>& out) {
+  Writer w(out, MsgType::kHelloAck);
   w.u32(msg.protocol_version);
   w.u8(msg.policy);
   w.u32(msg.num_executors);
-  return std::move(w).frame(MsgType::kHelloAck);
+  w.finish();
 }
 
-std::vector<std::uint8_t> encode(const SubmitTaskMsg& msg) {
-  Writer w;
+void encode_into(const SubmitTaskMsg& msg, std::vector<std::uint8_t>& out) {
+  Writer w(out, MsgType::kSubmitTask);
   w.u64(msg.task);
   w.u64(msg.query);
   w.u32(msg.cls);
   w.f64(msg.relative_deadline_ms);
   w.f64(msg.simulated_service_ms);
-  return std::move(w).frame(MsgType::kSubmitTask);
+  w.finish();
 }
 
-std::vector<std::uint8_t> encode(const TaskDoneMsg& msg) {
-  Writer w;
+void encode_into(const TaskDoneMsg& msg, std::vector<std::uint8_t>& out) {
+  Writer w(out, MsgType::kTaskDone);
   w.u64(msg.task);
   w.u64(msg.query);
   w.f64(msg.queue_ms);
   w.f64(msg.service_ms);
   w.u8(msg.missed_deadline ? 1 : 0);
-  return std::move(w).frame(MsgType::kTaskDone);
+  w.finish();
 }
 
-std::vector<std::uint8_t> encode(const ModelSyncMsg& msg) {
-  Writer w;
+void encode_into(const ModelSyncMsg& msg, std::vector<std::uint8_t>& out) {
+  Writer w(out, MsgType::kModelSync);
   w.u32(static_cast<std::uint32_t>(msg.samples_ms.size()));
   for (double s : msg.samples_ms) w.f64(s);
-  return std::move(w).frame(MsgType::kModelSync);
+  w.finish();
 }
 
-std::vector<std::uint8_t> encode(const StatsRequestMsg&) {
-  return Writer{}.frame(MsgType::kStatsRequest);
+void encode_into(const StatsRequestMsg&, std::vector<std::uint8_t>& out) {
+  Writer w(out, MsgType::kStatsRequest);
+  w.finish();
 }
 
-std::vector<std::uint8_t> encode(const StatsResponseMsg& msg) {
-  Writer w;
+void encode_into(const StatsResponseMsg& msg, std::vector<std::uint8_t>& out) {
+  Writer w(out, MsgType::kStatsResponse);
   w.u32(msg.queue_depth);
   w.u64(msg.tasks_executed);
   w.u64(msg.tasks_missed_deadline);
-  return std::move(w).frame(MsgType::kStatsResponse);
+  w.finish();
+}
+
+namespace {
+template <typename Msg>
+std::vector<std::uint8_t> encode_one(const Msg& msg) {
+  std::vector<std::uint8_t> out;
+  encode_into(msg, out);
+  return out;
+}
+}  // namespace
+
+std::vector<std::uint8_t> encode(const HelloMsg& msg) { return encode_one(msg); }
+std::vector<std::uint8_t> encode(const HelloAckMsg& msg) {
+  return encode_one(msg);
+}
+std::vector<std::uint8_t> encode(const SubmitTaskMsg& msg) {
+  return encode_one(msg);
+}
+std::vector<std::uint8_t> encode(const TaskDoneMsg& msg) {
+  return encode_one(msg);
+}
+std::vector<std::uint8_t> encode(const ModelSyncMsg& msg) {
+  return encode_one(msg);
+}
+std::vector<std::uint8_t> encode(const StatsRequestMsg& msg) {
+  return encode_one(msg);
+}
+std::vector<std::uint8_t> encode(const StatsResponseMsg& msg) {
+  return encode_one(msg);
 }
 
 // ------------------------------------------------------------------ decode

@@ -117,6 +117,20 @@ struct StatsResponseMsg {
 
 // ------------------------------------------------------------------ encode
 
+// encode_into appends one complete frame (header + payload, built in place —
+// no intermediate payload buffer) to `out`, which may already hold other
+// frames: this is the batching primitive the net loops use to coalesce a
+// burst of messages into one contiguous send buffer. The encode() forms are
+// conveniences for tests and one-off frames.
+
+void encode_into(const HelloMsg& msg, std::vector<std::uint8_t>& out);
+void encode_into(const HelloAckMsg& msg, std::vector<std::uint8_t>& out);
+void encode_into(const SubmitTaskMsg& msg, std::vector<std::uint8_t>& out);
+void encode_into(const TaskDoneMsg& msg, std::vector<std::uint8_t>& out);
+void encode_into(const ModelSyncMsg& msg, std::vector<std::uint8_t>& out);
+void encode_into(const StatsRequestMsg& msg, std::vector<std::uint8_t>& out);
+void encode_into(const StatsResponseMsg& msg, std::vector<std::uint8_t>& out);
+
 std::vector<std::uint8_t> encode(const HelloMsg& msg);
 std::vector<std::uint8_t> encode(const HelloAckMsg& msg);
 std::vector<std::uint8_t> encode(const SubmitTaskMsg& msg);

@@ -1,0 +1,102 @@
+// Bounded lock-free multi-producer single-consumer ring (Vyukov-style).
+//
+// The runtime's submit path is the only microsecond-scale boundary between
+// threads: every task crosses from a producer (the service front-end) into
+// exactly one worker. A mutex there costs a lock/unlock pair per task plus
+// contention collapse when many producers target one hot server. This ring
+// replaces it: producers claim slots with one fetch_add and publish with one
+// release store; the consumer pops with plain loads. No operation takes a
+// lock or makes a syscall — sleeping on empty is the *caller's* job (the
+// Worker adds a condvar doorbell on the empty→nonempty edge only).
+//
+// Concurrency contract:
+//   * push(): any thread, any number concurrently.
+//   * try_pop()/drain visibility: exactly ONE consumer thread, ever.
+//   * Bounded: when the ring is full, push() spin-yields until the consumer
+//     frees a slot. The worker drains into its (unbounded) policy queue at a
+//     higher rate than producers can publish, so in practice the spin only
+//     triggers under deliberate overload; it never deadlocks as long as the
+//     consumer is live, which Worker guarantees by draining-before-exit.
+//
+// Per-producer FIFO: slots are claimed by a monotone ticket, so items from
+// one producer are consumed in that producer's program order. Items from
+// different producers interleave by ticket order (their claim order), which
+// is exactly the guarantee the old mutex gave (lock-acquisition order).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include "common/check.h"
+
+namespace tailguard {
+
+template <typename T>
+class MpscRing {
+ public:
+  /// `capacity` must be a power of two (slot indexing is a mask).
+  explicit MpscRing(std::size_t capacity)
+      : mask_(capacity - 1), cells_(new Cell[capacity]) {
+    TG_CHECK_MSG(capacity >= 2 && (capacity & mask_) == 0,
+                 "ring capacity must be a power of two >= 2");
+    // Cell i is writable by the producer holding ticket t iff seq == t, and
+    // readable by the consumer iff seq == t + 1; initially slot i accepts
+    // ticket i (the first lap).
+    for (std::size_t i = 0; i <= mask_; ++i)
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  /// Publishes `item`. Lock-free and wait-free while the ring has space;
+  /// spin-yields while full. Callable from any number of threads.
+  void push(T item) {
+    const std::uint64_t ticket =
+        tail_.fetch_add(1, std::memory_order_relaxed);
+    Cell& cell = cells_[ticket & mask_];
+    // Wait for our lap: the consumer bumps seq to ticket when it frees the
+    // slot (on the first lap it is pre-set). The acquire pairs with the
+    // consumer's release so the slot's storage is safely reusable.
+    while (cell.seq.load(std::memory_order_acquire) != ticket)
+      std::this_thread::yield();  // ring full: wait for the consumer
+    cell.item = std::move(item);
+    cell.seq.store(ticket + 1, std::memory_order_release);
+  }
+
+  /// Consumer only. Returns false when no published item is ready — which
+  /// includes the moment a producer has claimed the head slot but not yet
+  /// released it (the item is not observable yet, same as pre-mutex-unlock
+  /// in the lock-based design).
+  bool try_pop(T& out) {
+    Cell& cell = cells_[head_ & mask_];
+    if (cell.seq.load(std::memory_order_acquire) != head_ + 1) return false;
+    out = std::move(cell.item);
+    cell.item = T{};  // drop payload refs eagerly (closures can own state)
+    // Free the slot for the producer one lap ahead.
+    cell.seq.store(head_ + mask_ + 1, std::memory_order_release);
+    ++head_;
+    return true;
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  struct Cell {
+    std::atomic<std::uint64_t> seq;
+    T item;
+  };
+
+  const std::size_t mask_;
+  std::unique_ptr<Cell[]> cells_;
+  /// Producer side: next ticket to claim. Own cache line so producer CAS
+  /// traffic does not thrash the consumer's head.
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  /// Consumer side: next ticket to pop. Plain (non-atomic) — single owner.
+  alignas(64) std::uint64_t head_ = 0;
+};
+
+}  // namespace tailguard

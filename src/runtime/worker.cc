@@ -33,48 +33,88 @@ Worker::~Worker() {
 
 void Worker::submit(RuntimeTask task, TimeMs enqueue_ms,
                     TimeMs order_deadline) {
-  QueuedTask qt;
-  qt.task = task.id;
-  qt.query = task.query;
-  qt.cls = task.cls;
-  qt.enqueue_time = enqueue_ms;
-  qt.deadline = order_deadline;
   task.order_deadline = order_deadline;
-  {
-    std::lock_guard lock(mu_);
-    TG_CHECK_MSG(!shutdown_, "submit after shutdown");
-    payloads_.emplace(task.id, std::move(task));
-    queue_->push(qt);
+  // Accept-then-check: the counter bump happens before the shutdown test so
+  // the worker can never observe "all accepted work consumed" while this
+  // submit is still deciding — a submit that passes the check is therefore
+  // guaranteed to be drained before the worker exits. A submit that loses
+  // the race rolls the counter back and throws, exactly the old behavior of
+  // checking `shutdown_` under the queue mutex.
+  submitted_.fetch_add(1, std::memory_order_seq_cst);
+  if (shutdown_.load(std::memory_order_seq_cst)) {
+    submitted_.fetch_sub(1, std::memory_order_seq_cst);
+    TG_CHECK_MSG(false, "submit after shutdown");
   }
-  cv_.notify_one();
+  depth_.fetch_add(1, std::memory_order_relaxed);
+  ring_.push(Submission{std::move(task), enqueue_ms, order_deadline});
+
+  // Ring the doorbell only if the worker is (about to be) asleep. The
+  // seq_cst publish above + seq_cst read below pair with the consumer's
+  // seq_cst sleeping_ store + emptiness re-check: at least one side sees
+  // the other, so the worker either self-serves or gets notified. The empty
+  // lock/unlock pins down the remaining window where the consumer has set
+  // sleeping_ but not yet entered wait(): we cannot notify until it holds
+  // the condvar, because it holds the mutex from before its re-check until
+  // wait() releases it.
+  if (sleeping_.load(std::memory_order_seq_cst)) {
+    { std::lock_guard<std::mutex> lock(doorbell_mu_); }
+    doorbell_.notify_one();
+  }
 }
 
 void Worker::shutdown() {
-  {
-    std::lock_guard lock(mu_);
-    shutdown_ = true;
-  }
-  cv_.notify_all();
+  shutdown_.store(true, std::memory_order_seq_cst);
+  { std::lock_guard<std::mutex> lock(doorbell_mu_); }
+  doorbell_.notify_all();
 }
 
-std::size_t Worker::queue_depth() const {
-  std::lock_guard lock(mu_);
-  return queue_->size();
+void Worker::drain_ring() {
+  Submission s;
+  while (ring_.try_pop(s)) {
+    ++consumed_;
+    QueuedTask qt;
+    qt.task = s.task.id;
+    qt.query = s.task.query;
+    qt.cls = s.task.cls;
+    qt.enqueue_time = s.enqueue_ms;
+    qt.deadline = s.order_deadline;
+    payloads_.emplace(s.task.id, std::move(s.task));
+    queue_->push(qt);
+  }
 }
 
 void Worker::run() {
   for (;;) {
-    RuntimeTask task;
-    {
-      std::unique_lock lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_->empty(); });
-      if (queue_->empty()) return;  // shutdown with drained queue
-      const QueuedTask qt = queue_->pop();
-      const auto it = payloads_.find(qt.task);
-      TG_CHECK_MSG(it != payloads_.end(), "missing payload for task");
-      task = std::move(it->second);
-      payloads_.erase(it);
+    drain_ring();
+    if (queue_->empty()) {
+      // Exit only when shutdown is flagged AND every accepted submit has
+      // been consumed — a producer past its shutdown check but before its
+      // ring publish holds the worker here via `submitted_`.
+      if (shutdown_.load(std::memory_order_seq_cst) && !work_published())
+        return;
+      if (work_published()) {
+        // Claimed but not yet published (or just landed): spin, it is
+        // nanoseconds away.
+        std::this_thread::yield();
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(doorbell_mu_);
+      sleeping_.store(true, std::memory_order_seq_cst);
+      doorbell_.wait(lock, [this] {
+        return work_published() ||
+               shutdown_.load(std::memory_order_seq_cst);
+      });
+      sleeping_.store(false, std::memory_order_seq_cst);
+      continue;
     }
+
+    const QueuedTask qt = queue_->pop();
+    depth_.fetch_sub(1, std::memory_order_relaxed);
+    const auto it = payloads_.find(qt.task);
+    TG_CHECK_MSG(it != payloads_.end(), "missing payload for task");
+    RuntimeTask task = std::move(it->second);
+    payloads_.erase(it);
+
     const TimeMs dequeue_ms = clock_();
     execute_task_payload(task);
     const TimeMs complete_ms = clock_();

@@ -4,8 +4,18 @@
 // fronted by one policy queue (the same TaskQueue implementations the
 // simulator uses, so the queuing semantics are identical). Tasks carry
 // either a real closure or a simulated service duration.
+//
+// Submission path (the microsecond hot path): producers publish into a
+// bounded lock-free MPSC ring; the worker drains the ring into its private
+// policy queue before every scheduling decision, so policy order is decided
+// over everything published at that instant — the same eligibility rule the
+// old mutex gave (anything enqueued before the pop was orderable). The only
+// blocking primitive left is a condvar doorbell rung exclusively on the
+// empty→nonempty edge; while the worker is busy, submit() is a handful of
+// atomic ops and no syscalls.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <functional>
 #include <memory>
@@ -14,6 +24,7 @@
 #include <unordered_map>
 
 #include "core/policy.h"
+#include "runtime/mpsc_ring.h"
 
 namespace tailguard {
 
@@ -57,27 +68,66 @@ class Worker {
   Worker& operator=(const Worker&) = delete;
 
   /// Enqueues a task. `order_deadline` is the policy ordering key (t_D for
-  /// TF-EDFQ, t_0 + SLO for T-EDFQ; ignored by FIFO/PRIQ).
+  /// TF-EDFQ, t_0 + SLO for T-EDFQ; ignored by FIFO/PRIQ). Lock-free:
+  /// throws via TG_CHECK if the worker is already shut down; a submit that
+  /// wins the race against shutdown() is guaranteed to execute (the worker
+  /// drains every accepted submission before exiting).
   void submit(RuntimeTask task, TimeMs enqueue_ms, TimeMs order_deadline);
 
   /// Stops accepting work and finishes what is queued.
   void shutdown();
 
   ServerId id() const { return id_; }
-  std::size_t queue_depth() const;
+  /// Tasks accepted but not yet started (in the ring or the policy queue).
+  std::size_t queue_depth() const {
+    return depth_.load(std::memory_order_relaxed);
+  }
 
  private:
+  /// One submit() crossing the producer→consumer boundary.
+  struct Submission {
+    RuntimeTask task;
+    TimeMs enqueue_ms = 0.0;
+    TimeMs order_deadline = kNoTime;
+  };
+
+  /// Submission ring capacity (power of two). Overflow does not drop or
+  /// block the worker — producers spin-yield in MpscRing::push until the
+  /// worker frees slots, which it does at drain speed (no task execution in
+  /// between).
+  static constexpr std::size_t kRingCapacity = 1024;
+
   void run();
+  void drain_ring();
+  bool work_published() const {
+    return consumed_ != submitted_.load(std::memory_order_seq_cst);
+  }
 
   ServerId id_;
   ClockFn clock_;
   CompletionFn on_complete_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  MpscRing<Submission> ring_{kRingCapacity};
+  /// Submissions accepted (post shutdown-check). Compared against the
+  /// consumer's `consumed_` to (a) detect published-but-undrained work and
+  /// (b) hold the worker alive until every accepted submit has run.
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<bool> shutdown_{false};
+  std::atomic<std::size_t> depth_{0};
+
+  /// Doorbell for the empty→nonempty edge. `sleeping_` is the Dekker flag:
+  /// the consumer sets it before its final emptiness re-check; producers
+  /// check it after publishing. Both sides use seq_cst so one of them is
+  /// guaranteed to see the other — no missed wakeup, and no notify (hence
+  /// no syscall) while the worker is awake.
+  std::atomic<bool> sleeping_{false};
+  std::mutex doorbell_mu_;
+  std::condition_variable doorbell_;
+
+  // --- consumer-thread state (no synchronization needed) ---
+  std::uint64_t consumed_ = 0;
   std::unique_ptr<TaskQueue> queue_;
   std::unordered_map<TaskId, RuntimeTask> payloads_;
-  bool shutdown_ = false;
 
   std::thread thread_;
 };

@@ -12,8 +12,24 @@ TimeMs LatencySample::mean() const { return mean_of(values_); }
 
 void MetricsCollector::record_query(ClassId cls, std::uint32_t fanout,
                                     TimeMs latency_ms) {
-  groups_[GroupKey{cls, fanout}].add(latency_ms);
+  const GroupKey key{cls, fanout};
   ++queries_;
+  // Workloads tend to record runs of the same group back to back, so check
+  // the previously hit group before scanning.
+  if (last_index_ < groups_.size() && groups_[last_index_].first == key) {
+    groups_[last_index_].second.add(latency_ms);
+    return;
+  }
+  for (std::size_t i = 0; i < groups_.size(); ++i) {
+    if (groups_[i].first == key) {
+      groups_[i].second.add(latency_ms);
+      last_index_ = i;
+      return;
+    }
+  }
+  last_index_ = groups_.size();
+  groups_.emplace_back(key, LatencySample{});
+  groups_.back().second.add(latency_ms);
 }
 
 }  // namespace tailguard

@@ -3,10 +3,14 @@
 // The paper's evaluation always reports per-type tail latency: meeting an
 // SLO "as a whole" does not imply each query type meets it (§IV.B), so every
 // experiment checks the p-th percentile for each (class, fanout) group.
+//
+// A run produces only a handful of distinct (class, fanout) groups, so they
+// live in a flat vector probed linearly — record_query runs once per query
+// and a short scan over inline keys beats hashing into a node-based map.
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/types.h"
@@ -33,22 +37,6 @@ struct GroupKey {
   friend bool operator==(const GroupKey&, const GroupKey&) = default;
 };
 
-struct GroupKeyHash {
-  std::size_t operator()(const GroupKey& k) const {
-    // Pack into 64 bits explicitly (std::size_t may be 32-bit, where a
-    // << 32 on it would be undefined), then finalise with the SplitMix64
-    // mixer so nearby (cls, fanout) pairs spread across buckets.
-    std::uint64_t v =
-        (static_cast<std::uint64_t>(k.cls) << 32) | k.fanout;
-    v ^= v >> 30;
-    v *= 0xbf58476d1ce4e5b9ULL;
-    v ^= v >> 27;
-    v *= 0x94d049bb133111ebULL;
-    v ^= v >> 31;
-    return static_cast<std::size_t>(v);
-  }
-};
-
 class MetricsCollector {
  public:
   void record_query(ClassId cls, std::uint32_t fanout, TimeMs latency_ms);
@@ -67,13 +55,14 @@ class MetricsCollector {
                                       static_cast<double>(tasks_dequeued_);
   }
 
-  const std::unordered_map<GroupKey, LatencySample, GroupKeyHash>& groups()
-      const {
+  /// Groups in first-recorded order (callers sort as needed).
+  const std::vector<std::pair<GroupKey, LatencySample>>& groups() const {
     return groups_;
   }
 
  private:
-  std::unordered_map<GroupKey, LatencySample, GroupKeyHash> groups_;
+  std::vector<std::pair<GroupKey, LatencySample>> groups_;
+  std::size_t last_index_ = 0;  ///< memo: group hit by the previous record
   std::uint64_t queries_ = 0;
   std::uint64_t tasks_dequeued_ = 0;
   std::uint64_t tasks_missed_ = 0;

@@ -2,35 +2,203 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
 #include <queue>
+#include <span>
 #include <unordered_map>
 
 #include "common/check.h"
 #include "common/stats.h"
 #include "dist/arrival.h"
+#include "dist/piecewise_linear_quantile.h"
 
 namespace tailguard {
 
 namespace {
 
+// 16 bytes: the discriminant fields are packed into one integer whose
+// numeric order equals the old lexicographic (kind, server, payload) order,
+// so a tie on `time` is broken by a single compare and heap/wheel moves
+// copy two words. Arrivals are not Events at all — they come from a
+// time-monotone generator that the main loop merges with the queue (an
+// arrival wins time ties because every queued kind is > kArrival's 0).
 struct Event {
   TimeMs time = 0.0;
+  std::uint64_t key = 0;  // kind << 62 | server << 32 | payload
+
   enum Kind : std::uint8_t {
-    kArrival = 0,
     kTaskEnqueue = 1,    // task reaches its server after dispatch delay
     kTaskDone = 2,       // server finishes its current task
     kResultArrival = 3,  // result reaches the query handler
-  } kind = kArrival;
-  ServerId server = 0;
-  std::uint32_t payload = 0;  // index into the payload pool, if any
+  };
 
-  // Min-heap ordering; kind/server break time ties deterministically.
+  Event() = default;
+  Event(TimeMs t, Kind k, ServerId server, std::uint32_t payload = 0)
+      : time(t),
+        key((std::uint64_t{k} << 62) | (std::uint64_t{server} << 32) |
+            payload) {
+    TG_DCHECK(server < (1u << 30));
+  }
+
+  Kind kind() const { return static_cast<Kind>(key >> 62); }
+  ServerId server() const {
+    return static_cast<ServerId>((key >> 32) & ((1u << 30) - 1));
+  }
+  std::uint32_t payload() const { return static_cast<std::uint32_t>(key); }
+
+  // Min-heap ordering; the packed key breaks time ties deterministically.
   friend bool operator>(const Event& a, const Event& b) {
     if (a.time != b.time) return a.time > b.time;
-    if (a.kind != b.kind) return a.kind > b.kind;
-    if (a.server != b.server) return a.server > b.server;
-    return a.payload > b.payload;
+    return a.key > b.key;
   }
+};
+
+struct EventLess {
+  bool operator()(const Event& a, const Event& b) const { return b > a; }
+};
+struct EventTimeKey {
+  double operator()(const Event& e) const { return e.time; }
+};
+
+// The future event set. Three interchangeable backings, all yielding the
+// identical event sequence (exact (time, key) order), so every BENCH row is
+// bit-identical across the TAILGUARD_EVENT_QUEUE knob:
+//
+//   * dense — the default whenever the run has no network model. Then every
+//     event is a kTaskDone and a server has at most one outstanding, so the
+//     event set is just "completion time per busy server": push is a store
+//     plus an argmin update, pop rescans one 8-server block and the block
+//     minima. O(num_servers/8) beats both trees because the whole structure
+//     is a few flat cache lines.
+//   * heap — binary heap, the general-purpose backing (network runs). At
+//     the ~hundred pending events of the tested configurations its ~7
+//     hot-line compares also beat the timer wheel's slot walk.
+//   * wheel — the exact-order timer wheel (common/timer_wheel.h), here as
+//     an A/B experiment: the event population is far below the depth where
+//     its O(1) radix filing wins (see bench/micro_core_ops).
+class EventQueue {
+ public:
+  // 20µs ticks: one 64-slot level-0 rotation (1.28ms) covers a typical
+  // service time, so most completions file straight into level 0 and are
+  // never re-placed by a cascade, while slots still hold only a handful of
+  // events at the tested loads.
+  static constexpr double kTickMs = 0.02;
+  static constexpr double kIdle = std::numeric_limits<double>::infinity();
+
+  /// `dense_servers` > 0 marks the run dense-eligible (every event will be
+  /// a kTaskDone with payload 0) with that many servers.
+  EventQueue(std::size_t expected, std::size_t dense_servers)
+      : wheel_(kTickMs) {
+    enum class Pick { kAuto, kDense, kHeap, kWheel } pick = Pick::kAuto;
+    if (const char* env = std::getenv("TAILGUARD_EVENT_QUEUE")) {
+      if (std::strcmp(env, "dense") == 0) pick = Pick::kDense;
+      else if (std::strcmp(env, "heap") == 0) pick = Pick::kHeap;
+      else if (std::strcmp(env, "wheel") == 0) pick = Pick::kWheel;
+      else TG_CHECK_MSG(false, "TAILGUARD_EVENT_QUEUE must be 'dense', "
+                               "'heap' or 'wheel', got '" << env << "'");
+    }
+    // 'dense' on an ineligible (network-model) run falls back to the heap:
+    // the knob selects among valid layouts, it cannot force a wrong one.
+    mode_ = (pick == Pick::kWheel) ? Mode::kWheel
+            : (pick == Pick::kHeap || dense_servers == 0) ? Mode::kHeap
+                                                          : Mode::kDense;
+    if (mode_ == Mode::kDense) {
+      const std::size_t padded = (dense_servers + kBlock - 1) & ~(kBlock - 1);
+      done_.assign(padded, kIdle);
+      block_min_.assign(padded / kBlock, kIdle);
+    } else if (mode_ == Mode::kHeap) {
+      heap_.reserve(expected);
+    }
+  }
+
+  void push(const Event& e) {
+    if (mode_ == Mode::kDense) {
+      TG_DCHECK(e.kind() == Event::kTaskDone && e.payload() == 0);
+      const std::uint32_t sid = e.server();
+      TG_DCHECK(done_[sid] == kIdle);
+      done_[sid] = e.time;
+      if (e.time < block_min_[sid / kBlock]) block_min_[sid / kBlock] = e.time;
+      if (count_ == 0 || e.time < min_time_ ||
+          (e.time == min_time_ && sid < min_idx_)) {
+        min_time_ = e.time;
+        min_idx_ = sid;
+      }
+      ++count_;
+    } else if (mode_ == Mode::kWheel) {
+      wheel_.push(e);
+    } else {
+      heap_.push_back(e);
+      std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    }
+  }
+
+  Event pop() {
+    if (mode_ == Mode::kDense) {
+      const Event out(min_time_, Event::kTaskDone, min_idx_);
+      done_[min_idx_] = kIdle;
+      --count_;
+      refresh_block(min_idx_ / kBlock);
+      if (count_ != 0) rescan();
+      return out;
+    }
+    if (mode_ == Mode::kWheel) return wheel_.pop();
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    const Event e = heap_.back();
+    heap_.pop_back();
+    return e;
+  }
+
+  bool empty() const {
+    return mode_ == Mode::kDense   ? count_ == 0
+           : mode_ == Mode::kWheel ? wheel_.empty()
+                                   : heap_.empty();
+  }
+
+  /// Time of the event pop() would return. Precondition: !empty().
+  TimeMs peek_time() const {
+    return mode_ == Mode::kDense   ? min_time_
+           : mode_ == Mode::kWheel ? wheel_.peek().time
+                                   : heap_.front().time;
+  }
+
+ private:
+  enum class Mode : std::uint8_t { kDense, kHeap, kWheel };
+  static constexpr std::size_t kBlock = 8;  // one cache line of doubles
+
+  void refresh_block(std::size_t b) {
+    double m = kIdle;
+    const double* base = done_.data() + b * kBlock;
+    for (std::size_t i = 0; i < kBlock; ++i) m = std::min(m, base[i]);
+    block_min_[b] = m;
+  }
+
+  // Strict < throughout: the first minimal block, then the first minimal
+  // server inside it — exactly the old (time, kind, server) tie order since
+  // dense events differ only in server id.
+  void rescan() {
+    std::size_t best = 0;
+    for (std::size_t b = 1; b < block_min_.size(); ++b)
+      if (block_min_[b] < block_min_[best]) best = b;
+    const double* base = done_.data() + best * kBlock;
+    std::size_t off = 0;
+    for (std::size_t i = 1; i < kBlock; ++i)
+      if (base[i] < base[off]) off = i;
+    min_time_ = base[off];
+    min_idx_ = static_cast<std::uint32_t>(best * kBlock + off);
+  }
+
+  Mode mode_ = Mode::kHeap;
+  // dense state
+  std::vector<double> done_;       // completion time per server, kIdle if none
+  std::vector<double> block_min_;  // min of each kBlock-server block
+  std::size_t count_ = 0;
+  double min_time_ = kIdle;
+  std::uint32_t min_idx_ = 0;
+  // tree state
+  TimerWheel<Event, EventLess, EventTimeKey> wheel_;
+  std::vector<Event> heap_;  // min-heap via std::greater (operator>)
 };
 
 // Payload carried by kTaskEnqueue (the task in flight) and kResultArrival
@@ -71,7 +239,15 @@ class PayloadPool {
 
 struct ServerState {
   std::unique_ptr<TaskQueue> queue;
+  /// Mirrors queue->size(); the idle/backlog checks run per task and the
+  /// counter spares them a virtual call into the discipline.
+  std::uint32_t queue_len = 0;
   DistributionPtr service;
+  /// Non-null when `service` is a PiecewiseLinearQuantile (the calibrated
+  /// Tailbench workloads — i.e. nearly every figure run): the per-task draw
+  /// then goes through the concrete final class, which devirtualizes and
+  /// inlines. Falls back to the virtual sample() for other distributions.
+  const PiecewiseLinearQuantile* service_plq = nullptr;
   bool busy = false;
   QueuedTask current;
   TimeMs current_started = 0.0;
@@ -320,16 +496,18 @@ SimResult run_simulation(const SimConfig& config) {
   // --- servers ---------------------------------------------------------------
   std::vector<ServerState> servers(config.num_servers);
   for (std::size_t s = 0; s < config.num_servers; ++s) {
-    servers[s].queue = make_task_queue(config.policy, config.classes.size());
+    servers[s].queue = make_task_queue(config.policy, config.classes.size(),
+                                       config.edf_impl);
     servers[s].service = per_server[s];
+    servers[s].service_plq =
+        dynamic_cast<const PiecewiseLinearQuantile*>(per_server[s].get());
   }
 
   // --- default placement: uniform distinct servers ----------------------------
   std::vector<ServerId> perm(config.num_servers);
   for (std::size_t s = 0; s < config.num_servers; ++s)
     perm[s] = static_cast<ServerId>(s);
-  auto default_placement = [&perm](Rng& r, ClassId, std::uint32_t kf,
-                                   std::vector<ServerId>& out) {
+  auto default_placement = [&perm](Rng& r, ClassId, std::uint32_t kf) {
     TG_CHECK_MSG(kf <= perm.size(),
                  "fanout " << kf << " exceeds cluster size " << perm.size());
     for (std::uint32_t i = 0; i < kf; ++i) {
@@ -337,13 +515,10 @@ SimResult run_simulation(const SimConfig& config) {
           i + static_cast<std::size_t>(r.uniform_index(perm.size() - i));
       std::swap(perm[i], perm[j]);
     }
-    out.assign(perm.begin(), perm.begin() + kf);
   };
-  const auto& place = config.placement
-                          ? config.placement
-                          : std::function<void(Rng&, ClassId, std::uint32_t,
-                                               std::vector<ServerId>&)>(
-                                default_placement);
+  // Dispatch placement with a branch instead of wrapping the default in a
+  // std::function: the default shuffle then inlines into issue_query.
+  const bool custom_placement = static_cast<bool>(config.placement);
 
   // --- bookkeeping -------------------------------------------------------------
   std::vector<bool> record_query_flag;  // indexed by admitted QueryId
@@ -365,20 +540,16 @@ SimResult run_simulation(const SimConfig& config) {
 
   SimResult result;
 
-  // Pre-size the event heap's backing vector to the expected pending-event
-  // peak: one next-arrival event, at most one kTaskDone per server, and —
-  // when the network model is on — dispatch/result events in flight (scales
-  // with the per-query fanout). Saves the growth reallocations of the first
-  // simulated seconds on every run the experiment engine fans out.
-  std::vector<Event> event_storage;
-  {
-    std::size_t expected = config.num_servers + 64;
-    if (config.dispatch_delay_ms != nullptr || config.result_delay_ms != nullptr)
-      expected += 4 * config.num_servers;
-    event_storage.reserve(expected);
-  }
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events(
-      std::greater<>{}, std::move(event_storage));
+  // Size hint for the binary-heap fallback: one next-arrival event, at most
+  // one kTaskDone per server, and — when the network model is on —
+  // dispatch/result events in flight (scales with the per-query fanout).
+  std::size_t expected_events = config.num_servers + 64;
+  if (config.dispatch_delay_ms != nullptr || config.result_delay_ms != nullptr)
+    expected_events += 4 * config.num_servers;
+  const bool dense_eligible = config.dispatch_delay_ms == nullptr &&
+                              config.result_delay_ms == nullptr;
+  EventQueue events(expected_events,
+                    dense_eligible ? config.num_servers : 0);
   std::size_t offered = 0;
   TimeMs now = 0.0;
 
@@ -393,8 +564,8 @@ SimResult run_simulation(const SimConfig& config) {
   const bool defer_result_accounting = config.result_delay_ms != nullptr;
 
   // Starts `task` on idle server `sid` at time `t`.
-  const auto start_task = [&](ServerState& sv, ServerId sid, QueuedTask task,
-                              TimeMs t) {
+  const auto start_task = [&](ServerState& sv, ServerId sid,
+                              const QueuedTask& task, TimeMs t) {
     TG_DCHECK(!sv.busy);
     sv.busy = true;
     sv.busy_since = t;
@@ -417,10 +588,12 @@ SimResult run_simulation(const SimConfig& config) {
   // momentarily idle *with* a non-empty queue (the head is popped after the
   // result is processed), and a request-chained follow-up task must not
   // jump that queue.
-  const auto deliver_task = [&](QueuedTask task, ServerId sid, TimeMs t) {
+  const auto deliver_task = [&](const QueuedTask& task, ServerId sid,
+                                TimeMs t) {
     ServerState& sv = servers[sid];
-    if (sv.busy || !sv.queue->empty()) {
+    if (sv.busy || sv.queue_len != 0) {
       sv.queue->push(task);
+      ++sv.queue_len;
     } else {
       start_task(sv, sid, task, t);
     }
@@ -447,8 +620,17 @@ SimResult run_simulation(const SimConfig& config) {
                                bool record,
                                std::uint64_t request_id = ~0ULL,
                                std::size_t request_query_idx = 0) {
-    place(rng, cls, kf, chosen);
-    TG_DCHECK(chosen.size() == kf);
+    // The default shuffle leaves the placed set in perm's prefix, so the
+    // common path hands a span straight over it — no copy into `chosen`.
+    std::span<const ServerId> placed;
+    if (custom_placement) {
+      config.placement(rng, cls, kf, chosen);
+      TG_DCHECK(chosen.size() == kf);
+      placed = chosen;
+    } else {
+      default_placement(rng, cls, kf);
+      placed = std::span<const ServerId>(perm.data(), kf);
+    }
 
     // The control plane computes the budget (Eq. 6, or the Eq. 7 request
     // decomposition via the override), the shared t_D and the policy
@@ -461,7 +643,7 @@ SimResult run_simulation(const SimConfig& config) {
       order_slo_ms = config.request->request_slo.slo_ms;
     }
     const QueryPlan plan =
-        control.begin_query(t, cls, chosen, budget_override, order_slo_ms);
+        control.begin_query(t, cls, placed, budget_override, order_slo_ms);
     const QueryId qid = plan.id;
     TG_DCHECK(qid == record_query_flag.size());
     record_query_flag.push_back(record);
@@ -469,7 +651,7 @@ SimResult run_simulation(const SimConfig& config) {
     if (config.on_query_planned) config.on_query_planned(plan);
 
     for (std::uint32_t k = 0; k < kf; ++k) {
-      const ServerId sid = chosen[k];
+      const ServerId sid = placed[k];
       QueuedTask task;
       task.query = qid;
       task.cls = cls;
@@ -482,8 +664,11 @@ SimResult run_simulation(const SimConfig& config) {
             t + plan.budget_ms * (1.0 + config.task_budget_jitter * u);
       }
       // Pre-sample the service demand (common random numbers across
-      // policies).
-      task.service_time = servers[sid].service->sample(rng);
+      // policies). The concrete-pointer branch inlines the whole draw.
+      const ServerState& placed_sv = servers[sid];
+      task.service_time = placed_sv.service_plq != nullptr
+                              ? placed_sv.service_plq->sample(rng)
+                              : placed_sv.service->sample(rng);
       if (config.dispatch_delay_ms != nullptr) {
         const std::uint32_t idx = payloads.alloc();
         payloads[idx].task = task;
@@ -539,25 +724,29 @@ SimResult run_simulation(const SimConfig& config) {
     }
   };
 
-  events.push(Event{use_trace ? config.trace.front().arrival_ms
-                              : arrivals->next_interarrival(rng),
-                    Event::kArrival, 0});
+  // Arrivals stay out of the event queue entirely: the stream is generated
+  // in time order, so one pending arrival time merged against the queue head
+  // reproduces the old pop order exactly (at a time tie the arrival pops
+  // first, as kArrival used to sort before every other kind) while roughly a
+  // quarter of all queue traffic disappears.
+  TimeMs next_arrival = use_trace ? config.trace.front().arrival_ms
+                                  : arrivals->next_interarrival(rng);
+  bool arrival_pending = true;
   ++offered;
 
-  while (!events.empty()) {
-    const Event ev = events.top();
-    events.pop();
-    now = ev.time;
-
-    if (ev.kind == Event::kArrival) {
+  while (arrival_pending || !events.empty()) {
+    if (arrival_pending &&
+        (events.empty() || next_arrival <= events.peek_time())) {
+      now = next_arrival;
       const std::size_t arrival_idx = offered - 1;
-      // Schedule the next arrival first so the process is independent of
+      // Draw the next arrival first so the process is independent of
       // admission decisions.
       if (offered < total_arrivals) {
-        events.push(Event{use_trace ? config.trace[offered].arrival_ms
-                                    : now + arrivals->next_interarrival(rng),
-                          Event::kArrival, 0});
+        next_arrival = use_trace ? config.trace[offered].arrival_ms
+                                 : now + arrivals->next_interarrival(rng);
         ++offered;
+      } else {
+        arrival_pending = false;
       }
 
       // Query (or first-query-of-request) attributes.
@@ -604,14 +793,20 @@ SimResult run_simulation(const SimConfig& config) {
       } else {
         issue_query(now, cls, kf, record);
       }
-    } else if (ev.kind == Event::kTaskEnqueue) {
+      continue;
+    }
+
+    const Event ev = events.pop();
+    now = ev.time;
+
+    if (ev.kind() == Event::kTaskEnqueue) {
       // A dispatched task reaches its server.
-      const QueuedTask task = payloads[ev.payload].task;
-      payloads.free(ev.payload);
-      deliver_task(task, ev.server, now);
-    } else if (ev.kind == Event::kTaskDone) {
+      const QueuedTask task = payloads[ev.payload()].task;
+      payloads.free(ev.payload());
+      deliver_task(task, ev.server(), now);
+    } else if (ev.kind() == Event::kTaskDone) {
       // Task completion on ev.server.
-      ServerState& sv = servers[ev.server];
+      ServerState& sv = servers[ev.server()];
       TG_DCHECK(sv.busy);
       const QueuedTask done = sv.current;
       const TimeMs dequeue_time = sv.current_started;
@@ -630,21 +825,22 @@ SimResult run_simulation(const SimConfig& config) {
         payloads[idx].missed = missed;
         payloads[idx].recorded = recorded;
         events.push(Event{now + config.result_delay_ms->sample(rng),
-                          Event::kResultArrival, ev.server, idx});
+                          Event::kResultArrival, ev.server(), idx});
       } else {
-        handle_result(now, done.query, ev.server, dequeue_time, missed,
+        handle_result(now, done.query, ev.server(), dequeue_time, missed,
                       recorded);
       }
 
-      if (!sv.queue->empty() && !sv.busy) {
+      if (sv.queue_len != 0 && !sv.busy) {
         QueuedTask next = sv.queue->pop();
-        start_task(sv, ev.server, next, now);
+        --sv.queue_len;
+        start_task(sv, ev.server(), next, now);
       }
     } else {
       // A task result reaches the query handler.
-      const EventPayload payload = payloads[ev.payload];
-      payloads.free(ev.payload);
-      handle_result(now, payload.query, ev.server, payload.dequeue_time,
+      const EventPayload payload = payloads[ev.payload()];
+      payloads.free(ev.payload());
+      handle_result(now, payload.query, ev.server(), payload.dequeue_time,
                     payload.missed, payload.recorded);
     }
   }
@@ -664,17 +860,20 @@ SimResult run_simulation(const SimConfig& config) {
       now > 0.0 ? busy_total / (static_cast<double>(config.num_servers) * now)
                 : 0.0;
 
-  std::vector<GroupKey> keys;
-  keys.reserve(metrics.groups().size());
-  for (const auto& [key, sample] : metrics.groups()) keys.push_back(key);
-  std::sort(keys.begin(), keys.end(),
-            [](const GroupKey& a, const GroupKey& b) {
-              return a.cls != b.cls ? a.cls < b.cls : a.fanout < b.fanout;
+  std::vector<const std::pair<GroupKey, LatencySample>*> sorted_groups;
+  sorted_groups.reserve(metrics.groups().size());
+  for (const auto& group : metrics.groups()) sorted_groups.push_back(&group);
+  std::sort(sorted_groups.begin(), sorted_groups.end(),
+            [](const auto* a, const auto* b) {
+              return a->first.cls != b->first.cls
+                         ? a->first.cls < b->first.cls
+                         : a->first.fanout < b->first.fanout;
             });
 
   std::vector<std::vector<double>> per_class_values(config.classes.size());
-  for (const GroupKey& key : keys) {
-    const LatencySample& sample = metrics.groups().at(key);
+  for (const auto* group : sorted_groups) {
+    const GroupKey& key = group->first;
+    const LatencySample& sample = group->second;
     const ClassSpec& spec = config.classes[key.cls];
     GroupResult g;
     g.cls = key.cls;

@@ -18,6 +18,8 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "net/dispatcher.h"
+#include "net/poller.h"
+#include "net/send_queue.h"
 #include "net/socket.h"
 #include "net/task_server.h"
 #include "net/wire.h"
@@ -213,6 +215,199 @@ TEST(Wire, UnknownMessageTypeIsSkippable) {
   EXPECT_EQ(decoded.task, 5u);
 }
 
+TEST(Wire, EncodeIntoCoalescesFramesIntoOneBuffer) {
+  // The batching primitive: many frames appended to the same buffer must
+  // byte-match the concatenation of their individual encode() results and
+  // parse back in order — this is exactly what a SendQueue chunk holds.
+  std::vector<std::uint8_t> batch;
+  net::SubmitTaskMsg submit{.task = 7, .query = 3, .cls = 1,
+                            .relative_deadline_ms = 12.5,
+                            .simulated_service_ms = 0.25};
+  net::TaskDoneMsg done{.task = 7, .query = 3, .queue_ms = 1.5,
+                        .service_ms = 0.5, .missed_deadline = true};
+  net::HelloMsg hello{.peer_name = "batcher"};
+  net::encode_into(hello, batch);
+  net::encode_into(submit, batch);
+  net::encode_into(done, batch);
+
+  std::vector<std::uint8_t> concat = net::encode(hello);
+  const auto submit_bytes = net::encode(submit);
+  const auto done_bytes = net::encode(done);
+  concat.insert(concat.end(), submit_bytes.begin(), submit_bytes.end());
+  concat.insert(concat.end(), done_bytes.begin(), done_bytes.end());
+  EXPECT_EQ(batch, concat);
+
+  net::FrameBuffer buf;
+  buf.append(batch.data(), batch.size());
+  net::HelloMsg hello_rt;
+  net::SubmitTaskMsg submit_rt;
+  net::TaskDoneMsg done_rt;
+  ASSERT_TRUE(net::decode(*buf.next(), &hello_rt));
+  ASSERT_TRUE(net::decode(*buf.next(), &submit_rt));
+  ASSERT_TRUE(net::decode(*buf.next(), &done_rt));
+  EXPECT_EQ(hello_rt, hello);
+  EXPECT_EQ(submit_rt, submit);
+  EXPECT_EQ(done_rt, done);
+  EXPECT_FALSE(buf.next().has_value());
+}
+
+TEST(Wire, EncodeIntoEmptyPayloadFrame) {
+  std::vector<std::uint8_t> out;
+  net::encode_into(net::StatsRequestMsg{}, out);
+  EXPECT_EQ(out.size(), net::kFrameHeaderBytes);
+  net::FrameBuffer buf;
+  buf.append(out.data(), out.size());
+  net::StatsRequestMsg req;
+  ASSERT_TRUE(net::decode(*buf.next(), &req));
+}
+
+// ----------------------------------------------------- poller & send queue
+
+class PollerBackends : public ::testing::TestWithParam<net::Poller::Backend> {};
+
+TEST_P(PollerBackends, ReportsReadWriteAndHangup) {
+  auto poller = net::Poller::create(GetParam());
+  ASSERT_EQ(poller->backend(), GetParam());
+
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  net::ScopedFd a(sv[0]), b(sv[1]);
+  net::set_nonblocking(a.get());
+
+  // Read interest, nothing to read: timeout.
+  poller->watch(a.get(), /*want_read=*/true, /*want_write=*/false);
+  std::vector<net::Poller::Event> events;
+  EXPECT_EQ(poller->wait(events, 0), 0);
+  EXPECT_TRUE(events.empty());
+
+  // Peer writes: readable, and not writable (no write interest).
+  const std::uint8_t byte = 0x42;
+  ASSERT_EQ(::send(b.get(), &byte, 1, MSG_NOSIGNAL), 1);
+  events.clear();
+  ASSERT_GE(poller->wait(events, 1000), 1);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].fd, a.get());
+  EXPECT_TRUE(events[0].readable);
+  EXPECT_FALSE(events[0].writable);
+
+  // Adding write interest on an idle socket: writable immediately.
+  poller->watch(a.get(), /*want_read=*/true, /*want_write=*/true);
+  events.clear();
+  ASSERT_GE(poller->wait(events, 1000), 1);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_TRUE(events[0].writable);
+
+  // Peer closes: hangup-class condition reported.
+  b.reset();
+  events.clear();
+  ASSERT_GE(poller->wait(events, 1000), 1);
+  EXPECT_TRUE(events[0].closed || events[0].readable);  // EOF shows as either
+
+  // After forget(), the fd produces no more events.
+  poller->forget(a.get());
+  events.clear();
+  EXPECT_EQ(poller->wait(events, 0), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, PollerBackends,
+                         ::testing::Values(net::Poller::Backend::kEpoll,
+                                           net::Poller::Backend::kPoll));
+
+TEST(Poller, EnvSelectsPollBackend) {
+  ::setenv("TAILGUARD_NET_BACKEND", "poll", 1);
+  EXPECT_EQ(net::Poller::create()->backend(), net::Poller::Backend::kPoll);
+  ::unsetenv("TAILGUARD_NET_BACKEND");
+  EXPECT_EQ(net::Poller::create()->backend(), net::Poller::Backend::kEpoll);
+}
+
+TEST(SendQueue, CoalescesFramesAndFlushesInOneBatch) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  net::ScopedFd tx(sv[0]), rx(sv[1]);
+  net::set_nonblocking(tx.get());
+
+  net::SendQueue q;
+  EXPECT_TRUE(q.empty());
+  constexpr int kFrames = 500;
+  for (int i = 0; i < kFrames; ++i) {
+    net::TaskDoneMsg msg;
+    msg.task = static_cast<TaskId>(i);
+    msg.queue_ms = 0.5 * i;
+    net::encode_into(msg, q.chunk());
+  }
+  EXPECT_FALSE(q.empty());
+  const std::size_t pending = q.bytes_pending();
+  EXPECT_GT(pending, 0u);
+
+  // Flush everything while a reader drains the other end: every frame must
+  // arrive intact and in order, regardless of how sends were batched.
+  net::FrameBuffer in;
+  int seen = 0;
+  for (int spin = 0; spin < 100000 && seen < kFrames; ++spin) {
+    const auto result = q.flush(tx.get());
+    ASSERT_NE(result, net::SendQueue::FlushResult::kError);
+    std::uint8_t buf[16 * 1024];
+    const ssize_t n = ::recv(rx.get(), buf, sizeof(buf), MSG_DONTWAIT);
+    if (n > 0) in.append(buf, static_cast<std::size_t>(n));
+    while (auto frame = in.next()) {
+      net::TaskDoneMsg msg;
+      ASSERT_TRUE(net::decode(*frame, &msg));
+      ASSERT_EQ(msg.task, static_cast<TaskId>(seen));
+      ++seen;
+    }
+  }
+  EXPECT_EQ(seen, kFrames);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.bytes_pending(), 0u);
+}
+
+TEST(SendQueue, BlockedFlushResumesWhereItStopped) {
+  // A tiny send buffer forces the partial-write path: flush() must report
+  // kBlocked, keep its position, and deliver a byte-perfect stream once the
+  // reader catches up.
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  net::ScopedFd tx(sv[0]), rx(sv[1]);
+  net::set_nonblocking(tx.get());
+  const int tiny = 4096;
+  ::setsockopt(tx.get(), SOL_SOCKET, SO_SNDBUF, &tiny, sizeof(tiny));
+
+  net::SendQueue q;
+  net::ModelSyncMsg big;
+  big.samples_ms.resize(20000, 1.25);  // ~160 KB frame, far beyond SO_SNDBUF
+  net::encode_into(big, q.chunk());
+  const std::size_t total = q.bytes_pending();
+
+  bool saw_blocked = false;
+  net::FrameBuffer in;
+  std::optional<net::Frame> frame;
+  for (int spin = 0; spin < 100000 && !frame; ++spin) {
+    const auto result = q.flush(tx.get());
+    ASSERT_NE(result, net::SendQueue::FlushResult::kError);
+    saw_blocked |= result == net::SendQueue::FlushResult::kBlocked;
+    std::uint8_t buf[8 * 1024];
+    const ssize_t n = ::recv(rx.get(), buf, sizeof(buf), MSG_DONTWAIT);
+    if (n > 0) in.append(buf, static_cast<std::size_t>(n));
+    frame = in.next();
+  }
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_TRUE(saw_blocked) << "SO_SNDBUF=" << tiny << " never backpressured a "
+                           << total << "-byte frame";
+  net::ModelSyncMsg rt;
+  ASSERT_TRUE(net::decode(*frame, &rt));
+  EXPECT_EQ(rt, big);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SendQueue, ClearDropsPendingData) {
+  net::SendQueue q;
+  net::encode_into(net::HelloMsg{.peer_name = "x"}, q.chunk());
+  EXPECT_FALSE(q.empty());
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.bytes_pending(), 0u);
+}
+
 // ------------------------------------------------------- raw-socket client
 
 /// Minimal blocking-ish wire client for poking a TaskServer directly.
@@ -373,6 +568,33 @@ net::DispatcherOptions dispatcher_options(
   options.policy = policy;
   options.classes = std::move(classes);
   return options;
+}
+
+TEST(RemoteDispatcher, PollBackendEndToEnd) {
+  // The full dispatcher <-> task-server loop on the poll(2) fallback: both
+  // net loops pick their backend at construction, so the env var must be in
+  // place before either starts. Differential coverage for the epoll default
+  // every other test exercises.
+  ::setenv("TAILGUARD_NET_BACKEND", "poll", 1);
+  {
+    auto fleet = start_fleet(2, Policy::kTfEdf, 1);
+    net::RemoteDispatcher dispatcher(dispatcher_options(
+        fleet, Policy::kTfEdf, {{.slo_ms = 100.0, .percentile = 99.0}}));
+    ASSERT_TRUE(dispatcher.wait_for_servers(2, 5000.0));
+    std::vector<std::future<QueryResult>> futures;
+    for (int q = 0; q < 10; ++q) {
+      std::vector<net::RemoteTaskSpec> tasks(2);
+      for (auto& t : tasks) t.simulated_service_ms = 0.2;
+      futures.push_back(dispatcher.submit(0, std::move(tasks)));
+    }
+    for (auto& f : futures) {
+      const QueryResult r = f.get();
+      EXPECT_TRUE(r.admitted);
+      EXPECT_EQ(r.tasks_failed, 0u);
+    }
+    EXPECT_EQ(dispatcher.completed_queries(), 10u);
+  }
+  ::unsetenv("TAILGUARD_NET_BACKEND");
 }
 
 TEST(RemoteDispatcher, SubmitsAndCompletesQueries) {

@@ -109,6 +109,33 @@ TEST(Worker, ConcurrentSubmitRacingShutdownDrainsExactlyOnce) {
   }
 }
 
+TEST(Worker, QueueDepthCountsRingAndQueueAndDrainsToZero) {
+  // queue_depth() spans both stages of the lock-free submit path (the MPSC
+  // ring and the policy queue); after a blocked backlog is released and
+  // drained it must return to exactly zero.
+  std::atomic<bool> gate{false};
+  std::atomic<int> done{0};
+  Worker w(
+      0, Policy::kTfEdf, 1, [] { return 0.0; },
+      [&](ServerId, const RuntimeTask&, TimeMs, TimeMs) { ++done; });
+  RuntimeTask blocker;
+  blocker.id = 0;
+  blocker.work = [&gate] {
+    while (!gate.load()) std::this_thread::yield();
+  };
+  w.submit(std::move(blocker), 0.0, 0.0);
+  while (w.queue_depth() != 0) std::this_thread::yield();  // blocker started
+  for (int i = 1; i <= 20; ++i) {
+    RuntimeTask t;
+    t.id = static_cast<TaskId>(i);
+    w.submit(std::move(t), 0.0, static_cast<TimeMs>(i));
+  }
+  EXPECT_EQ(w.queue_depth(), 20u);  // all parked behind the blocker
+  gate.store(true);
+  while (done.load() < 21) std::this_thread::yield();
+  EXPECT_EQ(w.queue_depth(), 0u);
+}
+
 // -------------------------------------------------------------- service
 
 TEST(Service, SingleQueryCompletes) {
