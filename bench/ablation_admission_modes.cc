@@ -14,7 +14,8 @@
 
 using namespace tailguard;
 
-int main() {
+int main(int argc, char** argv) {
+  tailguard::bench::init(argc, argv);
   bench::title("Ablation", "admission control variants under overload");
 
   SimConfig cfg;

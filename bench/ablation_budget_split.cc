@@ -12,7 +12,8 @@
 
 using namespace tailguard;
 
-int main() {
+int main(int argc, char** argv) {
+  tailguard::bench::init(argc, argv);
   bench::title("Ablation (footnote 4)",
                "equal vs jittered per-task budgets under TF-EDFQ");
 

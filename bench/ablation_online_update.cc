@@ -40,7 +40,8 @@ DistributionPtr make_slow_masstree() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tailguard::bench::init(argc, argv);
   bench::title("Ablation (§III.B.2)",
                "single-server offline profile + online updating");
   bench::JsonReport report("ablation_online_update");

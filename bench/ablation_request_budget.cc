@@ -21,7 +21,8 @@
 
 using namespace tailguard;
 
-int main() {
+int main(int argc, char** argv) {
+  tailguard::bench::init(argc, argv);
   bench::title("Ablation (Eq. 7 extension)",
                "request-level budget decomposition strategies");
   bench::JsonReport report("ablation_request_budget");

@@ -7,18 +7,54 @@
 //
 // Besides the stdout report, each bench writes BENCH_<name>.json (see
 // JsonReport below, format documented in EXPERIMENTS.md) so the perf and
-// result trajectory is machine-trackable across commits.
+// result trajectory is machine-trackable across commits. The JSON lands in
+// the working directory by default; `--out=DIR` (via bench::init) or the
+// TAILGUARD_BENCH_OUT environment variable redirects every report into DIR
+// (created on demand) — so CI can collect all artifacts from one place
+// without cd-ing around.
 #pragma once
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "sim/experiment.h"
 
 namespace tailguard::bench {
+
+namespace detail {
+/// --out override from bench::init; empty = fall back to the environment.
+inline std::string& out_dir_override() {
+  static std::string dir;
+  return dir;
+}
+}  // namespace detail
+
+/// Directory JSON reports are written into: the --out flag if given, else
+/// $TAILGUARD_BENCH_OUT, else empty (working directory).
+inline std::string out_dir() {
+  if (!detail::out_dir_override().empty()) return detail::out_dir_override();
+  const char* env = std::getenv("TAILGUARD_BENCH_OUT");
+  return env != nullptr ? std::string(env) : std::string();
+}
+
+/// Parses the shared bench flags (currently just `--out=DIR` / `--out DIR`).
+/// Call first thing in main(); unknown arguments are ignored so benches can
+/// layer their own flags on top.
+inline void init(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0)
+      detail::out_dir_override() = std::string(arg.substr(6));
+    else if (arg == "--out" && i + 1 < argc)
+      detail::out_dir_override() = argv[++i];
+  }
+}
 
 inline void title(const char* experiment, const char* what) {
   std::printf("\n");
@@ -101,7 +137,12 @@ class JsonReport {
 
  private:
   void write() const {
-    const std::string path = "BENCH_" + name_ + ".json";
+    std::string path = "BENCH_" + name_ + ".json";
+    if (const std::string dir = out_dir(); !dir.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(dir, ec);  // best-effort, like fopen
+      path = dir + "/" + path;
+    }
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return;  // e.g. read-only CWD; the stdout report stands
     std::fprintf(f, "{\"bench\": %s, \"wall_ms\": %.3f, \"rows\": [",

@@ -14,7 +14,8 @@
 
 using namespace tailguard;
 
-int main() {
+int main(int argc, char** argv) {
+  tailguard::bench::init(argc, argv);
   bench::title("Extension",
                "analytic (M/G/1 + order statistics) vs simulated capacity, "
                "FIFO, fixed fanout 10");

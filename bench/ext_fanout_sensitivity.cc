@@ -15,7 +15,8 @@
 
 using namespace tailguard;
 
-int main() {
+int main(int argc, char** argv) {
+  tailguard::bench::init(argc, argv);
   bench::title("Extension", "sensitivity of the gain to the fanout law P(kf)");
   bench::JsonReport report("ext_fanout_sensitivity");
 

@@ -17,7 +17,8 @@
 
 using namespace tailguard;
 
-int main() {
+int main(int argc, char** argv) {
+  tailguard::bench::init(argc, argv);
   bench::title("Extension",
                "network dispatch/result delays (queuing at task servers)");
   bench::JsonReport report("ext_network_delay");

@@ -9,7 +9,8 @@
 
 using namespace tailguard;
 
-int main() {
+int main(int argc, char** argv) {
+  tailguard::bench::init(argc, argv);
   bench::title("Extension (paper §IV.D remark)",
                "cluster size N=1000 and four service classes");
   bench::JsonReport report("ext_scale_and_classes");

@@ -17,7 +17,8 @@
 
 using namespace tailguard;
 
-int main() {
+int main(int argc, char** argv) {
+  tailguard::bench::init(argc, argv);
   bench::title("Extension", "sensitivity of the gain to the service-time law");
   bench::JsonReport report("ext_service_dist_sensitivity");
 

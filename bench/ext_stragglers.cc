@@ -16,7 +16,8 @@
 
 using namespace tailguard;
 
-int main() {
+int main(int argc, char** argv) {
+  tailguard::bench::init(argc, argv);
   bench::title("Extension", "max load with straggler servers (2x slower)");
   bench::JsonReport report("ext_stragglers");
 

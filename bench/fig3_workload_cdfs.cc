@@ -7,7 +7,8 @@
 
 using namespace tailguard;
 
-int main() {
+int main(int argc, char** argv) {
+  tailguard::bench::init(argc, argv);
   bench::title("Figure 3", "task service-time CDFs of the Tailbench workloads");
   bench::JsonReport report("fig3_workload_cdfs");
 

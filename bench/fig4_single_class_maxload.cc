@@ -27,7 +27,8 @@ struct WorkloadCase {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tailguard::bench::init(argc, argv);
   bench::title("Figure 4",
                "maximum load meeting the tail latency SLO, single class "
                "(TailGuard vs FIFO)");

@@ -11,7 +11,8 @@
 
 using namespace tailguard;
 
-int main() {
+int main(int argc, char** argv) {
+  tailguard::bench::init(argc, argv);
   bench::title("Figure 5",
                "maximum load with two classes, Masstree (lower-class SLO = "
                "1.5 x higher-class SLO)");

@@ -22,7 +22,8 @@ struct WorkloadCase {
 };
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tailguard::bench::init(argc, argv);
   bench::title("Figure 6",
                "p99 latency vs load, two classes, fixed fanout kf=100 "
                "(OLDI)");

@@ -15,7 +15,8 @@
 
 using namespace tailguard;
 
-int main() {
+int main(int argc, char** argv) {
+  tailguard::bench::init(argc, argv);
   bench::title("Figure 7",
                "TailGuard with query admission control (Masstree, 2 "
                "classes, kf=100)");

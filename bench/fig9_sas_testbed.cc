@@ -11,7 +11,8 @@
 
 using namespace tailguard;
 
-int main() {
+int main(int argc, char** argv) {
+  tailguard::bench::init(argc, argv);
   bench::title("Figure 9", "Sensing-as-a-Service heterogeneous testbed");
 
   // --- (a) cluster CDF statistics ------------------------------------------

@@ -57,7 +57,8 @@ LatencyStats round_trip(std::size_t queries, SubmitFn&& submit) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tailguard::bench::init(argc, argv);
   bench::title("Networked testbed",
                "remote dispatcher + TCP task servers vs the in-process "
                "runtime (dispatch overhead and loaded tails)");

@@ -23,7 +23,8 @@ double now_ms() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tailguard::bench::init(argc, argv);
   bench::title("Parallel speedup",
                "fig4-style max-load search wall clock vs thread count");
   bench::JsonReport report("parallel_speedup");

@@ -21,7 +21,8 @@
 
 using namespace tailguard;
 
-int main() {
+int main(int argc, char** argv) {
+  tailguard::bench::init(argc, argv);
   bench::title("Runtime testbed",
                "threaded TailGuard implementation under real wall-clock "
                "load");

@@ -1,0 +1,124 @@
+// Extension: control-plane sharding — staleness vs capacity and SLO misses.
+//
+// The single-handler control plane (Fig. 2) serialises every admission
+// decision and model update; sharding it (src/shard) buys submission
+// parallelism at the price of *staleness*: each shard learns the cluster
+// only from its own completions plus periodic delta-sync gossip. This bench
+// quantifies the trade: shard count N x sync interval against (a) the
+// maximum SLO-feasible load and (b) the deadline-miss ratio and admit
+// fraction at a fixed overload, on a heterogeneous cluster (half the
+// servers 1.6x slower) under the paper's full online-estimation pipeline
+// (kOnlineFromSingleProfile, §III.B.2) — the setting where a stale CDF view
+// actually costs budget accuracy. The N=1 row is the single-plane ground
+// truth; sync_ms=0 rows are shards drifting with no gossip at all.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "sim/cluster.h"
+#include "sim/parallel.h"
+#include "workloads/tailbench.h"
+
+using namespace tailguard;
+
+namespace {
+
+struct Combo {
+  std::uint32_t shards;
+  double sync_ms;  // 0 = no gossip
+};
+
+SimConfig base_config(const Combo& combo) {
+  SimConfig cfg;
+  cfg.num_servers = 100;
+  const auto base = make_service_time_model(TailbenchApp::kMasstree);
+  // Heterogeneous cluster: servers 50..99 are 1.6x slower and share one CDF
+  // group. Online estimation must *learn* this — a shard that saw few slow
+  // completions underestimates those servers until gossip catches it up.
+  cfg.per_server_service =
+      cluster_with_stragglers(base, cfg.num_servers, 0.5, 1.6);
+  cfg.fanout =
+      std::make_shared<CategoricalFanout>(CategoricalFanout::paper_mix());
+  cfg.classes = {{.slo_ms = 1.6, .percentile = 99.0}};
+  cfg.estimation = EstimationMode::kOnlineFromSingleProfile;
+  cfg.num_queries = bench::queries(60000);
+  cfg.seed = 7;
+  ShardingOptions sharding;
+  sharding.num_shards = combo.shards;
+  sharding.sync_interval_ms = combo.sync_ms;
+  sharding.router = RouterKind::kHash;
+  cfg.sharding = sharding;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tailguard::bench::init(argc, argv);
+  bench::title("Extension",
+               "sharded control plane: sync staleness vs max load and "
+               "SLO misses");
+  bench::JsonReport report("shard_staleness");
+
+  std::vector<Combo> combos = {{1, 0.0}};  // single-plane ground truth
+  for (std::uint32_t shards : {2u, 4u, 8u})
+    for (double sync_ms : {0.0, 5.0, 50.0, 500.0})
+      combos.push_back({shards, sync_ms});
+
+  // (a) Maximum SLO-feasible load per combo, no admission control.
+  MaxLoadOptions opt;
+  opt.tolerance = 0.015;
+  std::vector<MaxLoadJob> jobs;
+  for (const Combo& combo : combos)
+    jobs.push_back(
+        MaxLoadJob{.config = base_config(combo), .opt = opt, .feasible = {}});
+  const std::vector<double> max_loads = find_max_loads(jobs);
+
+  // (b) Fixed mild overload with admission control on: how well each combo's
+  // (possibly stale) miss-window sheds load. Same load for every combo so
+  // the rows are comparable.
+  const double fixed_load = 0.5;
+  std::vector<SimConfig> overload;
+  for (const Combo& combo : combos) {
+    SimConfig cfg = base_config(combo);
+    cfg.admission = AdmissionOptions{};
+    set_load(cfg, fixed_load);
+    overload.push_back(std::move(cfg));
+  }
+  const std::vector<SimResult> at_load = run_simulations(overload);
+
+  const double ground_truth = max_loads[0];
+  std::printf("%-7s %-9s %10s %9s %12s %12s %8s %10s\n", "shards", "sync_ms",
+              "max_load", "vs N=1", "miss_ratio", "admit_frac", "rounds",
+              "samples");
+  for (std::size_t i = 0; i < combos.size(); ++i) {
+    const Combo& combo = combos[i];
+    const SimResult& r = at_load[i];
+    std::printf("%-7u %-9.0f %9.0f%% %8.0f%% %12.4f %12.3f %8llu %10llu\n",
+                combo.shards, combo.sync_ms, max_loads[i] * 100.0,
+                (max_loads[i] / ground_truth - 1.0) * 100.0,
+                r.task_deadline_miss_ratio, r.task_admit_fraction(),
+                static_cast<unsigned long long>(r.shard_sync_rounds),
+                static_cast<unsigned long long>(r.shard_samples_shipped));
+    report.row()
+        .add("shards", static_cast<double>(combo.shards))
+        .add("sync_ms", combo.sync_ms)
+        .add("max_load", max_loads[i])
+        .add("max_load_vs_single_plane", max_loads[i] / ground_truth - 1.0)
+        .add("fixed_load", fixed_load)
+        .add("miss_ratio_at_fixed_load", r.task_deadline_miss_ratio)
+        .add("admit_fraction_at_fixed_load", r.task_admit_fraction())
+        .add("sync_rounds", static_cast<double>(r.shard_sync_rounds))
+        .add("samples_shipped",
+             static_cast<double>(r.shard_samples_shipped));
+  }
+
+  bench::note(
+      "measured shape (see EXPERIMENTS.md): max load is insensitive to "
+      "sharding — a fraction of the completion stream is signal enough for "
+      "TF-EDFQ's relative deadline ordering; the admission rows are the "
+      "staleness-sensitive part, with unsynced or coarsely-synced miss "
+      "windows mis-shedding at fixed overload while a 5 ms sync tracks "
+      "the single plane");
+  return 0;
+}

@@ -9,7 +9,8 @@
 
 using namespace tailguard;
 
-int main() {
+int main(int argc, char** argv) {
+  tailguard::bench::init(argc, argv);
   bench::title("Table II",
                "mean service time and unloaded 99th percentile query tail "
                "latency x99u(kf)");

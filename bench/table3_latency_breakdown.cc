@@ -20,7 +20,8 @@ struct PaperRow {
 };
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tailguard::bench::init(argc, argv);
   bench::title("Table III",
                "99th percentile latency (ms) per query type at the maximum "
                "load, Masstree");

@@ -16,15 +16,25 @@ void AdmissionController::evict(TimeMs now) {
   while (!window_.empty() &&
          ((options_.window_ms > 0.0 &&
            now - window_.front().time > options_.window_ms) ||
-          window_.size() > options_.window_tasks)) {
-    if (window_.front().missed) --misses_in_window_;
+          tasks_in_window_ > options_.window_tasks)) {
+    tasks_in_window_ -= window_.front().count;
+    misses_in_window_ -= window_.front().missed;
     window_.pop_front();
   }
 }
 
 void AdmissionController::record_task_dequeue(TimeMs now, bool missed) {
-  window_.push_back(Entry{now, missed});
-  if (missed) ++misses_in_window_;
+  record_remote_dequeues(now, 1, missed ? 1 : 0);
+}
+
+void AdmissionController::record_remote_dequeues(TimeMs now,
+                                                 std::uint64_t recorded,
+                                                 std::uint64_t missed) {
+  TG_CHECK_MSG(missed <= recorded, "missed count exceeds recorded count");
+  if (recorded == 0) return;
+  window_.push_back(Entry{now, recorded, missed});
+  tasks_in_window_ += recorded;
+  misses_in_window_ += missed;
   evict(now);
 }
 
@@ -32,7 +42,7 @@ double AdmissionController::miss_ratio(TimeMs now) {
   evict(now);
   return window_.empty() ? 0.0
                          : static_cast<double>(misses_in_window_) /
-                               static_cast<double>(window_.size());
+                               static_cast<double>(tasks_in_window_);
 }
 
 bool AdmissionController::should_admit(TimeMs now, double coin) {

@@ -56,6 +56,15 @@ class AdmissionController {
   /// was dequeued past its queuing deadline t_D.
   void record_task_dequeue(TimeMs now, bool missed);
 
+  /// Merges a batch of dequeues observed by a *remote* query-handler shard
+  /// (delta-sync): `recorded` tasks, of which `missed` missed t_D, all
+  /// entering the window as one weighted entry timestamped `now`. Deltas are
+  /// increments since the sender's previous sync, so replaying a sync stream
+  /// never double-counts; a weight-1 call is behaviourally identical to
+  /// record_task_dequeue.
+  void record_remote_dequeues(TimeMs now, std::uint64_t recorded,
+                              std::uint64_t missed);
+
   /// Whether a query arriving at `now` should be admitted. An empty (or
   /// fully aged-out) window admits. `coin` is a uniform [0,1) draw consumed
   /// only in kProportional mode (pass rng.uniform()); kOnOff ignores it.
@@ -74,16 +83,22 @@ class AdmissionController {
   void count_rejected() { ++rejected_; }
 
  private:
+  /// Window entries carry a weight so remote delta batches merge as a single
+  /// entry instead of being replayed task-by-task. Local dequeues use
+  /// count=1, making the weighted window behave exactly like the original
+  /// one-entry-per-task deque.
   struct Entry {
     TimeMs time;
-    bool missed;
+    std::uint64_t count;
+    std::uint64_t missed;
   };
 
   void evict(TimeMs now);
 
   AdmissionOptions options_;
   std::deque<Entry> window_;
-  std::size_t misses_in_window_ = 0;
+  std::uint64_t tasks_in_window_ = 0;
+  std::uint64_t misses_in_window_ = 0;
   std::uint64_t admitted_ = 0;
   std::uint64_t rejected_ = 0;
 };

@@ -23,8 +23,17 @@ DistributionCdfModel::DistributionCdfModel(DistributionPtr dist)
   TG_CHECK_MSG(dist_ != nullptr, "null distribution");
 }
 
+std::shared_ptr<CdfModel> DistributionCdfModel::clone() const {
+  // The wrapped Distribution is immutable, so the clone shares it.
+  return std::make_shared<DistributionCdfModel>(dist_);
+}
+
 EmpiricalCdfModel::EmpiricalCdfModel(std::span<const double> sample)
     : ecdf_(sample) {}
+
+std::shared_ptr<CdfModel> EmpiricalCdfModel::clone() const {
+  return std::shared_ptr<CdfModel>(new EmpiricalCdfModel(*this));
+}
 
 StreamingCdfModel::StreamingCdfModel(Options options)
     : hist_(options.histogram), refresh_every_(options.refresh_every) {
@@ -47,6 +56,12 @@ void StreamingCdfModel::observe(TimeMs t) {
     since_refresh_ = 0;
     ++version_;
   }
+}
+
+std::shared_ptr<CdfModel> StreamingCdfModel::clone() const {
+  // Histogram weights, refresh phase and version all copy; the clone then
+  // evolves independently of the original.
+  return std::shared_ptr<CdfModel>(new StreamingCdfModel(*this));
 }
 
 }  // namespace tailguard

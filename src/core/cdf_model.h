@@ -35,6 +35,12 @@ class CdfModel {
   /// Monotone version counter: bumps whenever quantiles may have changed, so
   /// callers (e.g. the order-statistics cache) can invalidate lazily.
   virtual std::uint64_t version() const { return 0; }
+
+  /// Deep copy of the model's *current* state. Shard replicas clone the seed
+  /// models so each shard evolves its own online view (sharing a mutable
+  /// model across shards would make every observation instantly global and
+  /// defeat the staleness semantics the delta-sync is meant to expose).
+  virtual std::shared_ptr<CdfModel> clone() const = 0;
 };
 
 /// Wraps an analytic Distribution. Immutable.
@@ -43,6 +49,7 @@ class DistributionCdfModel final : public CdfModel {
   explicit DistributionCdfModel(DistributionPtr dist);
   double cdf(TimeMs t) const override { return dist_->cdf(t); }
   TimeMs quantile(double p) const override { return dist_->quantile(p); }
+  std::shared_ptr<CdfModel> clone() const override;
   const Distribution& distribution() const { return *dist_; }
 
  private:
@@ -55,6 +62,7 @@ class EmpiricalCdfModel final : public CdfModel {
   explicit EmpiricalCdfModel(std::span<const double> sample);
   double cdf(TimeMs t) const override { return ecdf_.cdf(t); }
   TimeMs quantile(double p) const override { return ecdf_.quantile(p); }
+  std::shared_ptr<CdfModel> clone() const override;
 
  private:
   EmpiricalCdf ecdf_;
@@ -83,6 +91,7 @@ class StreamingCdfModel final : public CdfModel {
   TimeMs quantile(double p) const override;
   void observe(TimeMs t) override;
   std::uint64_t version() const override { return version_; }
+  std::shared_ptr<CdfModel> clone() const override;
 
   std::uint64_t observations() const { return hist_.observations(); }
 

@@ -11,6 +11,7 @@ QueryControlPlane::QueryControlPlane(
     std::vector<std::shared_ptr<CdfModel>> server_models)
     : options_(std::move(options)),
       estimator_(std::move(server_models)),
+      tracker_(options_.id_start, options_.id_stride),
       rng_(options_.seed) {
   TG_CHECK_MSG(!options_.classes.empty(), "control plane needs >= 1 class");
   for (const ClassSpec& spec : options_.classes) estimator_.add_class(spec);
@@ -107,6 +108,12 @@ void QueryControlPlane::record_task_dequeue(TimeMs now, ClassId cls,
   ++acct.tasks_recorded;
   if (missed) ++acct.tasks_missed;
   if (admission_) admission_->record_task_dequeue(now, missed);
+}
+
+void QueryControlPlane::absorb_remote_dequeues(TimeMs now,
+                                               std::uint64_t recorded,
+                                               std::uint64_t missed) {
+  if (admission_) admission_->record_remote_dequeues(now, recorded, missed);
 }
 
 void QueryControlPlane::observe_post_queuing(ServerId server,

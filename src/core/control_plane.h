@@ -40,6 +40,12 @@ struct ControlPlaneOptions {
   /// admission coins). Backends that need replayable randomness (the sim)
   /// pass their own draws instead and never touch this stream.
   std::uint64_t seed = 42;
+  /// Query-id progression: ids handed out are id_start, id_start + id_stride,
+  /// ... The defaults give the dense 0, 1, 2, ... A sharded deployment runs
+  /// shard i of N with (i, N), so ids are globally unique and id % N is the
+  /// owning shard. Requires id_start < id_stride.
+  QueryId id_start = 0;
+  QueryId id_stride = 1;
 };
 
 /// Everything the control plane decided about one admitted query: identity,
@@ -132,6 +138,14 @@ class QueryControlPlane {
   /// Records one task dequeue for admission + per-class miss accounting;
   /// `missed` is whether the dequeue happened past the query's t_D.
   void record_task_dequeue(TimeMs now, ClassId cls, bool missed);
+
+  /// Merges a remote shard's dequeue delta (`recorded` tasks, `missed` of
+  /// them late) into the admission window only. Per-class tallies stay
+  /// local-only: each shard's SimResult/serve metrics must count every task
+  /// exactly once globally, while the admission signal deliberately reflects
+  /// the merged cluster-wide miss ratio.
+  void absorb_remote_dequeues(TimeMs now, std::uint64_t recorded,
+                              std::uint64_t missed);
 
   /// §III.B.2 online updating: one observed post-queuing time for `server`.
   void observe_post_queuing(ServerId server, TimeMs post_queuing_ms);

@@ -4,10 +4,16 @@
 
 namespace tailguard {
 
+QueryTracker::QueryTracker(QueryId id_start, QueryId id_stride)
+    : start_(id_start), stride_(id_stride) {
+  TG_CHECK_MSG(id_stride >= 1, "id stride must be >= 1");
+  TG_CHECK_MSG(id_start < id_stride, "id start must be < stride");
+}
+
 QueryId QueryTracker::begin_query(TimeMs t0, ClassId cls, std::uint32_t fanout,
                                   TimeMs deadline) {
   TG_CHECK_MSG(fanout >= 1, "query must spawn at least one task");
-  const QueryId id = next_id_++;
+  const QueryId id = start_ + started_++ * stride_;
   std::uint32_t slot;
   if (!free_slots_.empty()) {
     slot = free_slots_.back();
@@ -21,7 +27,7 @@ QueryId QueryTracker::begin_query(TimeMs t0, ClassId cls, std::uint32_t fanout,
                            .fanout = fanout,
                            .remaining = fanout,
                            .deadline = deadline};
-  slot_by_id_.push_back(slot);
+  slot_by_idx_.push_back(slot);
   ++in_flight_;
   return id;
 }
@@ -33,7 +39,7 @@ bool QueryTracker::complete_task(QueryId id, QueryState* finished) {
   TG_CHECK_MSG(st.remaining > 0, "query " << id << " over-completed");
   if (--st.remaining > 0) return false;
   if (finished != nullptr) *finished = st;
-  slot_by_id_[id] = kNoSlot;
+  slot_by_idx_[index_of(id)] = kNoSlot;
   free_slots_.push_back(slot);
   --in_flight_;
   return true;

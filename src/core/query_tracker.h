@@ -4,13 +4,17 @@
 // query finishes when the last task result has been merged, and the query
 // response time is that completion time minus t_0.
 //
-// Storage: query ids are dense (begin_query hands out 0, 1, 2, ...), so the
-// tracker is a slot slab plus an id -> slot table indexed directly by id —
-// every lookup is two array loads instead of a hash probe. complete_task and
-// state() sit on the per-task hot path of all three backends. The id table
-// grows by 4 bytes per query ever started and is never shrunk; slots of
-// finished queries are recycled through a freelist, so resident state is
-// proportional to the in-flight count.
+// Storage: query ids form an arithmetic progression (begin_query hands out
+// start, start+stride, start+2*stride, ...; the default (0, 1) yields the
+// dense 0, 1, 2, ...), so the tracker is a slot slab plus an index -> slot
+// table addressed by (id - start) / stride — every lookup is two array loads
+// instead of a hash probe. complete_task and state() sit on the per-task hot
+// path of all three backends. The strided form exists for the sharded
+// control plane: shard i of N allocates (i, N), so ids are globally unique
+// across shards and id % N recovers the owning shard. The id table grows by
+// 4 bytes per query ever started and is never shrunk; slots of finished
+// queries are recycled through a freelist, so resident state is proportional
+// to the in-flight count.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +34,11 @@ struct QueryState {
 
 class QueryTracker {
  public:
+  QueryTracker() = default;
+  /// Ids handed out are start, start + stride, start + 2*stride, ...
+  /// Requires stride >= 1 and start < stride.
+  QueryTracker(QueryId id_start, QueryId id_stride);
+
   /// Registers a new query; returns its id.
   QueryId begin_query(TimeMs t0, ClassId cls, std::uint32_t fanout,
                       TimeMs deadline);
@@ -41,21 +50,29 @@ class QueryTracker {
   const QueryState& state(QueryId id) const;
 
   std::size_t in_flight() const { return in_flight_; }
-  std::uint64_t started() const { return next_id_; }
+  std::uint64_t started() const { return started_; }
 
  private:
   static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
 
-  /// Slot of a live query, or kNoSlot if `id` is unknown or finished.
-  std::uint32_t slot_of(QueryId id) const {
-    return id < slot_by_id_.size() ? slot_by_id_[id] : kNoSlot;
+  /// Dense index of a (valid) id in this tracker's progression.
+  std::uint64_t index_of(QueryId id) const {
+    return stride_ == 1 ? id : (id - start_) / stride_;
   }
 
-  std::vector<QueryState> slab_;          ///< slot -> state (recycled)
-  std::vector<std::uint32_t> slot_by_id_; ///< id -> slot, kNoSlot when done
+  /// Slot of a live query, or kNoSlot if `id` is unknown or finished.
+  std::uint32_t slot_of(QueryId id) const {
+    const std::uint64_t idx = index_of(id);
+    return idx < slot_by_idx_.size() ? slot_by_idx_[idx] : kNoSlot;
+  }
+
+  std::vector<QueryState> slab_;           ///< slot -> state (recycled)
+  std::vector<std::uint32_t> slot_by_idx_; ///< index -> slot, kNoSlot if done
   std::vector<std::uint32_t> free_slots_;
   std::size_t in_flight_ = 0;
-  QueryId next_id_ = 0;
+  std::uint64_t started_ = 0;
+  QueryId start_ = 0;
+  QueryId stride_ = 1;
 };
 
 }  // namespace tailguard

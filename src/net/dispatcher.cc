@@ -36,7 +36,8 @@ ControlPlaneOptions make_control_plane_options(
 RemoteDispatcher::RemoteDispatcher(DispatcherOptions options)
     : options_(std::move(options)),
       epoch_(std::chrono::steady_clock::now()),
-      control_(make_control_plane_options(options_),
+      control_(ShardingOptions{},  // one shard: the dispatcher is one handler
+               make_control_plane_options(options_),
                make_server_models(options_)) {
   TG_CHECK_MSG(!options_.servers.empty(), "need at least one task server");
   TG_CHECK_MSG(!options_.classes.empty(), "need at least one service class");
@@ -84,8 +85,7 @@ TimeMs RemoteDispatcher::now_ms() const {
 void RemoteDispatcher::seed_profile(std::span<const double> samples_ms) {
   std::lock_guard lock(mu_);
   for (std::size_t s = 0; s < servers_.size(); ++s)
-    for (double sample : samples_ms)
-      control_.observe_post_queuing(static_cast<ServerId>(s), sample);
+    control_.seed_profile(static_cast<ServerId>(s), samples_ms);
 }
 
 std::future<QueryResult> RemoteDispatcher::submit(
@@ -104,8 +104,8 @@ std::future<QueryResult> RemoteDispatcher::submit(
 
     // Admission decision (§III.C) comes first: a rejected query costs no
     // placement work and never reaches a daemon.
-    if (!control_.should_admit(t0)) {
-      control_.count_rejected();
+    if (!control_.should_admit(/*shard=*/0, t0)) {
+      control_.count_rejected(0);
       QueryResult r;
       r.cls = cls;
       r.fanout = static_cast<std::uint32_t>(tasks.size());
@@ -113,12 +113,18 @@ std::future<QueryResult> RemoteDispatcher::submit(
       promise.set_value(r);
       return future;
     }
-    control_.count_admitted();
+    control_.count_admitted(0);
 
     std::vector<PlacementCandidate> alive;
     for (std::size_t s = 0; s < servers_.size(); ++s)
       if (servers_[s].state == ConnState::kAlive)
-        alive.emplace_back(servers_[s].in_flight, static_cast<ServerId>(s));
+        // Load = our own in-flight tasks plus the daemon's last gossiped
+        // queue depth (other dispatchers' backlog; 0 in a pre-gossip fleet).
+        // The two overlap — our queued tasks appear in both — which biases
+        // every candidate the same way and leaves the ranking sound.
+        alive.emplace_back(
+            servers_[s].in_flight + servers_[s].gossip_queue_depth,
+            static_cast<ServerId>(s));
 
     // Placement: explicit targets are honoured (and fail fast when the
     // target is down); the rest go least-loaded over the alive set,
@@ -141,8 +147,8 @@ std::future<QueryResult> RemoteDispatcher::submit(
       if (alive.empty()) {
         for (std::size_t i : unassigned) failed_at_submit[i] = true;
       } else {
-        const auto picked =
-            control_.place_least_loaded(alive, unassigned.size());
+        const auto picked = control_.place_least_loaded(
+            /*shard=*/0, std::move(alive), unassigned.size());
         for (std::size_t j = 0; j < unassigned.size(); ++j)
           placement[unassigned[j]] = picked[j];
       }
@@ -167,7 +173,8 @@ std::future<QueryResult> RemoteDispatcher::submit(
       // caller's Eq. 7 override), t_D and the ordering key all come from
       // the control plane.
       const QueryPlan plan =
-          control_.begin_query(t0, cls, placement, budget_override);
+          control_.begin_query(/*shard=*/0, t0, cls, placement,
+                               budget_override);
       const QueryId qid = plan.id;
       PendingQuery pending;
       pending.promise = std::move(promise);
@@ -262,7 +269,25 @@ double RemoteDispatcher::deadline_miss_ratio() const {
 
 const CdfModel& RemoteDispatcher::server_model(ServerId server) const {
   std::lock_guard lock(mu_);
-  return control_.model_of(server);
+  return control_.model_of(/*shard=*/0, server);
+}
+
+std::size_t RemoteDispatcher::gossip_capable_servers() const {
+  std::lock_guard lock(mu_);
+  std::size_t n = 0;
+  for (const auto& conn : servers_)
+    n += conn.state == ConnState::kAlive && conn.gossip_capable;
+  return n;
+}
+
+std::uint64_t RemoteDispatcher::gossip_deltas_absorbed() const {
+  std::lock_guard lock(mu_);
+  return gossip_deltas_absorbed_;
+}
+
+std::uint64_t RemoteDispatcher::gossip_duplicates_dropped() const {
+  std::lock_guard lock(mu_);
+  return gossip_duplicates_dropped_;
 }
 
 // ------------------------------------------------------------ task endings
@@ -277,8 +302,8 @@ void RemoteDispatcher::finish_task(QueryId query, bool missed, bool failed,
   } else {
     // Feeds the per-class miss accounting and the admission window: over
     // the wire the dequeue-side miss flag arrives with the completion.
-    control_.record_task_dequeue(now_ms(), control_.query_state(query).cls,
-                                 missed);
+    control_.record_task_dequeue(query, now_ms(),
+                                 control_.query_state(query).cls, missed);
     if (missed) ++it->second.result.tasks_missed_deadline;
   }
   QueryState final_state;
@@ -336,6 +361,10 @@ void RemoteDispatcher::disconnect(ServerId server, TimeMs now,
   conn.backoff_ms =
       std::min(conn.backoff_ms * 2.0, options_.reconnect_max_backoff_ms);
   conn.in_flight = 0;
+  // A restarted daemon restarts its gossip capability and seq; forget both.
+  conn.gossip_capable = false;
+  conn.last_gossip_seq = 0;
+  conn.gossip_queue_depth = 0;
 
   // Graceful degradation: fail this server's in-flight tasks immediately so
   // their queries complete instead of waiting out the full task timeout.
@@ -387,7 +416,7 @@ void RemoteDispatcher::handle_frame(ServerId server, const Frame& frame,
       if (!decode(frame, &msg)) break;
       // The observation is valid even when the task already timed out — the
       // server really took that long (online updating, §III.B.2).
-      control_.observe_post_queuing(server, msg.service_ms);
+      control_.observe_post_queuing_on(/*shard=*/0, server, msg.service_ms);
       const auto it = in_flight_.find(msg.task);
       if (it == in_flight_.end()) break;  // late reply after timeout/failover
       const QueryId query = it->second.query;
@@ -400,7 +429,39 @@ void RemoteDispatcher::handle_frame(ServerId server, const Frame& frame,
       ModelSyncMsg sync;
       if (!decode(frame, &sync)) break;
       for (double s : sync.samples_ms)
-        control_.observe_post_queuing(server, s);
+        control_.observe_post_queuing_on(/*shard=*/0, server, s);
+      break;
+    }
+    case MsgType::kGossipHello: {
+      GossipHelloMsg hello;
+      if (decode(frame, &hello) && hello.gossip_version == 1)
+        conn.gossip_capable = true;
+      break;
+    }
+    case MsgType::kGossipDelta: {
+      GossipDeltaMsg msg;
+      if (!decode(frame, &msg)) break;
+      // Per-connection dedup: daemons share no origin namespace, so the
+      // delta identity over the wire is (connection, seq). Duplicates are
+      // dropped, never re-applied — increments stay exactly-once.
+      if (msg.delta.seq <= conn.last_gossip_seq) {
+        ++gossip_duplicates_dropped_;
+        break;
+      }
+      conn.last_gossip_seq = msg.delta.seq;
+      // The daemon doesn't know which ServerId this connection is on our
+      // side; every entry rebinds to `server`. Samples are completions that
+      // *other* dispatchers' TaskDones carried — our own never ride gossip,
+      // so each observation reaches this model exactly once.
+      for (const auto& entry : msg.delta.servers) {
+        for (double s : entry.samples_ms)
+          control_.observe_post_queuing_on(/*shard=*/0, server, s);
+        if (entry.has_load) conn.gossip_queue_depth = entry.load_estimate;
+      }
+      control_.absorb_remote_dequeues(/*shard=*/0, now_ms(),
+                                      msg.delta.dequeues_recorded,
+                                      msg.delta.dequeues_missed);
+      ++gossip_deltas_absorbed_;
       break;
     }
     case MsgType::kStatsResponse: {

@@ -32,12 +32,12 @@
 #include <unordered_map>
 #include <vector>
 
-#include "core/control_plane.h"
 #include "net/poller.h"
 #include "net/send_queue.h"
 #include "net/socket.h"
 #include "net/wire.h"
 #include "runtime/service.h"
+#include "shard/sharded_control_plane.h"
 
 namespace tailguard::net {
 
@@ -120,6 +120,11 @@ class RemoteDispatcher {
   double deadline_miss_ratio() const;
   const CdfModel& server_model(ServerId server) const;
 
+  /// Connected servers that announced GossipHello (0 in a pre-gossip fleet).
+  std::size_t gossip_capable_servers() const;
+  std::uint64_t gossip_deltas_absorbed() const;
+  std::uint64_t gossip_duplicates_dropped() const;
+
  private:
   enum class ConnState {
     kBackoff,      ///< disconnected, waiting for next_attempt_ms
@@ -141,6 +146,17 @@ class RemoteDispatcher {
     TimeMs backoff_ms = 0.0;
     std::size_t in_flight = 0;
     std::optional<StatsResponseMsg> stats;
+    /// Set by GossipHello: this daemon streams GossipDelta frames. A daemon
+    /// that never announces (pre-gossip build, or gossip disabled) is served
+    /// by the ModelSync backfill alone — mixed fleets just work.
+    bool gossip_capable = false;
+    /// Per-connection gossip dedup: daemons share no origin namespace, so
+    /// (connection, seq) is the delta identity over the wire. Reset on
+    /// reconnect (a restarted daemon restarts its seq).
+    std::uint64_t last_gossip_seq = 0;
+    /// Last queue-depth gauge gossiped by the daemon: cluster-wide load this
+    /// dispatcher didn't submit. Folded into placement ranking.
+    std::uint32_t gossip_queue_depth = 0;
   };
 
   struct InFlightTask {
@@ -179,10 +195,11 @@ class RemoteDispatcher {
   mutable std::mutex mu_;
   std::condition_variable alive_cv_;
   std::vector<ServerConn> servers_;
-  /// The shared query-handler pipeline (core/control_plane.h): admission,
-  /// Eq. 6/7 budgets, t_D and ordering keys, query tracking, per-class miss
-  /// accounting, online model updates. Guarded by mu_.
-  QueryControlPlane control_;
+  /// The shared query-handler pipeline (shard/sharded_control_plane.h, one
+  /// shard): admission, Eq. 6/7 budgets, t_D and ordering keys, query
+  /// tracking, per-class miss accounting, online model updates. Incoming
+  /// gossip deltas feed it via the absorb path. Guarded by mu_.
+  ShardedControlPlane control_;
   std::unordered_map<QueryId, PendingQuery> pending_;
   std::unordered_map<TaskId, InFlightTask> in_flight_;
   std::multimap<TimeMs, TaskId> timeouts_;
@@ -191,6 +208,8 @@ class RemoteDispatcher {
   /// ever registering with the control plane (no server reachable).
   std::uint64_t degraded_queries_ = 0;
   std::uint64_t tasks_failed_ = 0;
+  std::uint64_t gossip_deltas_absorbed_ = 0;
+  std::uint64_t gossip_duplicates_dropped_ = 0;
 
   std::thread net_thread_;
 };

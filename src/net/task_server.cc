@@ -19,6 +19,7 @@ TaskServer::TaskServer(TaskServerOptions options)
   TG_CHECK_MSG(listen_fd_.valid(), "task server cannot listen: " << error);
   port_ = local_port(listen_fd_.get());
   poller_ = Poller::create();
+  next_gossip_ms_ = options_.gossip_interval_ms;
 
   const auto clock = [this] { return now_ms(); };
   const auto on_complete = [this](ServerId executor, const RuntimeTask& task,
@@ -75,6 +76,11 @@ std::size_t TaskServer::queue_depth() const {
   return depth;
 }
 
+std::uint64_t TaskServer::gossip_deltas_sent() const {
+  std::lock_guard lock(mu_);
+  return gossip_deltas_sent_;
+}
+
 void TaskServer::accept_new_connections() {
   for (;;) {
     const int fd = ::accept(listen_fd_.get(), nullptr, nullptr);
@@ -126,6 +132,13 @@ void TaskServer::handle_frame(std::uint64_t conn_id, Connection& conn,
         sync.samples_ms = std::move(pending_samples_);
         pending_samples_.clear();
         encode_into(sync, conn.out.chunk());
+      }
+      // Gossip capability announcement: a dispatcher that never sees this
+      // (gossip disabled, or an old daemon without the message type at all)
+      // falls back to the ModelSync path above.
+      if (options_.gossip_interval_ms > 0) {
+        GossipHelloMsg gossip;
+        encode_into(gossip, conn.out.chunk());
       }
       conn.hello_done = true;
       break;
@@ -194,6 +207,50 @@ void TaskServer::on_task_complete(ServerId /*executor*/,
     // No dispatcher to tell: keep the observation for the next ModelSync.
     pending_samples_.push_back(msg.service_ms);
   }
+  if (options_.gossip_interval_ms > 0) {
+    // Every OTHER dispatcher learns of this completion via the next
+    // GossipDelta. The owning connection just got the TaskDone above —
+    // skipping it keeps each observation exactly-once per dispatcher.
+    for (auto& [id, other] : conns_) {
+      if (id == origin.conn || !other.hello_done || other.dead) continue;
+      if (other.gossip_samples.size() < options_.max_buffered_samples)
+        other.gossip_samples.push_back(msg.service_ms);
+      else
+        ++other.gossip_samples_dropped;
+      ++other.gossip_dequeues_recorded;
+      if (missed) ++other.gossip_dequeues_missed;
+    }
+  }
+}
+
+void TaskServer::maybe_gossip(TimeMs now) {
+  if (options_.gossip_interval_ms <= 0 || now < next_gossip_ms_) return;
+  const std::uint32_t depth = static_cast<std::uint32_t>(queue_depth());
+  for (auto& [id, conn] : conns_) {
+    if (!conn.hello_done || conn.dead || !conn.fd.valid()) continue;
+    GossipDeltaMsg msg;
+    msg.delta.seq = next_gossip_seq_++;
+    // The dispatcher knows which of its servers this connection reaches;
+    // the daemon doesn't, so the entry's server id is a placeholder and
+    // receivers rebind it per connection.
+    ShardDelta::ServerEntry entry;
+    entry.samples_ms = std::move(conn.gossip_samples);
+    entry.samples_dropped = conn.gossip_samples_dropped;
+    entry.load_estimate = depth;
+    entry.has_load = true;
+    msg.delta.servers.push_back(std::move(entry));
+    msg.delta.dequeues_recorded = conn.gossip_dequeues_recorded;
+    msg.delta.dequeues_missed = conn.gossip_dequeues_missed;
+    conn.gossip_samples.clear();
+    conn.gossip_samples_dropped = 0;
+    conn.gossip_dequeues_recorded = 0;
+    conn.gossip_dequeues_missed = 0;
+    encode_into(msg, conn.out.chunk());
+    ++gossip_deltas_sent_;
+  }
+  // Wall-clock re-arm (the daemon is not simulated): next boundary from now,
+  // so a long idle stretch costs one round, not a backlog of empty ones.
+  next_gossip_ms_ = now + options_.gossip_interval_ms;
 }
 
 void TaskServer::flush_and_sweep_connections() {
@@ -226,8 +283,16 @@ void TaskServer::net_loop() {
   poller_->watch(wake_.read_fd(), /*want_read=*/true, /*want_write=*/false);
   std::vector<Poller::Event> events;
   while (running_.load()) {
+    int timeout_ms = 200;
+    if (options_.gossip_interval_ms > 0) {
+      // Wake in time for the next gossip boundary instead of sleeping
+      // through it (while keeping the 200 ms liveness ceiling).
+      std::lock_guard lock(mu_);
+      const double until = next_gossip_ms_ - now_ms();
+      timeout_ms = std::clamp(static_cast<int>(until) + 1, 1, 200);
+    }
     events.clear();
-    poller_->wait(events, /*timeout_ms=*/200);
+    poller_->wait(events, timeout_ms);
     if (!running_.load()) break;
 
     std::lock_guard lock(mu_);
@@ -256,6 +321,7 @@ void TaskServer::net_loop() {
     // alias a stale event in this batch, and the sweep registers the new
     // connections' read interest with the poller.
     if (accept_ready) accept_new_connections();
+    maybe_gossip(now_ms());
     flush_and_sweep_connections();
   }
 }

@@ -45,7 +45,16 @@ struct TaskServerOptions {
   std::size_t num_executors = 1;
   std::string name = "tailguard-task-server";
   /// Cap on post-queuing samples buffered for ModelSync while disconnected.
+  /// Also caps each connection's pending gossip sample buffer.
   std::size_t max_buffered_samples = 4096;
+  /// Delta-gossip period (local-clock ms). When > 0 the server announces
+  /// GossipHello after the handshake and streams each dispatcher a periodic
+  /// GossipDelta of the completions *other* connections produced (samples,
+  /// miss-window increments) plus a queue-depth load gauge — the wire form
+  /// of shard/state_sync.h. 0 (the default) disables gossip entirely,
+  /// behaving exactly like a pre-gossip daemon: dispatchers then rely on the
+  /// ModelSync backfill alone.
+  TimeMs gossip_interval_ms = 0.0;
 };
 
 class TaskServer {
@@ -71,6 +80,8 @@ class TaskServer {
   std::uint64_t tasks_executed() const;
   std::uint64_t tasks_missed_deadline() const;
   std::size_t queue_depth() const;
+  /// GossipDelta frames queued so far (0 when gossip is disabled).
+  std::uint64_t gossip_deltas_sent() const;
 
  private:
   struct Connection {
@@ -83,6 +94,14 @@ class TaskServer {
     /// Marked instead of closing inline so the net loop's sweep can
     /// deregister the fd from the poller before the number is recycled.
     bool dead = false;
+    /// Gossip accumulation for THIS dispatcher: observations produced by
+    /// tasks that *other* connections submitted. The owning connection's own
+    /// completions travel in its TaskDone frames — excluding them here is
+    /// what keeps every sample exactly-once per dispatcher.
+    std::vector<double> gossip_samples;
+    std::uint64_t gossip_samples_dropped = 0;
+    std::uint64_t gossip_dequeues_recorded = 0;
+    std::uint64_t gossip_dequeues_missed = 0;
   };
 
   /// Where a task came from, for routing its TaskDone.
@@ -101,6 +120,9 @@ class TaskServer {
   /// (deregistering from the poller first) and refreshes poller interest.
   /// Requires mu_.
   void flush_and_sweep_connections();
+  /// Emits one GossipDelta per live connection when the gossip boundary has
+  /// passed, then re-arms. Requires mu_. No-op while gossip is disabled.
+  void maybe_gossip(TimeMs now);
   void on_task_complete(ServerId executor, const RuntimeTask& task,
                         TimeMs dequeue_ms, TimeMs complete_ms);
 
@@ -120,6 +142,12 @@ class TaskServer {
   std::vector<double> pending_samples_;
   std::uint64_t tasks_executed_ = 0;
   std::uint64_t tasks_missed_ = 0;
+  /// Shared across connections: strictly increasing overall, hence strictly
+  /// increasing along any one connection's subsequence — which is all the
+  /// per-connection dedup on the dispatcher side needs.
+  std::uint64_t next_gossip_seq_ = 1;
+  TimeMs next_gossip_ms_ = 0.0;
+  std::uint64_t gossip_deltas_sent_ = 0;
   bool stopped_ = false;
 
   std::thread net_thread_;

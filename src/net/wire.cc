@@ -170,6 +170,32 @@ void encode_into(const StatsResponseMsg& msg, std::vector<std::uint8_t>& out) {
   w.finish();
 }
 
+void encode_into(const GossipHelloMsg& msg, std::vector<std::uint8_t>& out) {
+  Writer w(out, MsgType::kGossipHello);
+  w.u32(msg.gossip_version);
+  w.u32(msg.origin);
+  w.finish();
+}
+
+void encode_into(const GossipDeltaMsg& msg, std::vector<std::uint8_t>& out) {
+  Writer w(out, MsgType::kGossipDelta);
+  const ShardDelta& d = msg.delta;
+  w.u32(d.origin);
+  w.u64(d.seq);
+  w.u64(d.dequeues_recorded);
+  w.u64(d.dequeues_missed);
+  w.u32(static_cast<std::uint32_t>(d.servers.size()));
+  for (const auto& e : d.servers) {
+    w.u32(static_cast<std::uint32_t>(e.server));
+    w.u64(e.samples_dropped);
+    w.u32(e.load_estimate);
+    w.u8(e.has_load ? 1 : 0);
+    w.u32(static_cast<std::uint32_t>(e.samples_ms.size()));
+    for (double s : e.samples_ms) w.f64(s);
+  }
+  w.finish();
+}
+
 namespace {
 template <typename Msg>
 std::vector<std::uint8_t> encode_one(const Msg& msg) {
@@ -196,6 +222,12 @@ std::vector<std::uint8_t> encode(const StatsRequestMsg& msg) {
   return encode_one(msg);
 }
 std::vector<std::uint8_t> encode(const StatsResponseMsg& msg) {
+  return encode_one(msg);
+}
+std::vector<std::uint8_t> encode(const GossipHelloMsg& msg) {
+  return encode_one(msg);
+}
+std::vector<std::uint8_t> encode(const GossipDeltaMsg& msg) {
   return encode_one(msg);
 }
 
@@ -260,6 +292,49 @@ bool decode(const Frame& frame, StatsResponseMsg* out) {
   Reader r(frame.payload);
   return r.u32(&out->queue_depth) && r.u64(&out->tasks_executed) &&
          r.u64(&out->tasks_missed_deadline) && r.done();
+}
+
+bool decode(const Frame& frame, GossipHelloMsg* out) {
+  if (!expect_type(frame, MsgType::kGossipHello)) return false;
+  Reader r(frame.payload);
+  return r.u32(&out->gossip_version) && r.u32(&out->origin) && r.done();
+}
+
+bool decode(const Frame& frame, GossipDeltaMsg* out) {
+  if (!expect_type(frame, MsgType::kGossipDelta)) return false;
+  Reader r(frame.payload);
+  ShardDelta& d = out->delta;
+  std::uint32_t num_servers = 0;
+  if (!(r.u32(&d.origin) && r.u64(&d.seq) && r.u64(&d.dequeues_recorded) &&
+        r.u64(&d.dequeues_missed) && r.u32(&num_servers)))
+    return false;
+  // Each entry is at least 17 bytes; reject counts the payload cannot hold
+  // before reserving (same guard as ModelSync's sample count).
+  if (static_cast<std::size_t>(num_servers) * 17 > frame.payload.size())
+    return false;
+  d.servers.clear();
+  d.servers.reserve(num_servers);
+  for (std::uint32_t i = 0; i < num_servers; ++i) {
+    ShardDelta::ServerEntry e;
+    std::uint32_t server = 0;
+    std::uint8_t has_load = 0;
+    std::uint32_t num_samples = 0;
+    if (!(r.u32(&server) && r.u64(&e.samples_dropped) &&
+          r.u32(&e.load_estimate) && r.u8(&has_load) && r.u32(&num_samples)))
+      return false;
+    if (static_cast<std::size_t>(num_samples) * 8 > frame.payload.size())
+      return false;
+    e.server = server;
+    e.has_load = has_load != 0;
+    e.samples_ms.reserve(num_samples);
+    for (std::uint32_t j = 0; j < num_samples; ++j) {
+      double s = 0.0;
+      if (!r.f64(&s)) return false;
+      e.samples_ms.push_back(s);
+    }
+    d.servers.push_back(std::move(e));
+  }
+  return r.done();
 }
 
 // ------------------------------------------------------------- FrameBuffer

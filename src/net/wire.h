@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/types.h"
+#include "shard/state_sync.h"
 
 namespace tailguard::net {
 
@@ -46,6 +47,8 @@ enum class MsgType : std::uint8_t {
   kModelSync = 5,     ///< server -> dispatcher: post-queuing-time backfill
   kStatsRequest = 6,  ///< dispatcher -> server: poll server stats
   kStatsResponse = 7, ///< server -> dispatcher: stats snapshot
+  kGossipHello = 8,   ///< server -> dispatcher: announces delta-gossip support
+  kGossipDelta = 9,   ///< server -> dispatcher: periodic ShardDelta broadcast
 };
 
 /// Handshake. The version is repeated inside the payload so a future frame
@@ -101,6 +104,34 @@ struct ModelSyncMsg {
   friend bool operator==(const ModelSyncMsg&, const ModelSyncMsg&) = default;
 };
 
+/// Announces that the sender will stream GossipDelta messages. Sent by a
+/// task server right after HelloAck when gossip is enabled. A dispatcher
+/// that never sees this treats the server as a pre-gossip daemon and relies
+/// on the kModelSync backfill alone — the unknown-type skip rule in the
+/// framing is the entire downgrade path, no capability bits needed.
+struct GossipHelloMsg {
+  /// Version of the gossip sub-protocol (delta layout), independent of the
+  /// frame version. Receivers ignore deltas with a newer version than theirs.
+  std::uint32_t gossip_version = 1;
+  /// Sender-chosen origin id echoed into each delta (informational; wire
+  /// receivers dedup per connection, not per origin).
+  std::uint32_t origin = 0;
+
+  friend bool operator==(const GossipHelloMsg&, const GossipHelloMsg&) =
+      default;
+};
+
+/// One shard/state_sync.h ShardDelta on the wire: incremental CDF samples,
+/// admission-window increments, and load gauges accumulated since the
+/// sender's previous delta. Sample times are relative durations (ms), like
+/// every other time on the wire.
+struct GossipDeltaMsg {
+  ShardDelta delta;
+
+  friend bool operator==(const GossipDeltaMsg&, const GossipDeltaMsg&) =
+      default;
+};
+
 struct StatsRequestMsg {
   friend bool operator==(const StatsRequestMsg&, const StatsRequestMsg&) =
       default;
@@ -130,6 +161,8 @@ void encode_into(const TaskDoneMsg& msg, std::vector<std::uint8_t>& out);
 void encode_into(const ModelSyncMsg& msg, std::vector<std::uint8_t>& out);
 void encode_into(const StatsRequestMsg& msg, std::vector<std::uint8_t>& out);
 void encode_into(const StatsResponseMsg& msg, std::vector<std::uint8_t>& out);
+void encode_into(const GossipHelloMsg& msg, std::vector<std::uint8_t>& out);
+void encode_into(const GossipDeltaMsg& msg, std::vector<std::uint8_t>& out);
 
 std::vector<std::uint8_t> encode(const HelloMsg& msg);
 std::vector<std::uint8_t> encode(const HelloAckMsg& msg);
@@ -138,6 +171,8 @@ std::vector<std::uint8_t> encode(const TaskDoneMsg& msg);
 std::vector<std::uint8_t> encode(const ModelSyncMsg& msg);
 std::vector<std::uint8_t> encode(const StatsRequestMsg& msg);
 std::vector<std::uint8_t> encode(const StatsResponseMsg& msg);
+std::vector<std::uint8_t> encode(const GossipHelloMsg& msg);
+std::vector<std::uint8_t> encode(const GossipDeltaMsg& msg);
 
 // ------------------------------------------------------------------ decode
 
@@ -155,6 +190,8 @@ bool decode(const Frame& frame, TaskDoneMsg* out);
 bool decode(const Frame& frame, ModelSyncMsg* out);
 bool decode(const Frame& frame, StatsRequestMsg* out);
 bool decode(const Frame& frame, StatsResponseMsg* out);
+bool decode(const Frame& frame, GossipHelloMsg* out);
+bool decode(const Frame& frame, GossipDeltaMsg* out);
 
 /// Incremental frame reassembly over a byte stream. Feed whatever the socket
 /// produced; pop complete frames. A magic/version mismatch or an oversized

@@ -27,15 +27,29 @@ ControlPlaneOptions make_control_plane_options(const ServiceOptions& options) {
   cp.seed = options.seed;
   return cp;
 }
+
+ShardingOptions make_sharding_options(const ServiceOptions& options) {
+  ShardingOptions sh;
+  sh.num_shards = options.num_handler_shards;
+  sh.sync_interval_ms = options.shard_sync_interval_ms;
+  sh.router = options.shard_router;
+  return sh;
+}
 }  // namespace
 
 TailGuardService::TailGuardService(ServiceOptions options)
     : options_(std::move(options)),
       epoch_(std::chrono::steady_clock::now()),
-      control_(make_control_plane_options(options_),
+      control_(make_sharding_options(options_),
+               make_control_plane_options(options_),
                make_worker_models(options_)) {
   TG_CHECK_MSG(options_.num_workers >= 1, "need at least one worker");
   TG_CHECK_MSG(!options_.classes.empty(), "need at least one service class");
+
+  shards_.reserve(control_.num_shards());
+  for (std::uint32_t i = 0; i < control_.num_shards(); ++i)
+    shards_.push_back(std::make_unique<Shard>());
+  next_sync_hint_.store(control_.next_sync_at(), std::memory_order_relaxed);
 
   const auto clock = [this] { return now_ms(); };
   const auto on_complete = [this](ServerId worker, const RuntimeTask& task,
@@ -62,21 +76,46 @@ TimeMs TailGuardService::now_ms() const {
       .count();
 }
 
-void TailGuardService::seed_profile(std::span<const double> samples_ms) {
-  std::lock_guard lock(mu_);
-  for (std::size_t w = 0; w < workers_.size(); ++w)
-    for (double s : samples_ms)
-      control_.observe_post_queuing(static_cast<ServerId>(w), s);
+std::vector<std::unique_lock<std::mutex>> TailGuardService::lock_all() const {
+  // Index order everywhere, so lock_all never deadlocks against per-shard
+  // paths (which hold at most one shard mutex).
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& s : shards_) locks.emplace_back(s->mu);
+  return locks;
 }
 
-std::vector<ServerId> TailGuardService::pick_workers(std::size_t count) {
+void TailGuardService::maybe_sync(TimeMs now) {
+  if (!control_.sync_enabled()) return;
+  if (now < next_sync_hint_.load(std::memory_order_relaxed)) return;
+  auto locks = lock_all();
+  // Another thread may have run the round between the hint check and the
+  // locks; maybe_sync re-checks under the barrier and no-ops in that case.
+  control_.maybe_sync(now);
+  next_sync_hint_.store(control_.next_sync_at(), std::memory_order_relaxed);
+}
+
+void TailGuardService::seed_profile(std::span<const double> samples_ms) {
+  auto locks = lock_all();
+  for (std::size_t w = 0; w < workers_.size(); ++w)
+    control_.seed_profile(static_cast<ServerId>(w), samples_ms);
+}
+
+std::vector<ServerId> TailGuardService::pick_workers(std::uint32_t shard,
+                                                     std::size_t count) {
   TG_CHECK_MSG(count <= workers_.size(),
                "query fanout " << count << " exceeds worker count "
                                << workers_.size());
   std::vector<PlacementCandidate> load;
   load.reserve(workers_.size());
   for (const auto& w : workers_) load.emplace_back(w->queue_depth(), w->id());
-  return control_.place_least_loaded(std::move(load), count);
+  if (control_.sync_enabled()) {
+    // Ship this shard's current load view in the next delta (gauges).
+    for (const auto& [depth, id] : load)
+      control_.update_local_load(shard, id,
+                                 static_cast<std::uint32_t>(depth));
+  }
+  return control_.place_least_loaded(shard, std::move(load), count);
 }
 
 std::future<QueryResult> TailGuardService::submit(
@@ -86,6 +125,8 @@ std::future<QueryResult> TailGuardService::submit(
   TG_CHECK_MSG(cls < options_.classes.size(), "unknown class " << cls);
 
   const TimeMs t0 = now_ms();
+  const std::uint32_t shard = control_.route(
+      submit_seq_.fetch_add(1, std::memory_order_relaxed), cls);
   std::promise<QueryResult> promise;
   std::future<QueryResult> future = promise.get_future();
 
@@ -95,7 +136,7 @@ std::future<QueryResult> TailGuardService::submit(
   QueryId qid = 0;
 
   {
-    std::lock_guard lock(mu_);
+    std::lock_guard lock(shards_[shard]->mu);
 
     // Placement: explicit workers are honoured; the rest go to the
     // least-loaded workers, distinct where possible.
@@ -110,14 +151,14 @@ std::future<QueryResult> TailGuardService::submit(
       }
     }
     if (!unassigned.empty()) {
-      const auto picked = pick_workers(unassigned.size());
+      const auto picked = pick_workers(shard, unassigned.size());
       for (std::size_t j = 0; j < unassigned.size(); ++j)
         placement[unassigned[j]] = picked[j];
     }
 
     // Admission decision (paper §III.C).
-    if (!control_.should_admit(t0)) {
-      control_.count_rejected();
+    if (!control_.should_admit(shard, t0)) {
+      control_.count_rejected(shard);
       QueryResult r;
       r.cls = cls;
       r.fanout = static_cast<std::uint32_t>(tasks.size());
@@ -125,12 +166,12 @@ std::future<QueryResult> TailGuardService::submit(
       promise.set_value(r);
       return future;
     }
-    control_.count_admitted();
+    control_.count_admitted(shard);
 
     // Budget (Eq. 6, or the caller-imposed Eq. 7 override), t_D and the
     // ordering key all come from the control plane.
     const QueryPlan plan =
-        control_.begin_query(t0, cls, placement, budget_override);
+        control_.begin_query(shard, t0, cls, placement, budget_override);
     qid = plan.id;
     order_deadline = plan.order_deadline;
     PendingQuery pending;
@@ -139,10 +180,10 @@ std::future<QueryResult> TailGuardService::submit(
     pending.result.cls = cls;
     pending.result.fanout = static_cast<std::uint32_t>(tasks.size());
     pending.result.deadline_budget_ms = plan.budget_ms;
-    pending_.emplace(qid, std::move(pending));
+    shards_[shard]->pending.emplace(qid, std::move(pending));
 
     for (std::size_t i = 0; i < tasks.size(); ++i) {
-      runtime_tasks[i].id = next_task_id_++;
+      runtime_tasks[i].id = next_task_id_.fetch_add(1, std::memory_order_relaxed);
       runtime_tasks[i].query = qid;
       runtime_tasks[i].cls = cls;
       runtime_tasks[i].work = std::move(tasks[i].work);
@@ -153,6 +194,7 @@ std::future<QueryResult> TailGuardService::submit(
   for (std::size_t i = 0; i < tasks.size(); ++i)
     workers_[placement[i]]->submit(std::move(runtime_tasks[i]), t0,
                                    order_deadline);
+  maybe_sync(t0);
   return future;
 }
 
@@ -160,20 +202,23 @@ void TailGuardService::on_task_complete(ServerId worker,
                                         const RuntimeTask& task,
                                         TimeMs dequeue_ms,
                                         TimeMs complete_ms) {
+  const std::uint32_t shard = control_.shard_of(task.query);
   std::promise<QueryResult> to_fulfill;
   QueryResult result;
   bool finished = false;
   {
-    std::lock_guard lock(mu_);
+    std::lock_guard lock(shards_[shard]->mu);
     const QueryState& qs = control_.query_state(task.query);
     const bool missed = dequeue_ms > qs.deadline;
-    control_.record_task_dequeue(dequeue_ms, task.cls, missed);
+    control_.record_task_dequeue(task.query, dequeue_ms, task.cls, missed);
 
     // Online updating (§III.B.2): post-queuing time = completion - dequeue.
-    control_.observe_post_queuing(worker, complete_ms - dequeue_ms);
+    control_.observe_post_queuing(task.query, worker,
+                                  complete_ms - dequeue_ms);
 
-    auto it = pending_.find(task.query);
-    TG_CHECK_MSG(it != pending_.end(), "no pending entry for query");
+    auto& pending = shards_[shard]->pending;
+    auto it = pending.find(task.query);
+    TG_CHECK_MSG(it != pending.end(), "no pending entry for query");
     if (missed) ++it->second.result.tasks_missed_deadline;
 
     QueryState final_state;
@@ -182,30 +227,33 @@ void TailGuardService::on_task_complete(ServerId worker,
       it->second.result.latency_ms = complete_ms - final_state.t0;
       result = it->second.result;
       to_fulfill = std::move(it->second.promise);
-      pending_.erase(it);
+      pending.erase(it);
     }
   }
   if (finished) to_fulfill.set_value(result);
+  maybe_sync(complete_ms);
 }
 
 std::uint64_t TailGuardService::completed_queries() const {
-  std::lock_guard lock(mu_);
+  auto locks = lock_all();
   return control_.queries_completed();
 }
 
 std::uint64_t TailGuardService::rejected_queries() const {
-  std::lock_guard lock(mu_);
+  auto locks = lock_all();
   return control_.queries_rejected();
 }
 
 double TailGuardService::deadline_miss_ratio() const {
-  std::lock_guard lock(mu_);
+  auto locks = lock_all();
   return control_.task_miss_ratio();
 }
 
 const CdfModel& TailGuardService::worker_model(ServerId worker) const {
-  std::lock_guard lock(mu_);
-  return control_.model_of(worker);
+  auto locks = lock_all();
+  // Shard 0's view: with one handler shard (the default) this is the only
+  // view; with several it is one replica's local+synced estimate.
+  return control_.model_of(0, worker);
 }
 
 }  // namespace tailguard

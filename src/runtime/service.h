@@ -18,15 +18,19 @@
 //   QueryResult r = fut.get();                          // merged result
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <future>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "core/admission.h"
-#include "core/control_plane.h"
 #include "runtime/worker.h"
+#include "shard/sharded_control_plane.h"
 
 namespace tailguard {
 
@@ -46,6 +50,15 @@ struct ServiceOptions {
   /// Admission control; disabled when unset.
   std::optional<AdmissionOptions> admission;
   std::uint64_t seed = 42;
+  /// Query-handler sharding (src/shard): submissions are routed across this
+  /// many control-plane replicas, each behind its own mutex, with periodic
+  /// delta-sync of models/admission/load state. 1 (the default) preserves
+  /// the single-handler behaviour exactly.
+  std::uint32_t num_handler_shards = 1;
+  /// Delta-sync period (service-clock ms); <= 0 disables sync.
+  TimeMs shard_sync_interval_ms = 0.0;
+  /// Round-robin keeps concurrent submitters evenly spread by default.
+  RouterKind shard_router = RouterKind::kRoundRobin;
 };
 
 /// One task of a submitted query.
@@ -113,20 +126,39 @@ class TailGuardService {
     QueryResult result;
   };
 
+  /// One query-handler shard: its mutex guards both the pending map below
+  /// and every control-plane call made with this shard's index (sound
+  /// because all of ShardedControlPlane's mutable state is per-shard).
+  /// Cross-shard operations — delta-sync, aggregated counters — take every
+  /// shard's mutex in index order (see lock_all / maybe_sync).
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<QueryId, PendingQuery> pending;
+  };
+
   void on_task_complete(ServerId worker, const RuntimeTask& task,
                         TimeMs dequeue_ms, TimeMs complete_ms);
-  std::vector<ServerId> pick_workers(std::size_t count);
+  std::vector<ServerId> pick_workers(std::uint32_t shard, std::size_t count);
+  std::vector<std::unique_lock<std::mutex>> lock_all() const;
+  /// Runs a delta-sync round when the interval boundary has passed; cheap
+  /// atomic check on the fast path, all-shard lock only when a round is due.
+  void maybe_sync(TimeMs now);
 
   ServiceOptions options_;
   std::chrono::steady_clock::time_point epoch_;
 
-  mutable std::mutex mu_;
-  /// The shared query-handler pipeline (core/control_plane.h): admission,
+  /// The query-handler pipeline (shard/sharded_control_plane.h): admission,
   /// Eq. 6/7 budgets, t_D and ordering keys, query tracking, per-class miss
-  /// accounting, online model updates. Guarded by mu_.
-  QueryControlPlane control_;
-  std::unordered_map<QueryId, PendingQuery> pending_;
-  TaskId next_task_id_ = 0;
+  /// accounting, online model updates — N replicas with delta-sync. Locking
+  /// per shard, as documented on Shard.
+  ShardedControlPlane control_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<TaskId> next_task_id_{0};
+  /// Routing key source: one monotone counter across all submitters.
+  std::atomic<std::uint64_t> submit_seq_{0};
+  /// Racy mirror of control_.next_sync_at(), so non-due completions skip the
+  /// all-shard lock.
+  std::atomic<double> next_sync_hint_;
 
   // Workers last: their threads must stop before the state above dies, and
   // member destruction order (reverse declaration) guarantees it.

@@ -1,0 +1,65 @@
+#include "shard/router.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace tailguard {
+
+const char* to_string(RouterKind kind) {
+  switch (kind) {
+    case RouterKind::kHash:
+      return "hash";
+    case RouterKind::kRoundRobin:
+      return "round-robin";
+    case RouterKind::kClassAffinity:
+      return "class-affinity";
+  }
+  return "?";
+}
+
+namespace {
+
+class HashRouter final : public ShardRouter {
+ public:
+  std::uint32_t route(std::uint64_t key, ClassId /*cls*/,
+                      std::uint32_t num_shards) const override {
+    std::uint64_t state = key;
+    return static_cast<std::uint32_t>(splitmix64(state) % num_shards);
+  }
+  RouterKind kind() const override { return RouterKind::kHash; }
+};
+
+class RoundRobinRouter final : public ShardRouter {
+ public:
+  std::uint32_t route(std::uint64_t key, ClassId /*cls*/,
+                      std::uint32_t num_shards) const override {
+    return static_cast<std::uint32_t>(key % num_shards);
+  }
+  RouterKind kind() const override { return RouterKind::kRoundRobin; }
+};
+
+class ClassAffinityRouter final : public ShardRouter {
+ public:
+  std::uint32_t route(std::uint64_t /*key*/, ClassId cls,
+                      std::uint32_t num_shards) const override {
+    return cls % num_shards;
+  }
+  RouterKind kind() const override { return RouterKind::kClassAffinity; }
+};
+
+}  // namespace
+
+std::unique_ptr<ShardRouter> make_router(RouterKind kind) {
+  switch (kind) {
+    case RouterKind::kHash:
+      return std::make_unique<HashRouter>();
+    case RouterKind::kRoundRobin:
+      return std::make_unique<RoundRobinRouter>();
+    case RouterKind::kClassAffinity:
+      return std::make_unique<ClassAffinityRouter>();
+  }
+  TG_CHECK_MSG(false, "unknown router kind");
+  return nullptr;
+}
+
+}  // namespace tailguard

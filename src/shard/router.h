@@ -1,0 +1,44 @@
+// Query-to-shard routing for the sharded control plane.
+//
+// A router maps a routing key (sim: arrival index; runtime/net: a submission
+// sequence number; a real front-end would use a connection or user id) plus
+// the query's service class onto one of N query-handler shards. Routers must
+// be pure functions of (key, cls, num_shards) — no internal state, no
+// randomness — so sharded runs stay bit-reproducible and a replayed key
+// always lands on the same shard (request-mode follow-ups additionally pin
+// the shard chosen for the head query).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/types.h"
+
+namespace tailguard {
+
+enum class RouterKind {
+  /// splitmix64 of the key: decorrelates shard choice from arrival order.
+  kHash,
+  /// key % num_shards: perfectly balanced for sequential keys.
+  kRoundRobin,
+  /// cls % num_shards: all queries of a class share one shard, so that
+  /// shard's admission window sees the class's full miss signal locally.
+  kClassAffinity,
+};
+
+const char* to_string(RouterKind kind);
+
+class ShardRouter {
+ public:
+  virtual ~ShardRouter() = default;
+
+  /// Shard index in [0, num_shards). Requires num_shards >= 1.
+  virtual std::uint32_t route(std::uint64_t key, ClassId cls,
+                              std::uint32_t num_shards) const = 0;
+
+  virtual RouterKind kind() const = 0;
+};
+
+std::unique_ptr<ShardRouter> make_router(RouterKind kind);
+
+}  // namespace tailguard

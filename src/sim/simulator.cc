@@ -342,6 +342,42 @@ std::vector<std::shared_ptr<CdfModel>> build_models(
   return result;
 }
 
+// Environment fallback for SimConfig::sharding, mirroring the
+// TAILGUARD_EDF_IMPL / TAILGUARD_EVENT_QUEUE A/B pattern.
+ShardingOptions sharding_from_env() {
+  ShardingOptions opts;
+  if (const char* env = std::getenv("TAILGUARD_SHARDS")) {
+    char* end = nullptr;
+    const long n = std::strtol(env, &end, 10);
+    TG_CHECK_MSG(end != env && *end == '\0' && n >= 1,
+                 "TAILGUARD_SHARDS must be a positive integer, got '" << env
+                                                                     << "'");
+    opts.num_shards = static_cast<std::uint32_t>(n);
+  }
+  if (const char* env = std::getenv("TAILGUARD_SHARD_SYNC_MS")) {
+    char* end = nullptr;
+    const double ms = std::strtod(env, &end);
+    TG_CHECK_MSG(end != env && *end == '\0' && ms >= 0.0,
+                 "TAILGUARD_SHARD_SYNC_MS must be a non-negative number, "
+                 "got '" << env << "'");
+    opts.sync_interval_ms = ms;
+  }
+  if (const char* env = std::getenv("TAILGUARD_SHARD_ROUTER")) {
+    if (std::strcmp(env, "hash") == 0) {
+      opts.router = RouterKind::kHash;
+    } else if (std::strcmp(env, "round-robin") == 0) {
+      opts.router = RouterKind::kRoundRobin;
+    } else if (std::strcmp(env, "class-affinity") == 0) {
+      opts.router = RouterKind::kClassAffinity;
+    } else {
+      TG_CHECK_MSG(false, "TAILGUARD_SHARD_ROUTER must be 'hash', "
+                          "'round-robin' or 'class-affinity', got '"
+                              << env << "'");
+    }
+  }
+  return opts;
+}
+
 }  // namespace
 
 double expected_work_per_query(const SimConfig& config) {
@@ -450,13 +486,18 @@ SimResult run_simulation(const SimConfig& config) {
   // --- control plane -------------------------------------------------------
   // Owns the whole Fig. 2 query-handler pipeline (admission, Eq. 6/7
   // budgets, t_D, tracking, per-class accounting); the simulator is just the
-  // event-driven execution backend around it.
+  // event-driven execution backend around it. Sharded: N replicas behind the
+  // facade, queries routed by arrival index, delta-sync at simulated-time
+  // interval boundaries (a single shard is the transparent default).
+  const ShardingOptions sharding =
+      config.sharding ? *config.sharding : sharding_from_env();
   ControlPlaneOptions cp_options;
   cp_options.policy = config.policy;
   cp_options.classes = config.classes;
   cp_options.admission = config.admission;
-  QueryControlPlane control(
-      std::move(cp_options),
+  cp_options.seed = config.seed;
+  ShardedControlPlane control(
+      sharding, std::move(cp_options),
       !config.server_models.empty()
           ? config.server_models
           : build_models(per_server, config.estimation,
@@ -524,10 +565,12 @@ SimResult run_simulation(const SimConfig& config) {
   std::vector<bool> record_query_flag;  // indexed by admitted QueryId
   MetricsCollector metrics;
 
-  // Request mode state.
+  // Request mode state. Follow-up queries stay on the head query's shard
+  // (shard affinity: the request's Eq. 7 budget chain lives in one handler).
   struct RequestState {
     TimeMs t0 = 0.0;
     std::size_t next_query = 0;  // index of the next query to issue
+    std::uint32_t shard = 0;
     bool record = false;
   };
   std::unordered_map<std::uint64_t, RequestState> requests;
@@ -576,7 +619,7 @@ SimResult run_simulation(const SimConfig& config) {
     sv.current_missed =
         t > control.query_state(task.query).deadline + 1e-12;
     if (!defer_result_accounting) {
-      control.record_task_dequeue(t, task.cls, sv.current_missed);
+      control.record_task_dequeue(task.query, t, task.cls, sv.current_missed);
       if (sv.current_recorded) metrics.record_task_dequeue(sv.current_missed);
     }
     const TimeMs service = task.service_time * scale_at(t, sid);
@@ -616,8 +659,8 @@ SimResult run_simulation(const SimConfig& config) {
   // with the tracker and enqueues/starts the tasks. `request_id` links the
   // query to a request (request mode); `request_query_idx` selects the
   // request budget.
-  const auto issue_query = [&](TimeMs t, ClassId cls, std::uint32_t kf,
-                               bool record,
+  const auto issue_query = [&](TimeMs t, std::uint32_t shard, ClassId cls,
+                               std::uint32_t kf, bool record,
                                std::uint64_t request_id = ~0ULL,
                                std::size_t request_query_idx = 0) {
     // The default shuffle leaves the placed set in perm's prefix, so the
@@ -643,10 +686,13 @@ SimResult run_simulation(const SimConfig& config) {
       order_slo_ms = config.request->request_slo.slo_ms;
     }
     const QueryPlan plan =
-        control.begin_query(t, cls, placed, budget_override, order_slo_ms);
+        control.begin_query(shard, t, cls, placed, budget_override,
+                            order_slo_ms);
     const QueryId qid = plan.id;
-    TG_DCHECK(qid == record_query_flag.size());
-    record_query_flag.push_back(record);
+    // Strided shard ids leave holes; the flag table is indexed by id, so
+    // grow it to cover qid (the dense single-shard case grows by one).
+    if (qid >= record_query_flag.size()) record_query_flag.resize(qid + 1);
+    record_query_flag[qid] = record;
     if (request_id != ~0ULL) query_request.emplace(qid, request_id);
     if (config.on_query_planned) config.on_query_planned(plan);
 
@@ -688,10 +734,11 @@ SimResult run_simulation(const SimConfig& config) {
                                  bool recorded) {
     if (config.estimation == EstimationMode::kOnlineStreaming ||
         config.estimation == EstimationMode::kOnlineFromSingleProfile)
-      control.observe_post_queuing(server, t - dequeue_time);
+      control.observe_post_queuing(query, server, t - dequeue_time);
 
     if (defer_result_accounting) {
-      control.record_task_dequeue(t, control.query_state(query).cls, missed);
+      control.record_task_dequeue(query, t, control.query_state(query).cls,
+                                  missed);
       if (recorded) metrics.record_task_dequeue(missed);
     }
 
@@ -716,7 +763,7 @@ SimResult run_simulation(const SimConfig& config) {
                 ? config.request->query_fanouts[qidx]
                 : (config.class_fanout ? config.class_fanout(rng, next_cls)
                                        : config.fanout->sample(rng));
-        issue_query(t, next_cls, next_kf, req.record, rid, qidx);
+        issue_query(t, req.shard, next_cls, next_kf, req.record, rid, qidx);
       } else {
         if (req.record) request_latencies.push_back(t - req.t0);
         requests.erase(rit);
@@ -738,6 +785,7 @@ SimResult run_simulation(const SimConfig& config) {
     if (arrival_pending &&
         (events.empty() || next_arrival <= events.peek_time())) {
       now = next_arrival;
+      control.maybe_sync(now);
       const std::size_t arrival_idx = offered - 1;
       // Draw the next arrival first so the process is independent of
       // admission decisions.
@@ -768,18 +816,23 @@ SimResult run_simulation(const SimConfig& config) {
         }
       }
 
+      // Route the arrival to its query-handler shard (the arrival index is
+      // the routing key: deterministic, and a single shard always routes
+      // to 0 with no extra work).
+      const std::uint32_t shard = control.route(arrival_idx, cls);
+
       // Admission decision (per arrival: per query, or per request). The
       // coin is drawn from the simulator's own Rng so the event stream stays
       // replayable; the short-circuit keeps the draw out of admission-free
       // runs.
       if (control.admission_enabled() &&
-          !control.should_admit(now, rng.uniform())) {
-        control.count_rejected();
+          !control.should_admit(shard, now, rng.uniform())) {
+        control.count_rejected(shard);
         ++result.queries_rejected;
         result.tasks_rejected += kf;
         continue;
       }
-      control.count_admitted();
+      control.count_admitted(shard);
       ++result.queries_admitted;
       result.tasks_admitted += kf;
 
@@ -788,16 +841,17 @@ SimResult run_simulation(const SimConfig& config) {
         const std::uint64_t rid = next_request_id++;
         requests.emplace(rid,
                          RequestState{.t0 = now, .next_query = 1,
-                                      .record = record});
-        issue_query(now, cls, kf, record, rid, 0);
+                                      .shard = shard, .record = record});
+        issue_query(now, shard, cls, kf, record, rid, 0);
       } else {
-        issue_query(now, cls, kf, record);
+        issue_query(now, shard, cls, kf, record);
       }
       continue;
     }
 
     const Event ev = events.pop();
     now = ev.time;
+    control.maybe_sync(now);
 
     if (ev.kind() == Event::kTaskEnqueue) {
       // A dispatched task reaches its server.
@@ -849,6 +903,9 @@ SimResult run_simulation(const SimConfig& config) {
   result.queries_offered = result.queries_admitted + result.queries_rejected;
   result.end_time = now;
   result.task_deadline_miss_ratio = metrics.task_deadline_miss_ratio();
+  result.shards = control.num_shards();
+  result.shard_sync_rounds = control.sync_stats().rounds;
+  result.shard_samples_shipped = control.sync_stats().samples_shipped;
 
   double busy_total = 0.0;
   result.server_utilization.reserve(servers.size());

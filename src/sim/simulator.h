@@ -13,9 +13,9 @@
 #include <vector>
 
 #include "core/admission.h"
-#include "core/control_plane.h"
 #include "core/policy.h"
 #include "dist/distribution.h"
+#include "shard/sharded_control_plane.h"
 #include "sim/metrics.h"
 #include "workloads/fanout.h"
 #include "workloads/trace.h"
@@ -133,6 +133,15 @@ struct SimConfig {
   /// Admission control (paper §III.C); disabled when unset.
   std::optional<AdmissionOptions> admission;
 
+  /// Query-handler sharding: N ShardedControlPlane replicas with periodic
+  /// delta-sync (src/shard). Unset resolves from the environment —
+  /// TAILGUARD_SHARDS, TAILGUARD_SHARD_SYNC_MS, TAILGUARD_SHARD_ROUTER
+  /// (hash|round-robin|class-affinity) — defaulting to a single shard, so
+  /// whole-figure runs can be A/B'd from the shell like the EDF/event-queue
+  /// knobs. One shard with sync disabled is bit-identical to the unsharded
+  /// control plane (the parity invariant).
+  std::optional<ShardingOptions> sharding;
+
   /// Request mode (paper §III.B remark, Eq. 7): each arrival is a *request*
   /// of `queries_per_request` queries issued sequentially — query i+1 is
   /// issued the instant query i's last task result merges. Task deadlines
@@ -209,6 +218,12 @@ struct SimResult {
   TimeMs request_mean_latency_ms = 0.0;
   std::uint64_t requests_recorded = 0;
   bool request_slo_met = false;
+
+  /// Sharding: how many query-handler shards ran and how many delta-sync
+  /// rounds / shipped samples the run performed (0 when sync is disabled).
+  std::uint32_t shards = 1;
+  std::uint64_t shard_sync_rounds = 0;
+  std::uint64_t shard_samples_shipped = 0;
 
   /// True when every group met its SLO (groups with zero queries are
   /// ignored). `epsilon` is a relative tolerance.

@@ -1,0 +1,385 @@
+// Tests for the wire-level gossip extension (net/): GossipHello/GossipDelta
+// serde round-trips and truncation rejection, the daemon's periodic delta
+// stream over a raw socket, the dispatcher-level end-to-end path (dispatcher
+// B's CDF model learns from dispatcher A's completions, exactly once), and
+// the mixed-version story — a gossip-off daemon behaves exactly like a
+// pre-gossip build and dispatchers fall back to the ModelSync backfill.
+#include <gtest/gtest.h>
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <chrono>
+#include <future>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/cdf_model.h"
+#include "net/dispatcher.h"
+#include "net/socket.h"
+#include "net/task_server.h"
+#include "net/wire.h"
+
+namespace tailguard {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ------------------------------------------------------------------- wire
+
+TEST(GossipWire, HelloRoundTrip) {
+  net::GossipHelloMsg msg;
+  msg.gossip_version = 1;
+  msg.origin = 3;
+  const auto bytes = net::encode(msg);
+  net::FrameBuffer buf;
+  buf.append(bytes.data(), bytes.size());
+  const auto frame = buf.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, net::MsgType::kGossipHello);
+  net::GossipHelloMsg decoded;
+  ASSERT_TRUE(net::decode(*frame, &decoded));
+  EXPECT_EQ(decoded, msg);
+}
+
+net::GossipDeltaMsg sample_delta() {
+  net::GossipDeltaMsg msg;
+  msg.delta.origin = 0;
+  msg.delta.seq = 17;
+  msg.delta.dequeues_recorded = 40;
+  msg.delta.dequeues_missed = 3;
+  ShardDelta::ServerEntry a;
+  a.server = 0;
+  a.samples_ms = {0.5, 1.25, 30.0};
+  a.samples_dropped = 2;
+  a.load_estimate = 7;
+  a.has_load = true;
+  ShardDelta::ServerEntry b;
+  b.server = 4;
+  b.has_load = false;
+  msg.delta.servers = {a, b};
+  return msg;
+}
+
+TEST(GossipWire, DeltaRoundTrip) {
+  const net::GossipDeltaMsg msg = sample_delta();
+  const auto bytes = net::encode(msg);
+  net::FrameBuffer buf;
+  buf.append(bytes.data(), bytes.size());
+  const auto frame = buf.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, net::MsgType::kGossipDelta);
+  net::GossipDeltaMsg decoded;
+  ASSERT_TRUE(net::decode(*frame, &decoded));
+  EXPECT_EQ(decoded, msg);
+}
+
+TEST(GossipWire, EmptyDeltaRoundTrip) {
+  net::GossipDeltaMsg msg;
+  msg.delta.seq = 1;
+  const auto bytes = net::encode(msg);
+  net::FrameBuffer buf;
+  buf.append(bytes.data(), bytes.size());
+  net::GossipDeltaMsg decoded;
+  ASSERT_TRUE(net::decode(*buf.next(), &decoded));
+  EXPECT_EQ(decoded, msg);
+  EXPECT_TRUE(decoded.delta.empty());
+}
+
+TEST(GossipWire, DecodeRejectsTruncatedDelta) {
+  const auto bytes = net::encode(sample_delta());
+  net::FrameBuffer buf;
+  buf.append(bytes.data(), bytes.size());
+  auto frame = buf.next();
+  ASSERT_TRUE(frame.has_value());
+  // Every truncation point must be rejected, never mis-parsed.
+  net::Frame cut = *frame;
+  while (!cut.payload.empty()) {
+    cut.payload.pop_back();
+    net::GossipDeltaMsg decoded;
+    EXPECT_FALSE(net::decode(cut, &decoded)) << cut.payload.size();
+  }
+}
+
+TEST(GossipWire, DecodeRejectsImpossibleCounts) {
+  // A tiny payload claiming 2^31 server entries must fail the
+  // payload-impossible guard before any allocation happens.
+  net::Frame frame;
+  frame.type = net::MsgType::kGossipDelta;
+  frame.payload = {0, 0, 0, 0,              // origin
+                   1, 0, 0, 0, 0, 0, 0, 0,  // seq
+                   0, 0, 0, 0, 0, 0, 0, 0,  // dequeues_recorded
+                   0, 0, 0, 0, 0, 0, 0, 0,  // dequeues_missed
+                   0xff, 0xff, 0xff, 0x7f}; // num_servers = 2^31 - 1
+  net::GossipDeltaMsg decoded;
+  EXPECT_FALSE(net::decode(frame, &decoded));
+}
+
+// ------------------------------------------------------- raw-socket client
+
+/// Minimal blocking-ish wire client standing in for an *old* dispatcher: it
+/// understands the v1 framing but none of the gossip message types.
+class TestClient {
+ public:
+  bool connect_to(std::uint16_t port) {
+    std::string error;
+    fd_ = net::connect_tcp("127.0.0.1", port, &error);
+    if (!fd_.valid()) return false;
+    pollfd p{fd_.get(), POLLOUT, 0};
+    ::poll(&p, 1, 2000);
+    return net::connect_finished(fd_.get());
+  }
+
+  void send_bytes(const std::vector<std::uint8_t>& bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = ::send(fd_.get(), bytes.data() + off,
+                               bytes.size() - off, MSG_NOSIGNAL);
+      if (n > 0) {
+        off += static_cast<std::size_t>(n);
+      } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        pollfd p{fd_.get(), POLLOUT, 0};
+        ::poll(&p, 1, 1000);
+      } else {
+        return;
+      }
+    }
+  }
+
+  std::optional<net::Frame> read_frame(int timeout_ms = 3000) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+      if (auto frame = in_.next()) return frame;
+      if (std::chrono::steady_clock::now() > deadline) return std::nullopt;
+      pollfd p{fd_.get(), POLLIN, 0};
+      ::poll(&p, 1, 50);
+      std::uint8_t buf[4096];
+      const ssize_t n = ::recv(fd_.get(), buf, sizeof(buf), 0);
+      if (n > 0) in_.append(buf, static_cast<std::size_t>(n));
+    }
+  }
+
+  /// Reads frames until one of `type` arrives (skipping everything else,
+  /// exactly as an old dispatcher would skip unknown message types).
+  std::optional<net::Frame> read_frame_of(net::MsgType type,
+                                          int timeout_ms = 5000) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+    while (std::chrono::steady_clock::now() <= deadline) {
+      auto frame = read_frame(200);
+      if (frame.has_value() && frame->type == type) return frame;
+    }
+    return std::nullopt;
+  }
+
+  void close() { fd_.reset(); }
+
+ private:
+  net::ScopedFd fd_;
+  net::FrameBuffer in_;
+};
+
+TEST(GossipDaemon, AnnouncesAndStreamsDeltasOverRawSocket) {
+  net::TaskServerOptions options;
+  options.gossip_interval_ms = 20.0;
+  net::TaskServer server(options);
+
+  TestClient client;
+  ASSERT_TRUE(client.connect_to(server.port()));
+  client.send_bytes(net::encode(net::HelloMsg{.peer_name = "raw"}));
+  const auto ack = client.read_frame();
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(ack->type, net::MsgType::kHelloAck);
+
+  // Gossip-capable daemons announce right after the handshake.
+  const auto hello = client.read_frame_of(net::MsgType::kGossipHello);
+  ASSERT_TRUE(hello.has_value());
+  net::GossipHelloMsg gossip;
+  ASSERT_TRUE(net::decode(*hello, &gossip));
+  EXPECT_EQ(gossip.gossip_version, 1u);
+
+  // Periodic deltas flow even with nothing to report; the sole client's own
+  // completions are excluded from its stream, so samples stay empty.
+  const auto delta_frame = client.read_frame_of(net::MsgType::kGossipDelta);
+  ASSERT_TRUE(delta_frame.has_value());
+  net::GossipDeltaMsg delta;
+  ASSERT_TRUE(net::decode(*delta_frame, &delta));
+  EXPECT_GE(delta.delta.seq, 1u);
+  for (const auto& entry : delta.delta.servers)
+    EXPECT_TRUE(entry.samples_ms.empty());
+  EXPECT_EQ(delta.delta.dequeues_recorded, 0u);
+  EXPECT_GE(server.gossip_deltas_sent(), delta.delta.seq);
+}
+
+TEST(GossipDaemon, ShipsOtherConnectionsCompletionsNotOwn) {
+  net::TaskServerOptions options;
+  options.gossip_interval_ms = 20.0;
+  net::TaskServer server(options);
+
+  TestClient submitter, observer;
+  ASSERT_TRUE(submitter.connect_to(server.port()));
+  ASSERT_TRUE(observer.connect_to(server.port()));
+  submitter.send_bytes(net::encode(net::HelloMsg{.peer_name = "submitter"}));
+  observer.send_bytes(net::encode(net::HelloMsg{.peer_name = "observer"}));
+  ASSERT_TRUE(submitter.read_frame().has_value());  // HelloAck
+  ASSERT_TRUE(observer.read_frame().has_value());   // HelloAck
+
+  net::SubmitTaskMsg submit;
+  submit.task = 1;
+  submit.query = 1;
+  submit.cls = 0;
+  submit.relative_deadline_ms = 100.0;
+  submit.simulated_service_ms = 0.5;
+  submitter.send_bytes(net::encode(submit));
+  const auto done = submitter.read_frame_of(net::MsgType::kTaskDone);
+  ASSERT_TRUE(done.has_value());
+
+  // The observer's stream eventually carries the submitter's sample...
+  bool saw_sample = false;
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (!saw_sample && std::chrono::steady_clock::now() < deadline) {
+    const auto frame = observer.read_frame_of(net::MsgType::kGossipDelta);
+    ASSERT_TRUE(frame.has_value());
+    net::GossipDeltaMsg msg;
+    ASSERT_TRUE(net::decode(*frame, &msg));
+    for (const auto& entry : msg.delta.servers)
+      if (!entry.samples_ms.empty()) {
+        EXPECT_GE(entry.samples_ms[0], 0.4);
+        saw_sample = true;
+      }
+    if (saw_sample) {
+      EXPECT_EQ(msg.delta.dequeues_recorded, 1u);
+    }
+  }
+  EXPECT_TRUE(saw_sample);
+
+  // ...while the submitter's own stream never echoes it back (TaskDone is
+  // its copy; duplicating it through gossip would double-count).
+  const auto own = submitter.read_frame_of(net::MsgType::kGossipDelta);
+  ASSERT_TRUE(own.has_value());
+  net::GossipDeltaMsg own_msg;
+  ASSERT_TRUE(net::decode(*own, &own_msg));
+  for (const auto& entry : own_msg.delta.servers)
+    EXPECT_TRUE(entry.samples_ms.empty());
+}
+
+// -------------------------------------------------------- dispatcher e2e
+
+net::DispatcherOptions one_server_options(std::uint16_t port) {
+  net::DispatcherOptions options;
+  options.servers.push_back({"127.0.0.1", port});
+  options.policy = Policy::kTfEdf;
+  options.classes = {{.slo_ms = 100.0, .percentile = 99.0}};
+  return options;
+}
+
+TEST(GossipE2E, SecondDispatcherLearnsFromFirstExactlyOnce) {
+  net::TaskServerOptions server_options;
+  server_options.gossip_interval_ms = 20.0;
+  server_options.num_classes = 1;
+  net::TaskServer server(server_options);
+
+  net::RemoteDispatcher a(one_server_options(server.port()));
+  net::RemoteDispatcher b(one_server_options(server.port()));
+  ASSERT_TRUE(a.wait_for_servers(1, 5000.0));
+  ASSERT_TRUE(b.wait_for_servers(1, 5000.0));
+
+  constexpr int kQueries = 20;
+  std::vector<std::future<QueryResult>> futures;
+  for (int q = 0; q < kQueries; ++q) {
+    std::vector<net::RemoteTaskSpec> tasks(1);
+    tasks[0].simulated_service_ms = 0.2;
+    futures.push_back(a.submit(0, std::move(tasks)));
+  }
+  for (auto& f : futures) EXPECT_EQ(f.get().tasks_failed, 0u);
+
+  // B ran nothing, yet its model must converge on A's observations via the
+  // daemon's gossip stream.
+  const auto observations = [&] {
+    return static_cast<const StreamingCdfModel&>(b.server_model(0))
+        .observations();
+  };
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (observations() < kQueries &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(5ms);
+  EXPECT_EQ(observations(), static_cast<std::uint64_t>(kQueries));
+  EXPECT_EQ(b.gossip_capable_servers(), 1u);
+  EXPECT_GT(b.gossip_deltas_absorbed(), 0u);
+  EXPECT_EQ(b.gossip_duplicates_dropped(), 0u);
+
+  // Exactly once: further empty rounds must not inflate the count, and A's
+  // model holds its own TaskDone-fed samples without gossip echoes.
+  std::this_thread::sleep_for(60ms);
+  EXPECT_EQ(observations(), static_cast<std::uint64_t>(kQueries));
+  EXPECT_EQ(static_cast<const StreamingCdfModel&>(a.server_model(0))
+                .observations(),
+            static_cast<std::uint64_t>(kQueries));
+}
+
+TEST(GossipE2E, GossipOffDaemonBehavesLikePreGossipBuild) {
+  // Mixed-version fleet, old daemon side: gossip_interval_ms = 0 means no
+  // GossipHello, no deltas — peers only ever learn through ModelSync.
+  net::TaskServer server(net::TaskServerOptions{});
+
+  net::RemoteDispatcher a(one_server_options(server.port()));
+  net::RemoteDispatcher b(one_server_options(server.port()));
+  ASSERT_TRUE(a.wait_for_servers(1, 5000.0));
+  ASSERT_TRUE(b.wait_for_servers(1, 5000.0));
+
+  std::vector<net::RemoteTaskSpec> tasks(1);
+  tasks[0].simulated_service_ms = 0.2;
+  EXPECT_EQ(a.submit(0, std::move(tasks)).get().tasks_failed, 0u);
+  std::this_thread::sleep_for(50ms);
+
+  EXPECT_EQ(a.gossip_capable_servers(), 0u);
+  EXPECT_EQ(b.gossip_capable_servers(), 0u);
+  EXPECT_EQ(b.gossip_deltas_absorbed(), 0u);
+  EXPECT_EQ(static_cast<const StreamingCdfModel&>(b.server_model(0))
+                .observations(),
+            0u);
+}
+
+TEST(GossipE2E, ModelSyncBackfillStillCoversDisconnectedEras) {
+  // The fallback path of the mixed-version story: samples completed with no
+  // owner connected reach the next dispatcher through ModelSync backfill,
+  // gossip or not.
+  net::TaskServer server(net::TaskServerOptions{});
+  {
+    TestClient first;
+    ASSERT_TRUE(first.connect_to(server.port()));
+    first.send_bytes(net::encode(net::HelloMsg{.peer_name = "first"}));
+    ASSERT_TRUE(first.read_frame().has_value());  // HelloAck
+    net::SubmitTaskMsg submit;
+    submit.task = 1;
+    submit.query = 1;
+    submit.relative_deadline_ms = 1000.0;
+    submit.simulated_service_ms = 30.0;
+    first.send_bytes(net::encode(submit));
+    std::this_thread::sleep_for(5ms);  // let the submit land, not finish
+    first.close();
+  }
+
+  // ModelSync is sent at Hello time, so the orphaned completion must land in
+  // the buffer before the late dispatcher's handshake.
+  const auto executed_deadline = std::chrono::steady_clock::now() + 5s;
+  while (server.tasks_executed() == 0 &&
+         std::chrono::steady_clock::now() < executed_deadline)
+    std::this_thread::sleep_for(5ms);
+  ASSERT_EQ(server.tasks_executed(), 1u);
+
+  net::RemoteDispatcher late(one_server_options(server.port()));
+  ASSERT_TRUE(late.wait_for_servers(1, 5000.0));
+  const auto observations = [&] {
+    return static_cast<const StreamingCdfModel&>(late.server_model(0))
+        .observations();
+  };
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (observations() == 0 && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(5ms);
+  EXPECT_GE(observations(), 1u);
+}
+
+}  // namespace
+}  // namespace tailguard

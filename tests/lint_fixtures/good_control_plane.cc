@@ -1,21 +1,22 @@
-// The same backend built the sanctioned way: it drives a QueryControlPlane
-// and never names the underlying components, so it lints clean even under
-// the backend directories the boundary rule watches.
-#include "core/control_plane.h"
+// The same backend built the sanctioned way: it drives the sharding facade
+// (ShardedControlPlane, a single shard here) and never names the underlying
+// components or a shard's private replica, so it lints clean even under the
+// backend directories the boundary rule watches.
+#include "shard/sharded_control_plane.h"
 
 namespace tailguard {
 
 struct ThinBackend {
-  QueryControlPlane control;
+  ShardedControlPlane control{ShardingOptions{}, ControlPlaneOptions{}, {}};
 };
 
 double plan_next(ThinBackend& b, TimeMs now_ms) {
-  if (b.control.admission_enabled() && !b.control.should_admit(now_ms)) {
-    b.control.count_rejected();
+  if (b.control.admission_enabled() && !b.control.should_admit(0, now_ms)) {
+    b.control.count_rejected(0);
     return -1.0;
   }
-  b.control.count_admitted();
-  return b.control.budget(0, {});
+  b.control.count_admitted(0);
+  return b.control.budget(0, 0, {});
 }
 
 }  // namespace tailguard

@@ -157,8 +157,27 @@ TEST(LintTest, BadControlPlaneFiresInEveryBackend) {
     const auto diags = lint_fixture("bad_control_plane.cc", path);
     EXPECT_EQ(rules_of(diags), std::set<std::string>{"control-plane-boundary"})
         << path;
-    // One finding per component member: DeadlineEstimator, QueryTracker,
-    // AdmissionController.
+    // One finding per component member — DeadlineEstimator, QueryTracker,
+    // AdmissionController — plus the naked QueryControlPlane replica.
+    EXPECT_EQ(count_rule(diags, "control-plane-boundary"), 4) << path;
+  }
+}
+
+TEST(LintTest, ShardPlumbingMayNotTouchReplicas) {
+  // src/shard/ is held to the same standard as the backends: router /
+  // state-sync plumbing must not own the components or reach into a shard's
+  // QueryControlPlane replica...
+  const auto diags =
+      lint_fixture("bad_control_plane.cc", "src/shard/bad_control_plane.cc");
+  EXPECT_EQ(count_rule(diags, "control-plane-boundary"), 4);
+}
+
+TEST(LintTest, ShardingFacadeMayOwnReplicas) {
+  // ...while the facade itself is the one sanctioned QueryControlPlane
+  // owner — only the component mentions fire there.
+  for (const std::string path : {"src/shard/sharded_control_plane.cc",
+                                 "src/shard/sharded_control_plane.h"}) {
+    const auto diags = lint_fixture("bad_control_plane.cc", path);
     EXPECT_EQ(count_rule(diags, "control-plane-boundary"), 3) << path;
   }
 }

@@ -253,7 +253,8 @@ bool clock_allowed(const FileCtx& ctx) {
   // are genuinely real-time; everything else must run on simulated time.
   return ctx.in_dir("src/net/") || ctx.in_dir("src/runtime/") ||
          ctx.in_dir("bench/") || ctx.path == "tools/tailguard_served.cc" ||
-         ctx.path == "tests/net_test.cc" || ctx.path == "tests/runtime_test.cc" ||
+         ctx.path == "tests/net_test.cc" || ctx.path == "tests/gossip_test.cc" ||
+         ctx.path == "tests/runtime_test.cc" ||
          ctx.path == "tests/loadgen_test.cc";
 }
 
@@ -467,12 +468,20 @@ void check_wire_safety(const FileCtx& ctx) {
 
 void check_control_plane_boundary(const FileCtx& ctx) {
   if (!ctx.in_dir("src/sim/") && !ctx.in_dir("src/runtime/") &&
-      !ctx.in_dir("src/net/") && !ctx.in_dir("src/sas/"))
+      !ctx.in_dir("src/net/") && !ctx.in_dir("src/sas/") &&
+      !ctx.in_dir("src/shard/"))
     return;
+  // The sharding facade is the single sanctioned owner of QueryControlPlane
+  // replicas; everything else — backends and the rest of src/shard — talks
+  // to ShardedControlPlane, and cross-shard state flows through StateSyncBus
+  // deltas only.
+  const bool is_facade = ctx.path == "src/shard/sharded_control_plane.h" ||
+                         ctx.path == "src/shard/sharded_control_plane.cc";
   static constexpr std::array<std::string_view, 3> kComponents = {
       "DeadlineEstimator", "QueryTracker", "AdmissionController"};
   for (std::size_t i = 0; i < ctx.code_lines.size(); ++i) {
     const std::string_view line = ctx.code_lines[i];
+    bool fired = false;
     for (const auto token : kComponents) {
       if (find_word(line, token) != std::string_view::npos) {
         ctx.report(static_cast<int>(i) + 1, "control-plane-boundary",
@@ -480,10 +489,22 @@ void check_control_plane_boundary(const FileCtx& ctx) {
                        "' referenced in an execution backend; the per-query "
                        "pipeline (admission, Eq. 6/7 budgets, placement, t_D, "
                        "tracking, accounting) lives in core/control_plane.h — "
-                       "drive a QueryControlPlane instead of owning its parts, "
-                       "so scheduling changes land once, not per backend");
+                       "drive a ShardedControlPlane instead of owning its "
+                       "parts, so scheduling changes land once, not per "
+                       "backend");
+        fired = true;
         break;
       }
+    }
+    if (!fired && !is_facade &&
+        find_word(line, "QueryControlPlane") != std::string_view::npos) {
+      ctx.report(static_cast<int>(i) + 1, "control-plane-boundary",
+                 "'QueryControlPlane' referenced outside the sharding facade; "
+                 "a shard's replica is private to "
+                 "shard/sharded_control_plane.{h,cc} — backends drive a "
+                 "ShardedControlPlane, and cross-shard state moves only as "
+                 "StateSyncBus deltas, never by reaching into another "
+                 "shard's plane");
     }
   }
 }
@@ -576,9 +597,11 @@ std::string rule_summary() {
       "namespace' in headers\n"
       "wire-safety         no reinterpret_cast/memcpy in src/net outside "
       "wire.cc (sockaddr exempt)\n"
-      "control-plane-boundary  src/sim, src/runtime, src/net and src/sas "
-      "must drive core/control_plane.h, not DeadlineEstimator/QueryTracker/"
-      "AdmissionController directly\n"
+      "control-plane-boundary  src/sim, src/runtime, src/net, src/sas and "
+      "src/shard must drive shard/sharded_control_plane.h, not "
+      "DeadlineEstimator/QueryTracker/AdmissionController directly; "
+      "QueryControlPlane replicas are private to the sharding facade "
+      "(cross-shard state flows through StateSyncBus deltas only)\n"
       "\nSuppress a finding with '// tg-lint: allow(<rule>)' on the line or "
       "the line above.\n";
 }

@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
   std::string policy_name = "tailguard";
   std::size_t num_classes = 2;
   std::size_t executors = 1;
+  double gossip_ms = 0.0;
   bool once = false;
 
   FlagParser flags(
@@ -41,6 +42,9 @@ int main(int argc, char** argv) {
                    "queuing policy: fifo|priq|tedf|tailguard");
   flags.add_size("classes", &num_classes, "number of service classes");
   flags.add_size("executors", &executors, "execution threads");
+  flags.add_double("gossip-ms", &gossip_ms,
+                   "delta-gossip period in ms (0 = disabled: pre-gossip "
+                   "behaviour, dispatchers rely on ModelSync backfill)");
   flags.add_bool("once", &once,
                  "start, print the port, and exit immediately (smoke tests)");
   if (!flags.parse(argc, argv, std::cout, std::cerr))
@@ -62,6 +66,7 @@ int main(int argc, char** argv) {
   options.policy = *policy;
   options.num_classes = num_classes;
   options.num_executors = executors;
+  options.gossip_interval_ms = gossip_ms;
 
   try {
     net::TaskServer server(std::move(options));
