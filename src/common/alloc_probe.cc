@@ -1,0 +1,15 @@
+#include "common/alloc_probe.h"
+
+namespace tailguard {
+
+namespace {
+AllocCountFn g_alloc_count_fn = nullptr;
+}  // namespace
+
+void set_alloc_count_fn(AllocCountFn fn) { g_alloc_count_fn = fn; }
+
+std::uint64_t alloc_count() {
+  return g_alloc_count_fn != nullptr ? g_alloc_count_fn() : 0;
+}
+
+}  // namespace tailguard

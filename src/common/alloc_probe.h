@@ -1,0 +1,32 @@
+// Allocation-count probe for the hot-path no-malloc contract.
+//
+// The simulator's event loop (and the runtime's submit path) are supposed to
+// run malloc-free in steady state: every per-task structure is slab-pooled or
+// pre-reserved, so heap traffic would mean a regression. Production builds
+// cannot count allocations themselves — overriding operator new globally
+// would tax every binary — so the probe is an installable hook: a test binary
+// that *does* override operator new registers a counter function here, and
+// instrumented regions (e.g. run_simulation's event loop) report the delta
+// through their results. With no hook installed alloc_count() is a constant
+// 0 and the instrumented regions report 0.
+#pragma once
+
+#include <cstdint>
+
+namespace tailguard {
+
+/// Returns a monotonically non-decreasing count of heap allocations made by
+/// this process (whatever the installing binary defines as one).
+using AllocCountFn = std::uint64_t (*)();
+
+/// Installs (or, with nullptr, removes) the process-wide counter hook. Not
+/// thread-safe against concurrent alloc_count() callers; install once at
+/// test startup before any instrumented region runs.
+void set_alloc_count_fn(AllocCountFn fn);
+
+/// Current allocation count, or 0 when no hook is installed. Instrumented
+/// regions take the difference of two calls, so the no-hook constant yields
+/// a zero delta.
+std::uint64_t alloc_count();
+
+}  // namespace tailguard

@@ -87,29 +87,6 @@ QueryPlan QueryControlPlane::begin_query(TimeMs t0, ClassId cls,
   return plan;
 }
 
-const QueryState& QueryControlPlane::query_state(QueryId id) const {
-  return tracker_.state(id);
-}
-
-bool QueryControlPlane::complete_task(QueryId id, QueryState* finished) {
-  QueryState local;
-  QueryState* out = finished ? finished : &local;
-  const bool last = tracker_.complete_task(id, out);
-  if (last) {
-    ++queries_completed_;
-    ++per_class_[out->cls].queries_completed;
-  }
-  return last;
-}
-
-void QueryControlPlane::record_task_dequeue(TimeMs now, ClassId cls,
-                                            bool missed) {
-  ClassAccounting& acct = per_class_[cls];
-  ++acct.tasks_recorded;
-  if (missed) ++acct.tasks_missed;
-  if (admission_) admission_->record_task_dequeue(now, missed);
-}
-
 void QueryControlPlane::absorb_remote_dequeues(TimeMs now,
                                                std::uint64_t recorded,
                                                std::uint64_t missed) {

@@ -128,16 +128,40 @@ class QueryControlPlane {
                         std::optional<TimeMs> order_slo_ms = std::nullopt);
 
   /// State of an in-flight query (alive until its last complete_task).
-  const QueryState& query_state(QueryId id) const;
+  /// Inline: this and the two calls below run once (or kf times) per task in
+  /// every backend's hot loop, and the whole facade -> plane -> tracker ->
+  /// slab chain must flatten into the caller.
+  const QueryState& query_state(QueryId id) const { return tracker_.state(id); }
 
   /// Merges one task result; returns true when the query is complete (and
   /// bumps the per-class completion tally). `finished` (if non-null)
   /// receives the final state before erase.
-  bool complete_task(QueryId id, QueryState* finished = nullptr);
+  bool complete_task(QueryId id, QueryState* finished = nullptr) {
+    QueryState local;
+    QueryState* out = finished ? finished : &local;
+    const bool last = tracker_.complete_task(id, out);
+    if (last) {
+      ++queries_completed_;
+      ++per_class_[out->cls].queries_completed;
+    }
+    return last;
+  }
 
   /// Records one task dequeue for admission + per-class miss accounting;
   /// `missed` is whether the dequeue happened past the query's t_D.
-  void record_task_dequeue(TimeMs now, ClassId cls, bool missed);
+  void record_task_dequeue(TimeMs now, ClassId cls, bool missed) {
+    ClassAccounting& acct = per_class_[cls];
+    ++acct.tasks_recorded;
+    if (missed) ++acct.tasks_missed;
+    if (admission_) admission_->record_task_dequeue(now, missed);
+  }
+
+  /// Capacity hint: `queries` expected begin_query calls this plane will see
+  /// and `in_flight` a bound on simultaneously live queries. Purely an
+  /// allocation pre-size — behaviour is identical without it.
+  void reserve_queries(std::size_t queries, std::size_t in_flight) {
+    tracker_.reserve(queries, in_flight);
+  }
 
   /// Merges a remote shard's dequeue delta (`recorded` tasks, `missed` of
   /// them late) into the admission window only. Per-class tallies stay

@@ -15,9 +15,9 @@
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
+#include "common/slab_map.h"
 #include "core/cdf_model.h"
 #include "core/types.h"
 
@@ -42,6 +42,12 @@ TimeMs heterogeneous_unloaded_quantile(std::span<const CdfModel* const> models,
 /// Memo for unloaded-quantile lookups. Keys are caller-chosen 64-bit values
 /// (e.g. hash of (class, group-count vector)); entries are dropped whenever
 /// the observed model-version sum changes, which covers online updates.
+///
+/// Backed by SlabHashCache (common/slab_map.h) rather than a node-based
+/// unordered_map: the deadline estimator hits this once per query, and with
+/// online estimation the version bump clears it every refresh interval — the
+/// slab's clear() keeps the bucket table and entry slab, so steady-state
+/// refills allocate nothing.
 class UnloadedQuantileCache {
  public:
   /// Returns the cached value for `key` or computes it via `compute()` and
@@ -54,10 +60,9 @@ class UnloadedQuantileCache {
       map_.clear();
       version_sum_ = version_sum;
     }
-    auto it = map_.find(key);
-    if (it != map_.end()) return it->second;
+    if (const TimeMs* hit = map_.find(key)) return *hit;
     const TimeMs v = compute();
-    map_.emplace(key, v);
+    map_.insert(key, v);
     return v;
   }
 
@@ -65,7 +70,7 @@ class UnloadedQuantileCache {
   void clear() { map_.clear(); }
 
  private:
-  std::unordered_map<std::uint64_t, TimeMs> map_;
+  SlabHashCache<TimeMs> map_;
   std::uint64_t version_sum_ = ~0ULL;
 };
 

@@ -6,20 +6,23 @@
 //
 // Storage: query ids form an arithmetic progression (begin_query hands out
 // start, start+stride, start+2*stride, ...; the default (0, 1) yields the
-// dense 0, 1, 2, ...), so the tracker is a slot slab plus an index -> slot
-// table addressed by (id - start) / stride — every lookup is two array loads
-// instead of a hash probe. complete_task and state() sit on the per-task hot
-// path of all three backends. The strided form exists for the sharded
-// control plane: shard i of N allocates (i, N), so ids are globally unique
-// across shards and id % N recovers the owning shard. The id table grows by
-// 4 bytes per query ever started and is never shrunk; slots of finished
-// queries are recycled through a freelist, so resident state is proportional
-// to the in-flight count.
+// dense 0, 1, 2, ...), so the state lives in a SlabMap (common/slab_map.h,
+// the generalization of the slab + freelist scheme this class pioneered) —
+// every lookup is two array loads instead of a hash probe. complete_task and
+// state() sit on the per-task hot path of all three backends, so they are
+// defined inline here: the simulator's event loop inlines the whole chain
+// (facade -> control plane -> tracker -> slab) with no cross-TU calls. The
+// strided form exists for the sharded control plane: shard i of N allocates
+// (i, N), so ids are globally unique across shards and id % N recovers the
+// owning shard. The id table grows by 4 bytes per query ever started and is
+// never shrunk; slots of finished queries are recycled through a freelist,
+// so resident state is proportional to the in-flight count.
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
+#include "common/check.h"
+#include "common/slab_map.h"
 #include "core/types.h"
 
 namespace tailguard {
@@ -37,42 +40,55 @@ class QueryTracker {
   QueryTracker() = default;
   /// Ids handed out are start, start + stride, start + 2*stride, ...
   /// Requires stride >= 1 and start < stride.
-  QueryTracker(QueryId id_start, QueryId id_stride);
+  QueryTracker(QueryId id_start, QueryId id_stride)
+      : start_(id_start), stride_(id_stride), states_(id_start, id_stride) {}
+
+  /// Pre-sizes for `queries` total begin_query calls and `in_flight`
+  /// simultaneously live queries (capacity hint; exceeding it only costs the
+  /// usual amortized growth).
+  void reserve(std::size_t queries, std::size_t in_flight) {
+    states_.reserve(queries, in_flight);
+  }
 
   /// Registers a new query; returns its id.
   QueryId begin_query(TimeMs t0, ClassId cls, std::uint32_t fanout,
-                      TimeMs deadline);
+                      TimeMs deadline) {
+    TG_CHECK_MSG(fanout >= 1, "query must spawn at least one task");
+    const QueryId id = start_ + started_++ * stride_;
+    states_.emplace(id) = QueryState{.t0 = t0,
+                                     .cls = cls,
+                                     .fanout = fanout,
+                                     .remaining = fanout,
+                                     .deadline = deadline};
+    return id;
+  }
 
   /// Merges one task result. Returns true when this was the last outstanding
   /// task; `finished` (if non-null) receives the final state before erase.
-  bool complete_task(QueryId id, QueryState* finished = nullptr);
+  bool complete_task(QueryId id, QueryState* finished = nullptr) {
+    QueryState* st = states_.find(id);
+    TG_CHECK_MSG(st != nullptr, "unknown query " << id);
+    TG_CHECK_MSG(st->remaining > 0, "query " << id << " over-completed");
+    if (--st->remaining > 0) return false;
+    if (finished != nullptr) *finished = *st;
+    states_.erase(id);
+    return true;
+  }
 
-  const QueryState& state(QueryId id) const;
+  const QueryState& state(QueryId id) const {
+    const QueryState* st = states_.find(id);
+    TG_CHECK_MSG(st != nullptr, "unknown query " << id);
+    return *st;
+  }
 
-  std::size_t in_flight() const { return in_flight_; }
+  std::size_t in_flight() const { return states_.size(); }
   std::uint64_t started() const { return started_; }
 
  private:
-  static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
-
-  /// Dense index of a (valid) id in this tracker's progression.
-  std::uint64_t index_of(QueryId id) const {
-    return stride_ == 1 ? id : (id - start_) / stride_;
-  }
-
-  /// Slot of a live query, or kNoSlot if `id` is unknown or finished.
-  std::uint32_t slot_of(QueryId id) const {
-    const std::uint64_t idx = index_of(id);
-    return idx < slot_by_idx_.size() ? slot_by_idx_[idx] : kNoSlot;
-  }
-
-  std::vector<QueryState> slab_;           ///< slot -> state (recycled)
-  std::vector<std::uint32_t> slot_by_idx_; ///< index -> slot, kNoSlot if done
-  std::vector<std::uint32_t> free_slots_;
-  std::size_t in_flight_ = 0;
   std::uint64_t started_ = 0;
   QueryId start_ = 0;
   QueryId stride_ = 1;
+  SlabMap<QueryState> states_;
 };
 
 }  // namespace tailguard

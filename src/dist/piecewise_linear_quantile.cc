@@ -26,6 +26,20 @@ PiecewiseLinearQuantile::PiecewiseLinearQuantile(
          (anchors_[i].q + anchors_[i - 1].q);
   }
   mean_ = m;
+  // grid_[c] = first anchor whose cell is >= c. Truncation is monotone, so
+  // every anchor below that index has p * kGridCells < c <= p_query *
+  // kGridCells for any query probability landing in cell c — i.e. the grid
+  // start can never overshoot the lower_bound answer, only undershoot it by
+  // the couple of anchors sharing the cell.
+  const std::size_t cells = static_cast<std::size_t>(kGridCells);
+  grid_.resize(cells + 1);
+  std::uint32_t next = 0;
+  for (std::size_t c = 0; c <= cells; ++c) {
+    while (static_cast<std::size_t>(anchors_[next].p * kGridCells) < c) {
+      ++next;
+    }
+    grid_[c] = next;
+  }
 }
 
 double PiecewiseLinearQuantile::cdf(double x) const {

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -42,13 +43,16 @@ class PiecewiseLinearQuantile final : public Distribution {
   double cdf(double x) const override;
   double quantile(double p) const override {
     TG_CHECK_MSG(p >= 0.0 && p <= 1.0, "quantile prob out of range: " << p);
-    // First anchor with anchor.p >= p.
-    const auto it = std::lower_bound(
-        anchors_.begin(), anchors_.end(), p,
-        [](const QuantileAnchor& a, double prob) { return a.p < prob; });
-    if (it == anchors_.begin()) return it->q;
-    const auto& hi = *it;
-    const auto& lo = *(it - 1);
+    // First anchor with anchor.p >= p: start from the uniform-grid index
+    // (first candidate anchor of p's grid cell, precomputed in the ctor) and
+    // step forward. The result is the anchor lower_bound would return, so the
+    // interpolation below is bit-identical to a binary search — the index
+    // only shortcuts the probe to O(1) loads for the per-task sampling path.
+    std::size_t i = grid_[static_cast<std::size_t>(p * kGridCells)];
+    while (anchors_[i].p < p) ++i;
+    if (i == 0) return anchors_[0].q;
+    const QuantileAnchor hi = anchors_[i];
+    const QuantileAnchor lo = anchors_[i - 1];
     const double frac = (p - lo.p) / (hi.p - lo.p);
     return lo.q + frac * (hi.q - lo.q);
   }
@@ -59,7 +63,16 @@ class PiecewiseLinearQuantile final : public Distribution {
   std::span<const QuantileAnchor> anchors() const { return anchors_; }
 
  private:
+  /// Grid resolution for the quantile start-index table. Anchors cluster
+  /// near p=1 (the published tail quantiles), so cells must be fine enough
+  /// that even the last cell holds only a couple of anchors.
+  static constexpr double kGridCells = 1024.0;
+
   std::vector<QuantileAnchor> anchors_;
+  /// grid_[c] = first anchor index whose cell trunc(anchor.p * kGridCells)
+  /// is >= c. Every anchor before it has p strictly below any probability
+  /// that lands in cell c, which is exactly the lower_bound precondition.
+  std::vector<std::uint32_t> grid_;
   std::string name_;
   double mean_;
 };

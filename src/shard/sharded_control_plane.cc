@@ -61,16 +61,12 @@ ShardedControlPlane::ShardedControlPlane(
   next_sync_ms_ = accumulate_ ? sharding_.sync_interval_ms : 0.0;
 }
 
-void ShardedControlPlane::record_task_dequeue(QueryId id, TimeMs now,
-                                              ClassId cls, bool missed) {
-  const std::uint32_t shard = shard_of(id);
-  shards_[shard]->record_task_dequeue(now, cls, missed);
-  if (accumulate_) {
-    PendingDelta& p = pending_[shard];
-    ++p.recorded;
-    if (missed) ++p.missed;
-    p.any = true;
-  }
+void ShardedControlPlane::accumulate_dequeue(std::uint32_t shard,
+                                             bool missed) {
+  PendingDelta& p = pending_[shard];
+  ++p.recorded;
+  if (missed) ++p.missed;
+  p.any = true;
 }
 
 void ShardedControlPlane::observe_post_queuing_on(std::uint32_t shard,

@@ -125,6 +125,14 @@ class ShardedControlPlane {
                                        order_slo_ms);
   }
 
+  /// Capacity hint: about `queries_per_shard` begin_query calls and
+  /// `in_flight` simultaneously live queries per shard. Backends sizing from
+  /// a known workload call this once so the trackers never reallocate on the
+  /// per-task hot path.
+  void reserve_queries(std::size_t queries_per_shard, std::size_t in_flight) {
+    for (auto& s : shards_) s->reserve_queries(queries_per_shard, in_flight);
+  }
+
   // --- Query-id-routed paths (per-task hot path) --------------------------
 
   const QueryState& query_state(QueryId id) const {
@@ -135,7 +143,13 @@ class ShardedControlPlane {
     return shards_[shard_of(id)]->complete_task(id, finished);
   }
 
-  void record_task_dequeue(QueryId id, TimeMs now, ClassId cls, bool missed);
+  /// Per-task hot path: inline so the common no-sync case flattens into the
+  /// backend's loop; only the delta-accumulation tail stays out of line.
+  void record_task_dequeue(QueryId id, TimeMs now, ClassId cls, bool missed) {
+    const std::uint32_t shard = shard_of(id);
+    shards_[shard]->record_task_dequeue(now, cls, missed);
+    if (accumulate_) accumulate_dequeue(shard, missed);
+  }
 
   /// §III.B.2 online updating of the owning shard's model of `server`.
   void observe_post_queuing(QueryId id, ServerId server, TimeMs post_ms) {
@@ -242,6 +256,7 @@ class ShardedControlPlane {
   };
   static constexpr std::size_t kMaxPendingPerServer = 4096;
 
+  void accumulate_dequeue(std::uint32_t shard, bool missed);
   void run_sync_round(TimeMs now);
   void rearm_after(TimeMs now);
 

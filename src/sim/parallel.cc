@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <array>
-#include <unordered_map>
+#include <unordered_map>  // tg-lint: allow(hot-path-map)
 
 #include "common/check.h"
 
@@ -60,8 +60,9 @@ double find_max_load_speculative(const SimConfig& config,
   if (levels <= 0) levels = auto_levels(p);
 
   // Evaluates SLO feasibility at each load concurrently; keyed by load so
-  // bracket decisions are independent of completion order.
-  std::unordered_map<double, bool> feasible;
+  // bracket decisions are independent of completion order. Cold path: a
+  // handful of entries per max-load search, each guarding a full simulation.
+  std::unordered_map<double, bool> feasible;  // tg-lint: allow(hot-path-map)
   const auto evaluate = [&](std::span<const double> loads) {
     std::vector<double> missing;
     for (double load : loads)

@@ -7,9 +7,14 @@
 #include <limits>
 #include <queue>
 #include <span>
-#include <unordered_map>
 
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+#include "common/alloc_probe.h"
 #include "common/check.h"
+#include "common/slab_map.h"
 #include "common/stats.h"
 #include "dist/arrival.h"
 #include "dist/piecewise_linear_quantile.h"
@@ -107,7 +112,9 @@ class EventQueue {
     if (mode_ == Mode::kDense) {
       const std::size_t padded = (dense_servers + kBlock - 1) & ~(kBlock - 1);
       done_.assign(padded, kIdle);
-      block_min_.assign(padded / kBlock, kIdle);
+      // Rounded up to an even count (any extra entry pinned at kIdle) so
+      // the SSE2 rescan can always load block minima two at a time.
+      block_min_.assign((padded / kBlock + 1) & ~std::size_t{1}, kIdle);
     } else if (mode_ == Mode::kHeap) {
       heap_.reserve(expected);
     }
@@ -168,16 +175,64 @@ class EventQueue {
   static constexpr std::size_t kBlock = 8;  // one cache line of doubles
 
   void refresh_block(std::size_t b) {
-    double m = kIdle;
     const double* base = done_.data() + b * kBlock;
+#if defined(__SSE2__)
+    // Pairwise min reduction. minpd is the exact IEEE minimum and min is
+    // order-independent (no NaNs here), so this equals the scalar scan.
+    const __m128d m01 = _mm_min_pd(_mm_loadu_pd(base), _mm_loadu_pd(base + 2));
+    const __m128d m23 =
+        _mm_min_pd(_mm_loadu_pd(base + 4), _mm_loadu_pd(base + 6));
+    const __m128d m = _mm_min_pd(m01, m23);
+    block_min_[b] = _mm_cvtsd_f64(_mm_min_sd(m, _mm_unpackhi_pd(m, m)));
+#else
+    double m = kIdle;
     for (std::size_t i = 0; i < kBlock; ++i) m = std::min(m, base[i]);
     block_min_[b] = m;
+#endif
   }
 
-  // Strict < throughout: the first minimal block, then the first minimal
-  // server inside it — exactly the old (time, kind, server) tie order since
-  // dense events differ only in server id.
+  // First minimal block, then the first minimal server inside it — exactly
+  // the old (time, kind, server) tie order since dense events differ only in
+  // server id. The SSE2 path keeps that order via two exact passes: reduce
+  // to the minimum value, then take the first index comparing equal (cmpeq
+  // ties resolve to the lowest lane, same as the scalar strict-< scan).
   void rescan() {
+#if defined(__SSE2__)
+    const double* bm = block_min_.data();
+    const std::size_t nb = block_min_.size();  // even by construction
+    // Two independent accumulator chains hide the minpd latency.
+    __m128d acc0 = _mm_loadu_pd(bm);
+    __m128d acc1 = _mm_set1_pd(kIdle);
+    std::size_t b = 2;
+    for (; b + 2 <= nb; b += 4) {
+      acc1 = _mm_min_pd(acc1, _mm_loadu_pd(bm + b));
+      if (b + 4 <= nb) acc0 = _mm_min_pd(acc0, _mm_loadu_pd(bm + b + 2));
+    }
+    const __m128d acc = _mm_min_pd(acc0, acc1);
+    const double m =
+        _mm_cvtsd_f64(_mm_min_sd(acc, _mm_unpackhi_pd(acc, acc)));
+    // Branchless first-equal scan: accumulate the per-pair cmpeq masks into
+    // one bitmask and take its lowest set bit. count_ != 0 here, so
+    // m < kIdle and the kIdle padding can never match.
+    const __m128d mv = _mm_set1_pd(m);
+    std::uint64_t mask = 0;
+    for (std::size_t p = 0; p < nb; p += 2)
+      mask |= static_cast<std::uint64_t>(_mm_movemask_pd(
+                  _mm_cmpeq_pd(_mm_loadu_pd(bm + p), mv)))
+              << p;
+    const std::size_t best =
+        static_cast<std::size_t>(__builtin_ctzll(mask));
+    const double* base = done_.data() + best * kBlock;
+    std::uint64_t bmask = 0;
+    for (std::size_t i = 0; i < kBlock; i += 2)
+      bmask |= static_cast<std::uint64_t>(_mm_movemask_pd(
+                   _mm_cmpeq_pd(_mm_loadu_pd(base + i), mv)))
+               << i;
+    const std::size_t off =
+        static_cast<std::size_t>(__builtin_ctzll(bmask));
+    min_time_ = m;
+    min_idx_ = static_cast<std::uint32_t>(best * kBlock + off);
+#else
     std::size_t best = 0;
     for (std::size_t b = 1; b < block_min_.size(); ++b)
       if (block_min_[b] < block_min_[best]) best = b;
@@ -187,6 +242,7 @@ class EventQueue {
       if (base[i] < base[off]) off = i;
     min_time_ = base[off];
     min_idx_ = static_cast<std::uint32_t>(best * kBlock + off);
+#endif
   }
 
   Mode mode_ = Mode::kHeap;
@@ -214,6 +270,8 @@ struct EventPayload {
 
 class PayloadPool {
  public:
+  void reserve(std::size_t n) { pool_.reserve(n); }
+
   std::uint32_t alloc() {
     if (free_head_ != kNone) {
       const std::uint32_t idx = free_head_;
@@ -239,6 +297,14 @@ class PayloadPool {
 
 struct ServerState {
   std::unique_ptr<TaskQueue> queue;
+  /// Concrete views of `queue` for the two disciplines the figure runs
+  /// exercise most (TF-EDFQ/T-EDFQ on the timer wheel, FIFO), set once at
+  /// setup — the same pattern as service_plq below: both classes are final,
+  /// so the per-task push/pop devirtualizes and inlines through the typed
+  /// pointer. All servers share one discipline, so the dispatch branch is
+  /// perfectly predicted; other disciplines fall back to the virtual call.
+  TimerWheelEdfQueue* queue_wheel = nullptr;
+  FifoTaskQueue* queue_fifo = nullptr;
   /// Mirrors queue->size(); the idle/backlog checks run per task and the
   /// counter spares them a virtual call into the discipline.
   std::uint32_t queue_len = 0;
@@ -539,6 +605,10 @@ SimResult run_simulation(const SimConfig& config) {
   for (std::size_t s = 0; s < config.num_servers; ++s) {
     servers[s].queue = make_task_queue(config.policy, config.classes.size(),
                                        config.edf_impl);
+    servers[s].queue_wheel =
+        dynamic_cast<TimerWheelEdfQueue*>(servers[s].queue.get());
+    servers[s].queue_fifo =
+        dynamic_cast<FifoTaskQueue*>(servers[s].queue.get());
     servers[s].service = per_server[s];
     servers[s].service_plq =
         dynamic_cast<const PiecewiseLinearQuantile*>(per_server[s].get());
@@ -567,14 +637,18 @@ SimResult run_simulation(const SimConfig& config) {
 
   // Request mode state. Follow-up queries stay on the head query's shard
   // (shard affinity: the request's Eq. 7 budget chain lives in one handler).
+  // Request ids are the dense 0, 1, 2, ... and query ids cover every shard's
+  // progression, so both maps live in SlabMaps (stride 1): the per-result
+  // link/unlink on the hot path is array loads plus freelist pushes, never a
+  // hash probe or node allocation.
   struct RequestState {
     TimeMs t0 = 0.0;
     std::size_t next_query = 0;  // index of the next query to issue
     std::uint32_t shard = 0;
     bool record = false;
   };
-  std::unordered_map<std::uint64_t, RequestState> requests;
-  std::unordered_map<QueryId, std::uint64_t> query_request;
+  SlabMap<RequestState> requests;          // request id -> state
+  SlabMap<std::uint64_t> query_request;    // QueryId -> request id
   std::vector<double> request_latencies;
   std::uint64_t next_request_id = 0;
 
@@ -585,10 +659,14 @@ SimResult run_simulation(const SimConfig& config) {
 
   // Size hint for the binary-heap fallback: one next-arrival event, at most
   // one kTaskDone per server, and — when the network model is on —
-  // dispatch/result events in flight (scales with the per-query fanout).
+  // dispatch/result events in flight. The in-flight population scales with
+  // the shard count too: each shard's admission window meters its own slice
+  // of the arrivals, so N shards sustain roughly N times the single-shard
+  // dispatch/result backlog.
   std::size_t expected_events = config.num_servers + 64;
   if (config.dispatch_delay_ms != nullptr || config.result_delay_ms != nullptr)
-    expected_events += 4 * config.num_servers;
+    expected_events +=
+        std::size_t{4} * config.num_servers * sharding.num_shards;
   const bool dense_eligible = config.dispatch_delay_ms == nullptr &&
                               config.result_delay_ms == nullptr;
   EventQueue events(expected_events,
@@ -635,7 +713,11 @@ SimResult run_simulation(const SimConfig& config) {
                                 TimeMs t) {
     ServerState& sv = servers[sid];
     if (sv.busy || sv.queue_len != 0) {
-      sv.queue->push(task);
+      // Concrete-pointer dispatch (see ServerState): the wheel/FIFO push
+      // inlines here instead of going through the vtable.
+      if (sv.queue_wheel != nullptr) sv.queue_wheel->push(task);
+      else if (sv.queue_fifo != nullptr) sv.queue_fifo->push(task);
+      else sv.queue->push(task);
       ++sv.queue_len;
     } else {
       start_task(sv, sid, task, t);
@@ -693,7 +775,7 @@ SimResult run_simulation(const SimConfig& config) {
     // grow it to cover qid (the dense single-shard case grows by one).
     if (qid >= record_query_flag.size()) record_query_flag.resize(qid + 1);
     record_query_flag[qid] = record;
-    if (request_id != ~0ULL) query_request.emplace(qid, request_id);
+    if (request_id != ~0ULL) query_request.emplace(qid) = request_id;
     if (config.on_query_planned) config.on_query_planned(plan);
 
     for (std::uint32_t k = 0; k < kf; ++k) {
@@ -748,28 +830,49 @@ SimResult run_simulation(const SimConfig& config) {
       metrics.record_query(finished.cls, finished.fanout, t - finished.t0);
 
     if (request_mode) {
-      const auto link = query_request.find(query);
-      TG_CHECK_MSG(link != query_request.end(), "query without request");
-      const std::uint64_t rid = link->second;
-      query_request.erase(link);
-      auto rit = requests.find(rid);
-      TG_CHECK_MSG(rit != requests.end(), "unknown request");
-      RequestState& req = rit->second;
-      if (req.next_query < config.request->queries_per_request) {
-        const std::size_t qidx = req.next_query++;
+      const std::uint64_t* link = query_request.find(query);
+      TG_CHECK_MSG(link != nullptr, "query without request");
+      const std::uint64_t rid = *link;
+      query_request.erase(query);
+      RequestState* req = requests.find(rid);
+      TG_CHECK_MSG(req != nullptr, "unknown request");
+      if (req->next_query < config.request->queries_per_request) {
+        const std::size_t qidx = req->next_query++;
         const ClassId next_cls = sample_class();
         const std::uint32_t next_kf =
             !config.request->query_fanouts.empty()
                 ? config.request->query_fanouts[qidx]
                 : (config.class_fanout ? config.class_fanout(rng, next_cls)
                                        : config.fanout->sample(rng));
-        issue_query(t, req.shard, next_cls, next_kf, req.record, rid, qidx);
+        issue_query(t, req->shard, next_cls, next_kf, req->record, rid, qidx);
       } else {
-        if (req.record) request_latencies.push_back(t - req.t0);
-        requests.erase(rit);
+        if (req->record) request_latencies.push_back(t - req->t0);
+        requests.erase(rid);
       }
     }
   };
+
+  // Pre-size the per-run bookkeeping from the workload bounds so the event
+  // loop below runs malloc-free in steady state (pinned by the alloc-probe
+  // test): what remains are the amortized doublings of structures whose size
+  // the config genuinely does not bound up front (per-group latency samples,
+  // per-server queue backlogs).
+  {
+    const std::size_t queries_per_arrival =
+        request_mode ? config.request->queries_per_request : 1;
+    const std::size_t total_queries = total_arrivals * queries_per_arrival;
+    const std::uint32_t shards = control.num_shards();
+    // Strided shard ids leave holes: the id-indexed tables span up to
+    // shards * total_queries ids even though only total_queries go live.
+    record_query_flag.reserve(total_queries * shards);
+    control.reserve_queries(total_queries / shards + 1, config.num_servers);
+    if (!dense_eligible) payloads.reserve(expected_events);
+    if (request_mode) {
+      requests.reserve(total_arrivals, config.num_servers);
+      query_request.reserve(total_queries * shards, config.num_servers);
+      request_latencies.reserve(total_arrivals);
+    }
+  }
 
   // Arrivals stay out of the event queue entirely: the stream is generated
   // in time order, so one pending arrival time merged against the queue head
@@ -780,6 +883,8 @@ SimResult run_simulation(const SimConfig& config) {
                                   : arrivals->next_interarrival(rng);
   bool arrival_pending = true;
   ++offered;
+
+  const std::uint64_t allocs_at_loop_entry = alloc_count();
 
   while (arrival_pending || !events.empty()) {
     if (arrival_pending &&
@@ -839,9 +944,8 @@ SimResult run_simulation(const SimConfig& config) {
       const bool record = arrival_idx + 1 > warmup_offered;
       if (request_mode) {
         const std::uint64_t rid = next_request_id++;
-        requests.emplace(rid,
-                         RequestState{.t0 = now, .next_query = 1,
-                                      .shard = shard, .record = record});
+        requests.emplace(rid) = RequestState{.t0 = now, .next_query = 1,
+                                             .shard = shard, .record = record};
         issue_query(now, shard, cls, kf, record, rid, 0);
       } else {
         issue_query(now, shard, cls, kf, record);
@@ -849,57 +953,71 @@ SimResult run_simulation(const SimConfig& config) {
       continue;
     }
 
-    const Event ev = events.pop();
+    Event ev = events.pop();
     now = ev.time;
     control.maybe_sync(now);
 
-    if (ev.kind() == Event::kTaskEnqueue) {
-      // A dispatched task reaches its server.
-      const QueuedTask task = payloads[ev.payload()].task;
-      payloads.free(ev.payload());
-      deliver_task(task, ev.server(), now);
-    } else if (ev.kind() == Event::kTaskDone) {
-      // Task completion on ev.server.
-      ServerState& sv = servers[ev.server()];
-      TG_DCHECK(sv.busy);
-      const QueuedTask done = sv.current;
-      const TimeMs dequeue_time = sv.current_started;
-      const bool missed = sv.current_missed;
-      const bool recorded = sv.current_recorded;
+    // Batched completion handling: drain every event sharing this timestamp
+    // in one pass. An arrival cannot preempt the batch (the merge above
+    // guarantees next_arrival > now, and event processing never draws
+    // arrivals), re-popping between items keeps the exact (time, key) order
+    // even for same-time events pushed mid-batch, and maybe_sync — a no-op
+    // on a second call at the same time — runs once per timestamp instead of
+    // once per event. Bit-identical to the one-event-at-a-time path.
+    for (;;) {
+      if (ev.kind() == Event::kTaskEnqueue) {
+        // A dispatched task reaches its server.
+        const QueuedTask task = payloads[ev.payload()].task;
+        payloads.free(ev.payload());
+        deliver_task(task, ev.server(), now);
+      } else if (ev.kind() == Event::kTaskDone) {
+        // Task completion on ev.server.
+        ServerState& sv = servers[ev.server()];
+        TG_DCHECK(sv.busy);
+        const QueuedTask done = sv.current;
+        const TimeMs dequeue_time = sv.current_started;
+        const bool missed = sv.current_missed;
+        const bool recorded = sv.current_recorded;
 
-      // Free the server before the result handling possibly issues
-      // follow-up queries that could land on this very server.
-      sv.busy = false;
-      sv.busy_accum += now - sv.busy_since;
+        // Free the server before the result handling possibly issues
+        // follow-up queries that could land on this very server.
+        sv.busy = false;
+        sv.busy_accum += now - sv.busy_since;
 
-      if (config.result_delay_ms != nullptr) {
-        const std::uint32_t idx = payloads.alloc();
-        payloads[idx].query = done.query;
-        payloads[idx].dequeue_time = dequeue_time;
-        payloads[idx].missed = missed;
-        payloads[idx].recorded = recorded;
-        events.push(Event{now + config.result_delay_ms->sample(rng),
-                          Event::kResultArrival, ev.server(), idx});
+        if (config.result_delay_ms != nullptr) {
+          const std::uint32_t idx = payloads.alloc();
+          payloads[idx].query = done.query;
+          payloads[idx].dequeue_time = dequeue_time;
+          payloads[idx].missed = missed;
+          payloads[idx].recorded = recorded;
+          events.push(Event{now + config.result_delay_ms->sample(rng),
+                            Event::kResultArrival, ev.server(), idx});
+        } else {
+          handle_result(now, done.query, ev.server(), dequeue_time, missed,
+                        recorded);
+        }
+
+        if (sv.queue_len != 0 && !sv.busy) {
+          QueuedTask next = sv.queue_wheel != nullptr ? sv.queue_wheel->pop()
+                            : sv.queue_fifo != nullptr ? sv.queue_fifo->pop()
+                                                       : sv.queue->pop();
+          --sv.queue_len;
+          start_task(sv, ev.server(), next, now);
+        }
       } else {
-        handle_result(now, done.query, ev.server(), dequeue_time, missed,
-                      recorded);
+        // A task result reaches the query handler.
+        const EventPayload payload = payloads[ev.payload()];
+        payloads.free(ev.payload());
+        handle_result(now, payload.query, ev.server(), payload.dequeue_time,
+                      payload.missed, payload.recorded);
       }
-
-      if (sv.queue_len != 0 && !sv.busy) {
-        QueuedTask next = sv.queue->pop();
-        --sv.queue_len;
-        start_task(sv, ev.server(), next, now);
-      }
-    } else {
-      // A task result reaches the query handler.
-      const EventPayload payload = payloads[ev.payload()];
-      payloads.free(ev.payload());
-      handle_result(now, payload.query, ev.server(), payload.dequeue_time,
-                    payload.missed, payload.recorded);
+      if (events.empty() || events.peek_time() != now) break;
+      ev = events.pop();
     }
   }
 
   // --- collect results ----------------------------------------------------
+  result.event_loop_allocs = alloc_count() - allocs_at_loop_entry;
   result.queries_offered = result.queries_admitted + result.queries_rejected;
   result.end_time = now;
   result.task_deadline_miss_ratio = metrics.task_deadline_miss_ratio();

@@ -225,6 +225,13 @@ struct SimResult {
   std::uint64_t shard_sync_rounds = 0;
   std::uint64_t shard_samples_shipped = 0;
 
+  /// Heap allocations made inside the event loop, as observed through the
+  /// common/alloc_probe.h hook — always 0 unless the running binary installed
+  /// a counter (the hot-path no-malloc test does). Steady-state event
+  /// processing is slab-pooled and pre-reserved, so this should stay O(log n)
+  /// in the query count (amortized vector doublings), not O(n).
+  std::uint64_t event_loop_allocs = 0;
+
   /// True when every group met its SLO (groups with zero queries are
   /// ignored). `epsilon` is a relative tolerance.
   bool all_slos_met(double epsilon = 0.0) const;

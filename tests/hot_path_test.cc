@@ -1,0 +1,192 @@
+// Hot-path contracts of the simulator event loop:
+//
+//  * No steady-state mallocs: this binary overrides global operator new with
+//    a counting wrapper and installs it as the common/alloc_probe.h hook, so
+//    SimResult::event_loop_allocs reports real allocation counts. The loop's
+//    structures are slab-pooled and pre-reserved, so the count must not
+//    scale with the query count (amortized vector doublings only).
+//  * Batched same-timestamp completion draining is pure restructuring: for
+//    randomized seeds and loads the results are bit-identical across the
+//    three event-queue backings (dense / heap / wheel), which pop the same
+//    event sequence one way or another, and across repeated runs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "common/alloc_probe.h"
+#include "dist/standard.h"
+#include "sim/experiment.h"
+#include "sim/simulator.h"
+
+namespace {
+std::atomic<std::uint64_t> g_news{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, static_cast<std::size_t>(align), size) != 0)
+    throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace tailguard {
+namespace {
+
+std::uint64_t news_count() {
+  return g_news.load(std::memory_order_relaxed);
+}
+
+struct ProbeInstaller {
+  ProbeInstaller() { set_alloc_count_fn(&news_count); }
+} g_installer;
+
+SimConfig hot_config(std::size_t num_queries, std::uint64_t seed) {
+  SimConfig cfg;
+  cfg.num_servers = 20;
+  cfg.policy = Policy::kTfEdf;
+  cfg.classes = {{.slo_ms = 10.0, .percentile = 99.0}};
+  cfg.fanout = std::make_shared<CategoricalFanout>(
+      std::vector<std::uint32_t>{1, 4, 16},
+      std::vector<double>{0.6, 0.3, 0.1});
+  cfg.service_time = std::make_shared<Exponential>(1.0);
+  cfg.num_queries = num_queries;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Bit-exact fingerprint of everything a result reports; any scheduling
+/// difference between two runs lands in at least the latency fields.
+std::uint64_t fingerprint(const SimResult& r) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  const auto mix_d = [&](double d) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    __builtin_memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  };
+  mix(r.queries_offered);
+  mix(r.queries_admitted);
+  mix(r.tasks_admitted);
+  mix_d(r.task_deadline_miss_ratio);
+  mix_d(r.measured_utilization);
+  mix_d(r.end_time);
+  for (const auto& g : r.groups) {
+    mix(g.cls);
+    mix(g.fanout);
+    mix(g.queries);
+    mix_d(g.tail_latency_ms);
+    mix_d(g.mean_latency_ms);
+  }
+  for (double u : r.server_utilization) mix_d(u);
+  return h;
+}
+
+TEST(HotPathAlloc, ProbeCountsThisBinarysAllocations) {
+  const std::uint64_t before = alloc_count();
+  auto* sink = new std::vector<int>(16);
+  delete sink;
+  EXPECT_GT(alloc_count(), before);
+}
+
+TEST(HotPathAlloc, EventLoopAllocsDoNotScaleWithQueries) {
+  SimConfig small = hot_config(10000, 3);
+  set_load(small, 0.7);
+  SimConfig big = hot_config(40000, 3);
+  set_load(big, 0.7);
+  const SimResult rs = run_simulation(small);
+  const SimResult rb = run_simulation(big);
+  // The loop processes ~3 events per query; per-event allocation would put
+  // these counts in the tens of thousands and make the big run ~4x the
+  // small one. Pre-reserved slabs leave only warmup-sized noise: amortized
+  // doublings of under-estimated vectors, O(log n) of them.
+  EXPECT_LT(rb.event_loop_allocs, 256u) << "event loop allocates per event";
+  EXPECT_LT(rb.event_loop_allocs, rs.event_loop_allocs + 128u)
+      << "event-loop allocations scale with the query count";
+}
+
+TEST(HotPathAlloc, NoHookMeansZeroReported) {
+  set_alloc_count_fn(nullptr);
+  SimConfig cfg = hot_config(2000, 5);
+  set_load(cfg, 0.5);
+  const SimResult r = run_simulation(cfg);
+  EXPECT_EQ(r.event_loop_allocs, 0u);
+  set_alloc_count_fn(&news_count);
+}
+
+TEST(BatchedCompletionParity, BitIdenticalAcrossBackendsSeedsAndLoads) {
+  for (const std::uint64_t seed : {1ULL, 7ULL, 13ULL}) {
+    for (const double load : {0.3, 0.7, 0.95}) {
+      SimConfig cfg = hot_config(8000, seed);
+      set_load(cfg, load);
+      std::vector<std::uint64_t> prints;
+      for (const char* backend : {"dense", "heap", "wheel"}) {
+        ::setenv("TAILGUARD_EVENT_QUEUE", backend, 1);
+        prints.push_back(fingerprint(run_simulation(cfg)));
+      }
+      ::unsetenv("TAILGUARD_EVENT_QUEUE");
+      // Re-run with the default backing: repeatability of the batch drain.
+      prints.push_back(fingerprint(run_simulation(cfg)));
+      for (std::size_t i = 1; i < prints.size(); ++i)
+        EXPECT_EQ(prints[i], prints[0])
+            << "seed " << seed << " load " << load << " variant " << i;
+    }
+  }
+}
+
+TEST(BatchedCompletionParity, NetworkModelRunsAgreeAcrossTreeBackends) {
+  // With dispatch/result delays every timestamp carries kTaskEnqueue /
+  // kResultArrival payload events too — the batch drain must group those
+  // identically under both tree backings (dense is ineligible here).
+  for (const std::uint64_t seed : {2ULL, 11ULL}) {
+    SimConfig cfg = hot_config(4000, seed);
+    cfg.dispatch_delay_ms = std::make_shared<Deterministic>(0.05);
+    cfg.result_delay_ms = std::make_shared<Deterministic>(0.05);
+    set_load(cfg, 0.6);
+    std::vector<std::uint64_t> prints;
+    for (const char* backend : {"heap", "wheel"}) {
+      ::setenv("TAILGUARD_EVENT_QUEUE", backend, 1);
+      prints.push_back(fingerprint(run_simulation(cfg)));
+    }
+    ::unsetenv("TAILGUARD_EVENT_QUEUE");
+    EXPECT_EQ(prints[1], prints[0]) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace tailguard

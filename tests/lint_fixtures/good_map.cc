@@ -1,0 +1,15 @@
+// Good fixture for hot-path-map: slab-backed containers are the sanctioned
+// hot-path storage, identifiers merely containing "map" never match, and a
+// genuinely cold std::map survives behind an explicit suppression.
+#include "common/slab_map.h"
+
+struct GoodMaps {
+  tailguard::SlabMap<double> per_query;
+  tailguard::SlabHashCache<double> quantile_memo;
+  int heatmap = 0;  // "map" inside an identifier is not a std map
+};
+
+#include <map>  // tg-lint: allow(hot-path-map)
+
+// tg-lint: allow(hot-path-map)
+std::map<int, int> cold_bisection_memo;

@@ -232,12 +232,38 @@ TEST(LintTest, DiagnosticsCarryPathLineAndRule) {
   EXPECT_NE(diags[0].message.find("timeout"), std::string::npos);
 }
 
+TEST(LintTest, BadMapFiresInSimAndCore) {
+  for (const std::string path :
+       {"src/sim/bad_map.cc", "src/core/bad_map.cc"}) {
+    const auto diags = lint_fixture("bad_map.cc", path);
+    EXPECT_EQ(rules_of(diags), std::set<std::string>{"hot-path-map"}) << path;
+    // Two includes (<map>, <unordered_map>) plus the two members.
+    EXPECT_EQ(count_rule(diags, "hot-path-map"), 4) << path;
+  }
+}
+
+TEST(LintTest, MapsLegalOutsideHotPathDirs) {
+  // The runtime / net layers keep their node-based maps: connection tables
+  // and in-flight registries are not the 10M tasks/s loop.
+  for (const std::string path :
+       {"src/net/bad_map.cc", "src/runtime/bad_map.cc", "src/shard/bad_map.cc",
+        "tests/bad_map.cc", "tools/bad_map.cc"}) {
+    EXPECT_EQ(count_rule(lint_fixture("bad_map.cc", path), "hot-path-map"), 0)
+        << path;
+  }
+}
+
+TEST(LintTest, GoodMapIsClean) {
+  // Slab containers, map-containing identifiers, and suppressed cold uses.
+  EXPECT_TRUE(lint_fixture("good_map.cc", "src/sim/good_map.cc").empty());
+}
+
 TEST(LintTest, RuleSummaryMentionsEveryRule) {
   const std::string summary = rule_summary();
   for (const std::string rule :
        {"determinism-random", "determinism-clock", "time-units",
         "lock-discipline", "header-hygiene", "wire-safety",
-        "control-plane-boundary"}) {
+        "control-plane-boundary", "hot-path-map"}) {
     EXPECT_NE(summary.find(rule), std::string::npos) << rule;
   }
 }

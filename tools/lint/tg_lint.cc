@@ -509,6 +509,45 @@ void check_control_plane_boundary(const FileCtx& ctx) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// hot-path-map — node-based std maps stay out of the sim/core hot path
+// ---------------------------------------------------------------------------
+
+void check_hot_path_map(const FileCtx& ctx) {
+  if (!ctx.in_dir("src/sim/") && !ctx.in_dir("src/core/")) return;
+  for (std::size_t i = 0; i < ctx.code_lines.size(); ++i) {
+    const std::string_view line = ctx.code_lines[i];
+    std::string offender;
+    if (find_word(line, "unordered_map") != std::string_view::npos) {
+      offender = "std::unordered_map";
+    } else {
+      std::size_t at = 0;
+      while ((at = find_word(line, "map", at)) != std::string_view::npos) {
+        if (at >= 5 && line[at - 1] == ':' && line[at - 2] == ':' &&
+            line.compare(at - 5, 3, "std") == 0) {
+          offender = "std::map";
+          break;
+        }
+        at += 3;
+      }
+      if (offender.empty() &&
+          next_nonspace(line, 0) == '#' &&
+          line.find("<map>") != std::string_view::npos) {
+        offender = "#include <map>";
+      }
+    }
+    if (!offender.empty()) {
+      ctx.report(static_cast<int>(i) + 1, "hot-path-map",
+                 "'" + offender +
+                     "' in a sim/core hot-path file; node-based maps "
+                     "allocate and pointer-chase per entry, which is what "
+                     "the 10M tasks/s loop cannot afford — use SlabMap / "
+                     "SlabHashCache (common/slab_map.h), or mark a genuinely "
+                     "cold use with tg-lint: allow(hot-path-map)");
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<Diagnostic> lint_source(const std::string& rel_path,
@@ -528,6 +567,7 @@ std::vector<Diagnostic> lint_source(const std::string& rel_path,
   check_header_hygiene(ctx);
   check_wire_safety(ctx);
   check_control_plane_boundary(ctx);
+  check_hot_path_map(ctx);
 
   std::sort(diags.begin(), diags.end(), [](const auto& a, const auto& b) {
     return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
@@ -602,6 +642,9 @@ std::string rule_summary() {
       "DeadlineEstimator/QueryTracker/AdmissionController directly; "
       "QueryControlPlane replicas are private to the sharding facade "
       "(cross-shard state flows through StateSyncBus deltas only)\n"
+      "hot-path-map        no std::unordered_map / std::map in src/sim or "
+      "src/core; the hot path uses SlabMap / SlabHashCache "
+      "(common/slab_map.h) — node-based maps allocate per entry\n"
       "\nSuppress a finding with '// tg-lint: allow(<rule>)' on the line or "
       "the line above.\n";
 }
