@@ -1,6 +1,11 @@
 #!/usr/bin/env bash
-# Static-analysis entry point: tg_lint (always), then clang-tidy and cppcheck
-# when installed. Run from the repo root, directly or via the cmake target:
+# Static-analysis entry point: tg_lint (always — including the atomic-order
+# and guarded-member concurrency rules; see --list-rules), then clang-tidy
+# and cppcheck when installed. The fourth layer, Clang Thread Safety
+# Analysis, runs at compile time instead: configure with
+# -DTG_THREAD_SAFETY=ON under Clang (auto-detected) and the build itself
+# enforces the locking protocol. Run from the repo root, directly or via the
+# cmake target:
 #
 #   cmake --build build --target lint
 #   scripts/lint.sh                      # autodiscovers build/ and the binary

@@ -2,34 +2,69 @@
 
 #include <algorithm>
 #include <chrono>
-#include <condition_variable>
 #include <cstdlib>
 #include <deque>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace tailguard {
 
+// All locking lives on Impl itself (not on the ThreadPool forwarding shims):
+// thread-safety analysis matches capability expressions syntactically, and
+// `this->mutex` from an Impl method is checkable where `impl_->mutex` through
+// the unique_ptr's operator-> is not.
 struct ThreadPool::Impl {
-  std::mutex mutex;
-  std::condition_variable cv;
-  std::deque<std::function<void()>> queue;
+  Mutex mutex;
+  CondVar cv;
+  std::deque<std::function<void()>> queue TG_GUARDED_BY(mutex);
+  bool stop TG_GUARDED_BY(mutex) = false;
+  // Written once by the ThreadPool constructor before any worker can touch
+  // it, then only read; joined by the destructor after stop.
+  // tg-lint: allow(guarded-member)
   std::vector<std::thread> workers;
-  bool stop = false;
 
-  void worker_loop() {
+  void worker_loop() TG_EXCLUDES(mutex) {
     for (;;) {
       std::function<void()> task;
       {
-        std::unique_lock<std::mutex> lock(mutex);
-        cv.wait(lock, [this] { return stop || !queue.empty(); });
+        MutexLock lock(mutex);
+        while (!stop && queue.empty()) cv.wait(mutex);
         if (stop && queue.empty()) return;
         task = std::move(queue.front());
         queue.pop_front();
       }
       task();
     }
+  }
+
+  void enqueue(std::function<void()> task) TG_EXCLUDES(mutex) {
+    {
+      MutexLock lock(mutex);
+      queue.push_back(std::move(task));
+    }
+    cv.notify_one();
+  }
+
+  bool run_one() TG_EXCLUDES(mutex) {
+    std::function<void()> task;
+    {
+      MutexLock lock(mutex);
+      if (queue.empty()) return false;
+      task = std::move(queue.front());
+      queue.pop_front();
+    }
+    task();
+    return true;
+  }
+
+  void request_stop() TG_EXCLUDES(mutex) {
+    {
+      MutexLock lock(mutex);
+      stop = true;
+    }
+    cv.notify_all();
   }
 };
 
@@ -41,11 +76,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) : impl_(new Impl) {
 }
 
 ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
-    impl_->stop = true;
-  }
-  impl_->cv.notify_all();
+  impl_->request_stop();
   for (auto& w : impl_->workers) w.join();
 }
 
@@ -74,24 +105,10 @@ std::size_t ThreadPool::configured_threads() {
 }
 
 void ThreadPool::enqueue(std::function<void()> task) {
-  {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
-    impl_->queue.push_back(std::move(task));
-  }
-  impl_->cv.notify_one();
+  impl_->enqueue(std::move(task));
 }
 
-bool ThreadPool::run_one() {
-  std::function<void()> task;
-  {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
-    if (impl_->queue.empty()) return false;
-    task = std::move(impl_->queue.front());
-    impl_->queue.pop_front();
-  }
-  task();
-  return true;
-}
+bool ThreadPool::run_one() { return impl_->run_one(); }
 
 void ThreadPool::help_until_ready(const std::function<bool()>& done) {
   while (!done()) {

@@ -53,14 +53,17 @@ RemoteDispatcher::RemoteDispatcher(DispatcherOptions options)
 }
 
 RemoteDispatcher::~RemoteDispatcher() {
-  running_.store(false);
+  // Relaxed: plain shutdown latch. The net loop re-polls it every round,
+  // the wake below forces a prompt round, and the join right after is the
+  // real synchronization point — no data is published through this flag.
+  running_.store(false, std::memory_order_relaxed);
   wake_.wake();
   if (net_thread_.joinable()) net_thread_.join();
 
   // Fail whatever is still in flight so no future is left hanging.
   std::vector<Resolution> resolutions;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     std::vector<TaskId> remaining;
     remaining.reserve(in_flight_.size());
     for (const auto& [task, info] : in_flight_) remaining.push_back(task);
@@ -83,7 +86,7 @@ TimeMs RemoteDispatcher::now_ms() const {
 }
 
 void RemoteDispatcher::seed_profile(std::span<const double> samples_ms) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   for (std::size_t s = 0; s < servers_.size(); ++s)
     control_.seed_profile(static_cast<ServerId>(s), samples_ms);
 }
@@ -93,13 +96,14 @@ std::future<QueryResult> RemoteDispatcher::submit(
     std::optional<TimeMs> budget_override) {
   TG_CHECK_MSG(!tasks.empty(), "query must contain at least one task");
   TG_CHECK_MSG(cls < options_.classes.size(), "unknown class " << cls);
-  TG_CHECK_MSG(running_.load(), "submit on a stopped dispatcher");
+  TG_CHECK_MSG(running_.load(std::memory_order_relaxed),
+               "submit on a stopped dispatcher");
 
   std::promise<QueryResult> promise;
   std::future<QueryResult> future = promise.get_future();
   std::vector<Resolution> resolutions;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     const TimeMs t0 = now_ms();
 
     // Admission decision (§III.C) comes first: a rejected query costs no
@@ -212,19 +216,29 @@ std::future<QueryResult> RemoteDispatcher::submit(
 
 bool RemoteDispatcher::wait_for_servers(std::size_t min_alive,
                                         TimeMs timeout_ms) {
-  std::unique_lock lock(mu_);
-  const auto enough = [this, min_alive] {
-    std::size_t alive = 0;
-    for (const auto& conn : servers_)
-      alive += conn.state == ConnState::kAlive;
-    return alive >= min_alive;
-  };
-  return alive_cv_.wait_for(
-      lock, std::chrono::duration<double, std::milli>(timeout_ms), enough);
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(timeout_ms));
+  MutexLock lock(mu_);
+  // Explicit deadline loop instead of the predicate overload: TSA analyzes
+  // lambdas as separate functions holding no capabilities, so a predicate
+  // reading servers_ cannot be annotated. Same semantics.
+  while (alive_servers_locked() < min_alive) {
+    if (alive_cv_.wait_until(mu_, deadline) == std::cv_status::timeout)
+      return alive_servers_locked() >= min_alive;
+  }
+  return true;
+}
+
+std::size_t RemoteDispatcher::alive_servers_locked() const {
+  std::size_t alive = 0;
+  for (const auto& conn : servers_) alive += conn.state == ConnState::kAlive;
+  return alive;
 }
 
 void RemoteDispatcher::request_stats(ServerId server) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   TG_CHECK_MSG(server < servers_.size(), "unknown server " << server);
   if (servers_[server].state != ConnState::kAlive) return;
   encode_into(StatsRequestMsg{}, servers_[server].out.chunk());
@@ -233,47 +247,48 @@ void RemoteDispatcher::request_stats(ServerId server) {
 
 std::optional<StatsResponseMsg> RemoteDispatcher::last_stats(
     ServerId server) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   TG_CHECK_MSG(server < servers_.size(), "unknown server " << server);
   return servers_[server].stats;
 }
 
 std::size_t RemoteDispatcher::alive_servers() const {
-  std::lock_guard lock(mu_);
-  std::size_t alive = 0;
-  for (const auto& conn : servers_) alive += conn.state == ConnState::kAlive;
-  return alive;
+  MutexLock lock(mu_);
+  return alive_servers_locked();
 }
 
 std::uint64_t RemoteDispatcher::completed_queries() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   // Degraded (no-server) queries resolve without ever registering with the
   // control plane; callers still see them as completed.
   return control_.queries_completed() + degraded_queries_;
 }
 
 std::uint64_t RemoteDispatcher::rejected_queries() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return control_.queries_rejected();
 }
 
 std::uint64_t RemoteDispatcher::failed_tasks() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return tasks_failed_;
 }
 
 double RemoteDispatcher::deadline_miss_ratio() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return control_.task_miss_ratio();
 }
 
-const CdfModel& RemoteDispatcher::server_model(ServerId server) const {
-  std::lock_guard lock(mu_);
-  return control_.model_of(/*shard=*/0, server);
+std::shared_ptr<const CdfModel> RemoteDispatcher::server_model(
+    ServerId server) const {
+  MutexLock lock(mu_);
+  // Deep-copy under the lock: handing out a reference would race with the
+  // observations the net thread keeps folding into the live model.
+  return control_.model_of(/*shard=*/0, server).clone();
 }
 
 std::size_t RemoteDispatcher::gossip_capable_servers() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::size_t n = 0;
   for (const auto& conn : servers_)
     n += conn.state == ConnState::kAlive && conn.gossip_capable;
@@ -281,12 +296,12 @@ std::size_t RemoteDispatcher::gossip_capable_servers() const {
 }
 
 std::uint64_t RemoteDispatcher::gossip_deltas_absorbed() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return gossip_deltas_absorbed_;
 }
 
 std::uint64_t RemoteDispatcher::gossip_duplicates_dropped() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return gossip_duplicates_dropped_;
 }
 
@@ -477,11 +492,11 @@ void RemoteDispatcher::handle_frame(ServerId server, const Frame& frame,
 void RemoteDispatcher::net_loop() {
   poller_->watch(wake_.read_fd(), /*want_read=*/true, /*want_write=*/false);
   std::vector<Poller::Event> events;
-  while (running_.load()) {
+  while (running_.load(std::memory_order_relaxed)) {
     std::vector<Resolution> resolutions;
     double poll_timeout_ms = 200.0;
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       const TimeMs now = now_ms();
       expire_timeouts(now, &resolutions);
       for (std::size_t s = 0; s < servers_.size(); ++s) {
@@ -514,10 +529,10 @@ void RemoteDispatcher::net_loop() {
         std::max(1, static_cast<int>(poll_timeout_ms) + 1);
     events.clear();
     poller_->wait(events, timeout_ms);
-    if (!running_.load()) break;
+    if (!running_.load(std::memory_order_relaxed)) break;
 
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       const TimeMs now = now_ms();
       for (const Poller::Event& ev : events) {
         if (ev.fd == wake_.read_fd()) {

@@ -32,6 +32,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "net/poller.h"
 #include "net/send_queue.h"
 #include "net/socket.h"
@@ -112,13 +113,17 @@ class RemoteDispatcher {
   /// Monotonic dispatcher clock (ms since construction).
   TimeMs now_ms() const;
 
-  std::size_t num_servers() const { return servers_.size(); }
+  std::size_t num_servers() const { return options_.servers.size(); }
   std::size_t alive_servers() const;
   std::uint64_t completed_queries() const;
   std::uint64_t rejected_queries() const;
   std::uint64_t failed_tasks() const;
   double deadline_miss_ratio() const;
-  const CdfModel& server_model(ServerId server) const;
+  /// Snapshot of a server's CDF model: a deep copy taken under mu_, safe to
+  /// read while TaskDone frames keep feeding the live model. (Returning a
+  /// reference here used to escape the lock — caught by the annotation
+  /// pass.)
+  std::shared_ptr<const CdfModel> server_model(ServerId server) const;
 
   /// Connected servers that announced GossipHello (0 in a pre-gossip fleet).
   std::size_t gossip_capable_servers() const;
@@ -172,44 +177,52 @@ class RemoteDispatcher {
   /// A future to resolve once mu_ is released.
   using Resolution = std::pair<std::promise<QueryResult>, QueryResult>;
 
-  void net_loop();
-  void start_connect(ServerId server, TimeMs now);
+  void net_loop() TG_EXCLUDES(mu_);
+  void start_connect(ServerId server, TimeMs now) TG_REQUIRES(mu_);
   void disconnect(ServerId server, TimeMs now,
-                  std::vector<Resolution>* resolutions);
-  bool read_server(ServerId server, std::vector<Resolution>* resolutions);
+                  std::vector<Resolution>* resolutions) TG_REQUIRES(mu_);
+  bool read_server(ServerId server, std::vector<Resolution>* resolutions)
+      TG_REQUIRES(mu_);
   void handle_frame(ServerId server, const Frame& frame,
-                    std::vector<Resolution>* resolutions);
+                    std::vector<Resolution>* resolutions) TG_REQUIRES(mu_);
   /// Records one finished/failed task; appends a resolution when it was the
-  /// query's last. Requires mu_.
+  /// query's last.
   void finish_task(TaskId task, bool missed, bool failed,
-                   std::vector<Resolution>* resolutions);
-  void expire_timeouts(TimeMs now, std::vector<Resolution>* resolutions);
+                   std::vector<Resolution>* resolutions) TG_REQUIRES(mu_);
+  void expire_timeouts(TimeMs now, std::vector<Resolution>* resolutions)
+      TG_REQUIRES(mu_);
+  std::size_t alive_servers_locked() const TG_REQUIRES(mu_);
   static void resolve(std::vector<Resolution> resolutions);
 
+  // tg-lint: allow(guarded-member): immutable after construction.
   DispatcherOptions options_;
+  // tg-lint: allow(guarded-member): immutable after construction.
   std::chrono::steady_clock::time_point epoch_;
+  // WakePipe is self-synchronizing: write end poked from any thread, read
+  // end drained by the net thread. tg-lint: allow(guarded-member)
   WakePipe wake_;
+  // tg-lint: allow(guarded-member): net-thread private after construction.
   std::unique_ptr<Poller> poller_;
   std::atomic<bool> running_{true};
 
-  mutable std::mutex mu_;
-  std::condition_variable alive_cv_;
-  std::vector<ServerConn> servers_;
+  mutable Mutex mu_;
+  CondVar alive_cv_;
+  std::vector<ServerConn> servers_ TG_GUARDED_BY(mu_);
   /// The shared query-handler pipeline (shard/sharded_control_plane.h, one
   /// shard): admission, Eq. 6/7 budgets, t_D and ordering keys, query
   /// tracking, per-class miss accounting, online model updates. Incoming
-  /// gossip deltas feed it via the absorb path. Guarded by mu_.
-  ShardedControlPlane control_;
-  std::unordered_map<QueryId, PendingQuery> pending_;
-  std::unordered_map<TaskId, InFlightTask> in_flight_;
-  std::multimap<TimeMs, TaskId> timeouts_;
-  TaskId next_task_id_ = 0;
+  /// gossip deltas feed it via the absorb path.
+  ShardedControlPlane control_ TG_GUARDED_BY(mu_);
+  std::unordered_map<QueryId, PendingQuery> pending_ TG_GUARDED_BY(mu_);
+  std::unordered_map<TaskId, InFlightTask> in_flight_ TG_GUARDED_BY(mu_);
+  std::multimap<TimeMs, TaskId> timeouts_ TG_GUARDED_BY(mu_);
+  TaskId next_task_id_ TG_GUARDED_BY(mu_) = 0;
   /// Queries that degraded to an immediate all-tasks-failed result without
   /// ever registering with the control plane (no server reachable).
-  std::uint64_t degraded_queries_ = 0;
-  std::uint64_t tasks_failed_ = 0;
-  std::uint64_t gossip_deltas_absorbed_ = 0;
-  std::uint64_t gossip_duplicates_dropped_ = 0;
+  std::uint64_t degraded_queries_ TG_GUARDED_BY(mu_) = 0;
+  std::uint64_t tasks_failed_ TG_GUARDED_BY(mu_) = 0;
+  std::uint64_t gossip_deltas_absorbed_ TG_GUARDED_BY(mu_) = 0;
+  std::uint64_t gossip_duplicates_dropped_ TG_GUARDED_BY(mu_) = 0;
 
   std::thread net_thread_;
 };

@@ -38,17 +38,20 @@ TaskServer::~TaskServer() { stop(); }
 
 void TaskServer::stop() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (stopped_) return;
     stopped_ = true;
   }
-  running_.store(false);
+  // Relaxed: plain shutdown latch. The net loop re-polls it every round,
+  // the wake below forces a prompt round, and the join right after is the
+  // real synchronization point — no data is published through this flag.
+  running_.store(false, std::memory_order_relaxed);
   wake_.wake();
   if (net_thread_.joinable()) net_thread_.join();
   // Drain the executors: queued tasks still run; their completions land in
   // pending_samples_ (every connection is gone by now).
   for (auto& e : executors_) e->shutdown();
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   conns_.clear();
   fd_conn_.clear();
   listen_fd_.reset();
@@ -61,12 +64,12 @@ TimeMs TaskServer::now_ms() const {
 }
 
 std::uint64_t TaskServer::tasks_executed() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return tasks_executed_;
 }
 
 std::uint64_t TaskServer::tasks_missed_deadline() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return tasks_missed_;
 }
 
@@ -77,7 +80,7 @@ std::size_t TaskServer::queue_depth() const {
 }
 
 std::uint64_t TaskServer::gossip_deltas_sent() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return gossip_deltas_sent_;
 }
 
@@ -186,7 +189,7 @@ void TaskServer::on_task_complete(ServerId /*executor*/,
   msg.service_ms = complete_ms - dequeue_ms;
   msg.missed_deadline = missed;
 
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   ++tasks_executed_;
   if (missed) ++tasks_missed_;
   const auto origin_it = task_origin_.find(task.id);
@@ -282,20 +285,20 @@ void TaskServer::net_loop() {
   poller_->watch(listen_fd_.get(), /*want_read=*/true, /*want_write=*/false);
   poller_->watch(wake_.read_fd(), /*want_read=*/true, /*want_write=*/false);
   std::vector<Poller::Event> events;
-  while (running_.load()) {
+  while (running_.load(std::memory_order_relaxed)) {
     int timeout_ms = 200;
     if (options_.gossip_interval_ms > 0) {
       // Wake in time for the next gossip boundary instead of sleeping
       // through it (while keeping the 200 ms liveness ceiling).
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       const double until = next_gossip_ms_ - now_ms();
       timeout_ms = std::clamp(static_cast<int>(until) + 1, 1, 200);
     }
     events.clear();
     poller_->wait(events, timeout_ms);
-    if (!running_.load()) break;
+    if (!running_.load(std::memory_order_relaxed)) break;
 
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     bool accept_ready = false;
     for (const Poller::Event& ev : events) {
       if (ev.fd == wake_.read_fd()) {

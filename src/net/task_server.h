@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "net/poller.h"
 #include "net/send_queue.h"
 #include "net/socket.h"
@@ -110,49 +111,61 @@ class TaskServer {
     TimeMs enqueue_ms = 0.0;
   };
 
-  void net_loop();
-  void accept_new_connections();
+  void net_loop() TG_EXCLUDES(mu_);
+  void accept_new_connections() TG_REQUIRES(mu_);
   /// Returns false when the connection must be closed.
-  bool read_connection(std::uint64_t conn_id, Connection& conn);
+  bool read_connection(std::uint64_t conn_id, Connection& conn)
+      TG_REQUIRES(mu_);
   void handle_frame(std::uint64_t conn_id, Connection& conn,
-                    const Frame& frame);
+                    const Frame& frame) TG_REQUIRES(mu_);
   /// Flushes pending output on every live connection, closes dead ones
   /// (deregistering from the poller first) and refreshes poller interest.
-  /// Requires mu_.
-  void flush_and_sweep_connections();
+  void flush_and_sweep_connections() TG_REQUIRES(mu_);
   /// Emits one GossipDelta per live connection when the gossip boundary has
-  /// passed, then re-arms. Requires mu_. No-op while gossip is disabled.
-  void maybe_gossip(TimeMs now);
+  /// passed, then re-arms. No-op while gossip is disabled.
+  void maybe_gossip(TimeMs now) TG_REQUIRES(mu_);
   void on_task_complete(ServerId executor, const RuntimeTask& task,
-                        TimeMs dequeue_ms, TimeMs complete_ms);
+                        TimeMs dequeue_ms, TimeMs complete_ms)
+      TG_EXCLUDES(mu_);
 
+  // tg-lint: allow(guarded-member): immutable after construction.
   TaskServerOptions options_;
+  // tg-lint: allow(guarded-member): immutable after construction.
   std::chrono::steady_clock::time_point epoch_;
+  // tg-lint: allow(guarded-member): written once by the constructor.
   std::uint16_t port_ = 0;
+  // Net-thread private after the bind; stop() only resets it after joining
+  // that thread. tg-lint: allow(guarded-member)
   ScopedFd listen_fd_;
+  // WakePipe is self-synchronizing: write end poked from any thread, read
+  // end drained by the net thread. tg-lint: allow(guarded-member)
   WakePipe wake_;
+  // tg-lint: allow(guarded-member): net-thread private after construction.
   std::unique_ptr<Poller> poller_;
   std::atomic<bool> running_{true};
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::uint64_t, Connection> conns_;
-  std::unordered_map<int, std::uint64_t> fd_conn_;  ///< fd -> connection id
-  std::uint64_t next_conn_id_ = 1;
-  std::unordered_map<TaskId, TaskOrigin> task_origin_;
-  std::vector<double> pending_samples_;
-  std::uint64_t tasks_executed_ = 0;
-  std::uint64_t tasks_missed_ = 0;
+  mutable Mutex mu_;
+  std::unordered_map<std::uint64_t, Connection> conns_ TG_GUARDED_BY(mu_);
+  /// fd -> connection id.
+  std::unordered_map<int, std::uint64_t> fd_conn_ TG_GUARDED_BY(mu_);
+  std::uint64_t next_conn_id_ TG_GUARDED_BY(mu_) = 1;
+  std::unordered_map<TaskId, TaskOrigin> task_origin_ TG_GUARDED_BY(mu_);
+  std::vector<double> pending_samples_ TG_GUARDED_BY(mu_);
+  std::uint64_t tasks_executed_ TG_GUARDED_BY(mu_) = 0;
+  std::uint64_t tasks_missed_ TG_GUARDED_BY(mu_) = 0;
   /// Shared across connections: strictly increasing overall, hence strictly
   /// increasing along any one connection's subsequence — which is all the
   /// per-connection dedup on the dispatcher side needs.
-  std::uint64_t next_gossip_seq_ = 1;
-  TimeMs next_gossip_ms_ = 0.0;
-  std::uint64_t gossip_deltas_sent_ = 0;
-  bool stopped_ = false;
+  std::uint64_t next_gossip_seq_ TG_GUARDED_BY(mu_) = 1;
+  TimeMs next_gossip_ms_ TG_GUARDED_BY(mu_) = 0.0;
+  std::uint64_t gossip_deltas_sent_ TG_GUARDED_BY(mu_) = 0;
+  bool stopped_ TG_GUARDED_BY(mu_) = false;
 
   std::thread net_thread_;
   // Executors last: their threads must drain and stop before the state above
-  // is torn down (reverse member destruction order guarantees it).
+  // is torn down (reverse member destruction order guarantees it). The
+  // vector itself is immutable after construction; Worker is thread-safe.
+  // tg-lint: allow(guarded-member)
   std::vector<std::unique_ptr<Worker>> executors_;
 };
 

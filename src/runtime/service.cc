@@ -76,10 +76,10 @@ TimeMs TailGuardService::now_ms() const {
       .count();
 }
 
-std::vector<std::unique_lock<std::mutex>> TailGuardService::lock_all() const {
+std::vector<std::unique_lock<Mutex>> TailGuardService::lock_all() const {
   // Index order everywhere, so lock_all never deadlocks against per-shard
   // paths (which hold at most one shard mutex).
-  std::vector<std::unique_lock<std::mutex>> locks;
+  std::vector<std::unique_lock<Mutex>> locks;
   locks.reserve(shards_.size());
   for (const auto& s : shards_) locks.emplace_back(s->mu);
   return locks;
@@ -136,7 +136,11 @@ std::future<QueryResult> TailGuardService::submit(
   QueryId qid = 0;
 
   {
-    std::lock_guard lock(shards_[shard]->mu);
+    // Bind the shard first: TSA matches capability expressions
+    // syntactically, and `sh.mu` / `sh.pending` line up where the
+    // vector-indexing expression would not.
+    Shard& sh = *shards_[shard];
+    MutexLock lock(sh.mu);
 
     // Placement: explicit workers are honoured; the rest go to the
     // least-loaded workers, distinct where possible.
@@ -180,7 +184,7 @@ std::future<QueryResult> TailGuardService::submit(
     pending.result.cls = cls;
     pending.result.fanout = static_cast<std::uint32_t>(tasks.size());
     pending.result.deadline_budget_ms = plan.budget_ms;
-    shards_[shard]->pending.emplace(qid, std::move(pending));
+    sh.pending.emplace(qid, std::move(pending));
 
     for (std::size_t i = 0; i < tasks.size(); ++i) {
       runtime_tasks[i].id = next_task_id_.fetch_add(1, std::memory_order_relaxed);
@@ -207,7 +211,8 @@ void TailGuardService::on_task_complete(ServerId worker,
   QueryResult result;
   bool finished = false;
   {
-    std::lock_guard lock(shards_[shard]->mu);
+    Shard& sh = *shards_[shard];
+    MutexLock lock(sh.mu);
     const QueryState& qs = control_.query_state(task.query);
     const bool missed = dequeue_ms > qs.deadline;
     control_.record_task_dequeue(task.query, dequeue_ms, task.cls, missed);
@@ -216,7 +221,7 @@ void TailGuardService::on_task_complete(ServerId worker,
     control_.observe_post_queuing(task.query, worker,
                                   complete_ms - dequeue_ms);
 
-    auto& pending = shards_[shard]->pending;
+    auto& pending = sh.pending;
     auto it = pending.find(task.query);
     TG_CHECK_MSG(it != pending.end(), "no pending entry for query");
     if (missed) ++it->second.result.tasks_missed_deadline;
@@ -249,11 +254,14 @@ double TailGuardService::deadline_miss_ratio() const {
   return control_.task_miss_ratio();
 }
 
-const CdfModel& TailGuardService::worker_model(ServerId worker) const {
+std::shared_ptr<const CdfModel> TailGuardService::worker_model(
+    ServerId worker) const {
   auto locks = lock_all();
   // Shard 0's view: with one handler shard (the default) this is the only
-  // view; with several it is one replica's local+synced estimate.
-  return control_.model_of(0, worker);
+  // view; with several it is one replica's local+synced estimate. Deep-copy
+  // under the locks: handing out a reference would race with the online
+  // updates the worker threads keep applying.
+  return control_.model_of(0, worker).clone();
 }
 
 }  // namespace tailguard

@@ -28,6 +28,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "core/admission.h"
 #include "runtime/worker.h"
 #include "shard/sharded_control_plane.h"
@@ -117,8 +118,12 @@ class TailGuardService {
   double deadline_miss_ratio() const;
   std::size_t num_workers() const { return workers_.size(); }
 
-  /// Read access to a worker's CDF model (e.g. to inspect learned quantiles).
-  const CdfModel& worker_model(ServerId worker) const;
+  /// Snapshot of a worker's CDF model (e.g. to inspect learned quantiles):
+  /// a deep copy taken under the shard locks, safe to read while queries are
+  /// still in flight. (Returning a reference here used to let the model
+  /// escape its lock while worker threads kept updating it — the annotation
+  /// pass caught that.)
+  std::shared_ptr<const CdfModel> worker_model(ServerId worker) const;
 
  private:
   struct PendingQuery {
@@ -132,19 +137,28 @@ class TailGuardService {
   /// Cross-shard operations — delta-sync, aggregated counters — take every
   /// shard's mutex in index order (see lock_all / maybe_sync).
   struct Shard {
-    mutable std::mutex mu;
-    std::unordered_map<QueryId, PendingQuery> pending;
+    mutable Mutex mu;
+    std::unordered_map<QueryId, PendingQuery> pending TG_GUARDED_BY(mu);
   };
 
   void on_task_complete(ServerId worker, const RuntimeTask& task,
                         TimeMs dequeue_ms, TimeMs complete_ms);
+  /// Caller must hold the submitting shard's mutex (which one is a runtime
+  /// value, so the requirement is not expressible as a TSA capability —
+  /// control_ state is per-shard as documented on Shard).
   std::vector<ServerId> pick_workers(std::uint32_t shard, std::size_t count);
-  std::vector<std::unique_lock<std::mutex>> lock_all() const;
+  /// N-ary ordered acquisition through a dynamic container: inherently
+  /// outside TSA's static capability model, like std::lock. unique_lock
+  /// works on the annotated Mutex (a Lockable); the std header is simply
+  /// not analyzed.
+  std::vector<std::unique_lock<Mutex>> lock_all() const;
   /// Runs a delta-sync round when the interval boundary has passed; cheap
   /// atomic check on the fast path, all-shard lock only when a round is due.
   void maybe_sync(TimeMs now);
 
+  // tg-lint: allow(guarded-member): immutable after construction.
   ServiceOptions options_;
+  // tg-lint: allow(guarded-member): immutable after construction.
   std::chrono::steady_clock::time_point epoch_;
 
   /// The query-handler pipeline (shard/sharded_control_plane.h): admission,

@@ -57,14 +57,14 @@ void Worker::submit(RuntimeTask task, TimeMs enqueue_ms,
   // the condvar, because it holds the mutex from before its re-check until
   // wait() releases it.
   if (sleeping_.load(std::memory_order_seq_cst)) {
-    { std::lock_guard<std::mutex> lock(doorbell_mu_); }
+    { MutexLock lock(doorbell_mu_); }
     doorbell_.notify_one();
   }
 }
 
 void Worker::shutdown() {
   shutdown_.store(true, std::memory_order_seq_cst);
-  { std::lock_guard<std::mutex> lock(doorbell_mu_); }
+  { MutexLock lock(doorbell_mu_); }
   doorbell_.notify_all();
 }
 
@@ -98,13 +98,18 @@ void Worker::run() {
         std::this_thread::yield();
         continue;
       }
-      std::unique_lock<std::mutex> lock(doorbell_mu_);
-      sleeping_.store(true, std::memory_order_seq_cst);
-      doorbell_.wait(lock, [this] {
-        return work_published() ||
-               shutdown_.load(std::memory_order_seq_cst);
-      });
-      sleeping_.store(false, std::memory_order_seq_cst);
+      {
+        MutexLock lock(doorbell_mu_);
+        sleeping_.store(true, std::memory_order_seq_cst);
+        // Explicit wait loop (not the predicate overload): TSA analyzes
+        // lambdas as separate functions holding no capabilities, so the
+        // predicate form cannot be annotated. Same semantics.
+        while (!work_published() &&
+               !shutdown_.load(std::memory_order_seq_cst)) {
+          doorbell_.wait(doorbell_mu_);
+        }
+        sleeping_.store(false, std::memory_order_seq_cst);
+      }
       continue;
     }
 

@@ -16,13 +16,12 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 
+#include "common/thread_annotations.h"
 #include "core/policy.h"
 #include "runtime/mpsc_ring.h"
 
@@ -72,10 +71,11 @@ class Worker {
   /// throws via TG_CHECK if the worker is already shut down; a submit that
   /// wins the race against shutdown() is guaranteed to execute (the worker
   /// drains every accepted submission before exiting).
-  void submit(RuntimeTask task, TimeMs enqueue_ms, TimeMs order_deadline);
+  void submit(RuntimeTask task, TimeMs enqueue_ms, TimeMs order_deadline)
+      TG_EXCLUDES(doorbell_mu_);
 
   /// Stops accepting work and finishes what is queued.
-  void shutdown();
+  void shutdown() TG_EXCLUDES(doorbell_mu_);
 
   ServerId id() const { return id_; }
   /// Tasks accepted but not yet started (in the ring or the policy queue).
@@ -97,16 +97,22 @@ class Worker {
   /// between).
   static constexpr std::size_t kRingCapacity = 1024;
 
-  void run();
+  void run() TG_EXCLUDES(doorbell_mu_);
   void drain_ring();
   bool work_published() const {
     return consumed_ != submitted_.load(std::memory_order_seq_cst);
   }
 
+  // Set once in the constructor, read-only afterwards.
+  // tg-lint: allow(guarded-member)
   ServerId id_;
+  // tg-lint: allow(guarded-member): immutable after construction.
   ClockFn clock_;
+  // tg-lint: allow(guarded-member): immutable after construction.
   CompletionFn on_complete_;
 
+  // Lock-free MPSC ring: synchronizes via its own acquire/release slots.
+  // tg-lint: allow(guarded-member)
   MpscRing<Submission> ring_{kRingCapacity};
   /// Submissions accepted (post shutdown-check). Compared against the
   /// consumer's `consumed_` to (a) detect published-but-undrained work and
@@ -121,12 +127,19 @@ class Worker {
   /// guaranteed to see the other — no missed wakeup, and no notify (hence
   /// no syscall) while the worker is awake.
   std::atomic<bool> sleeping_{false};
-  std::mutex doorbell_mu_;
-  std::condition_variable doorbell_;
+  /// Guards nothing: it exists purely so the condvar wait/notify handshake
+  /// has a mutex to close the sleeping_-set→wait() window against. All
+  /// shared state crosses via the ring and the seq_cst atomics above.
+  Mutex doorbell_mu_;
+  CondVar doorbell_;
 
-  // --- consumer-thread state (no synchronization needed) ---
+  // --- consumer-thread state (only the worker thread touches these, so no
+  // mutex protects them by design) ---
+  // tg-lint: allow(guarded-member): consumer-thread private.
   std::uint64_t consumed_ = 0;
+  // tg-lint: allow(guarded-member): consumer-thread private.
   std::unique_ptr<TaskQueue> queue_;
+  // tg-lint: allow(guarded-member): consumer-thread private.
   std::unordered_map<TaskId, RuntimeTask> payloads_;
 
   std::thread thread_;

@@ -19,11 +19,16 @@
 // ShardDeltas; the tg_lint control-plane-boundary rule enforces that nothing
 // else in the tree reaches into another shard's QueryControlPlane.
 //
-// Thread safety: none here. Single-threaded callers (sim) just call in. The
-// threaded runtime guards shard i's calls with its own per-shard mutex —
-// sound because every mutable member is per-shard — and takes *all* shard
-// locks (in index order) around maybe_sync()/aggregated accessors, which
-// touch every shard.
+// Thread safety: none here, deliberately — this class owns no mutex, so the
+// tg_lint guarded-member rule and the TSA annotation layer
+// (common/thread_annotations.h) have nothing to check in it. Single-threaded
+// callers (sim) just call in. The threaded runtime guards shard i's calls
+// with its own per-shard tailguard::Mutex (TailGuardService::Shard::mu,
+// whose `pending` map is TG_GUARDED_BY it) — sound because every mutable
+// member here is per-shard — and takes *all* shard locks (in index order,
+// via lock_all()) around maybe_sync()/aggregated accessors, which touch
+// every shard. The dispatcher runs a 1-shard plane entirely under its mu_
+// (TG_GUARDED_BY on the control_ member).
 #pragma once
 
 #include <cstdint>

@@ -297,7 +297,7 @@ TEST(GossipE2E, SecondDispatcherLearnsFromFirstExactlyOnce) {
   // B ran nothing, yet its model must converge on A's observations via the
   // daemon's gossip stream.
   const auto observations = [&] {
-    return static_cast<const StreamingCdfModel&>(b.server_model(0))
+    return static_cast<const StreamingCdfModel&>(*b.server_model(0))
         .observations();
   };
   const auto deadline = std::chrono::steady_clock::now() + 5s;
@@ -313,7 +313,7 @@ TEST(GossipE2E, SecondDispatcherLearnsFromFirstExactlyOnce) {
   // model holds its own TaskDone-fed samples without gossip echoes.
   std::this_thread::sleep_for(60ms);
   EXPECT_EQ(observations(), static_cast<std::uint64_t>(kQueries));
-  EXPECT_EQ(static_cast<const StreamingCdfModel&>(a.server_model(0))
+  EXPECT_EQ(static_cast<const StreamingCdfModel&>(*a.server_model(0))
                 .observations(),
             static_cast<std::uint64_t>(kQueries));
 }
@@ -336,7 +336,7 @@ TEST(GossipE2E, GossipOffDaemonBehavesLikePreGossipBuild) {
   EXPECT_EQ(a.gossip_capable_servers(), 0u);
   EXPECT_EQ(b.gossip_capable_servers(), 0u);
   EXPECT_EQ(b.gossip_deltas_absorbed(), 0u);
-  EXPECT_EQ(static_cast<const StreamingCdfModel&>(b.server_model(0))
+  EXPECT_EQ(static_cast<const StreamingCdfModel&>(*b.server_model(0))
                 .observations(),
             0u);
 }
@@ -372,7 +372,7 @@ TEST(GossipE2E, ModelSyncBackfillStillCoversDisconnectedEras) {
   net::RemoteDispatcher late(one_server_options(server.port()));
   ASSERT_TRUE(late.wait_for_servers(1, 5000.0));
   const auto observations = [&] {
-    return static_cast<const StreamingCdfModel&>(late.server_model(0))
+    return static_cast<const StreamingCdfModel&>(*late.server_model(0))
         .observations();
   };
   const auto deadline = std::chrono::steady_clock::now() + 5s;

@@ -1,0 +1,24 @@
+// atomic-order bad fixture: atomic accesses leaning on the implicit seq_cst
+// default. Linted under a virtual src/ path; every access must fire.
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+std::atomic<std::uint64_t> counter{0};
+std::atomic<bool> flag{false};
+
+std::uint64_t tick() {
+  counter.fetch_add(1);           // must fire: no memory_order argument
+  flag.store(true);               // must fire
+  if (flag.load()) {              // must fire
+    return counter.exchange(0);   // must fire
+  }
+  return counter.load();          // must fire
+}
+
+std::uint64_t tick_via_pointer(std::atomic<std::uint64_t>* c) {
+  return c->fetch_sub(1);         // must fire: arrow calls count too
+}
+
+}  // namespace fixture

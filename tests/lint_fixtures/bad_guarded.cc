@@ -1,0 +1,22 @@
+// guarded-member bad fixture: a class in a concurrent directory owning a
+// Mutex with bare mutable members — no TG_GUARDED_BY, no allow, no
+// why-comment. Each of samples_, count_ and mean_ must fire.
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace fixture {
+
+class LatencyLedger {
+ public:
+  void record(double sample_ms);
+
+ private:
+  mutable tailguard::Mutex mu_;
+  std::vector<double> samples_;  // must fire: which lock protects this?
+  std::uint64_t count_ = 0;      // must fire
+  double mean_ = 0.0;            // must fire
+};
+
+}  // namespace fixture

@@ -1,0 +1,32 @@
+// atomic-order good fixture: every atomic access states its order, including
+// one whose argument rides on a continuation line; non-atomic lookalikes
+// (std::exchange, a method named unload) must stay silent.
+#include <atomic>
+#include <cstdint>
+#include <utility>
+
+namespace fixture {
+
+std::atomic<std::uint64_t> counter{0};
+std::atomic<bool> flag{false};
+
+struct Cache {
+  std::uint64_t cargo = 0;
+  // A member named like an atomic op is not an atomic access.
+  std::uint64_t unload() { return std::exchange(cargo, 0); }
+};
+
+std::uint64_t tick(Cache& cache) {
+  // Counter is a pure tally: no data is published through it.
+  counter.fetch_add(1, std::memory_order_relaxed);
+  // Release pairs with the acquire load below.
+  flag.store(true, std::memory_order_release);
+  if (flag.load(std::memory_order_acquire)) {
+    // Order argument on the continuation line: the scan spans lines.
+    return counter.exchange(0,
+                            std::memory_order_acq_rel);
+  }
+  return cache.unload();
+}
+
+}  // namespace fixture

@@ -1,0 +1,34 @@
+// guarded-member good fixture: the shapes the rule must accept — annotated
+// members, synchronization primitives, an explicit allow with its why, and a
+// mutex-free class whose members need no annotation at all.
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/thread_annotations.h"
+
+namespace fixture {
+
+class LatencyLedger {
+ public:
+  void record(double sample_ms);
+
+ private:
+  mutable tailguard::Mutex mu_;
+  tailguard::CondVar cv_;
+  std::vector<double> samples_ TG_GUARDED_BY(mu_);
+  std::uint64_t count_ TG_GUARDED_BY(mu_) = 0;
+  std::atomic<std::uint64_t> dropped_{0};
+  // Immutable after construction. tg-lint: allow(guarded-member)
+  std::uint64_t capacity_ = 0;
+  std::thread flusher_;
+};
+
+// No mutex owned: nothing here needs annotating (single-threaded type).
+struct Snapshot {
+  std::vector<double> samples;
+  std::uint64_t count = 0;
+};
+
+}  // namespace fixture

@@ -258,12 +258,83 @@ TEST(LintTest, GoodMapIsClean) {
   EXPECT_TRUE(lint_fixture("good_map.cc", "src/sim/good_map.cc").empty());
 }
 
+TEST(LintTest, BadAtomicFiresOnEveryImplicitOrderAccess) {
+  const auto diags = lint_fixture("bad_atomic.cc", "src/core/bad_atomic.cc");
+  EXPECT_EQ(rules_of(diags), std::set<std::string>{"atomic-order"});
+  // fetch_add, store, load, exchange, load, and the -> fetch_sub.
+  EXPECT_EQ(count_rule(diags, "atomic-order"), 6);
+}
+
+TEST(LintTest, AtomicOrderAppliesToToolsButNotTests) {
+  // Tooling shares the discipline; tests and benches may lean on the
+  // seq_cst default for clarity.
+  EXPECT_EQ(count_rule(lint_fixture("bad_atomic.cc", "tools/bad_atomic.cc"),
+                       "atomic-order"),
+            6);
+  EXPECT_EQ(count_rule(lint_fixture("bad_atomic.cc", "tests/bad_atomic.cc"),
+                       "atomic-order"),
+            0);
+  EXPECT_EQ(count_rule(lint_fixture("bad_atomic.cc", "bench/bad_atomic.cc"),
+                       "atomic-order"),
+            0);
+}
+
+TEST(LintTest, GoodAtomicIsCleanIncludingMultiLineCallsAndLookalikes) {
+  // Explicit orders pass (even split across lines); std::exchange and a
+  // method named unload() are not atomic accesses.
+  const auto diags = lint_fixture("good_atomic.cc", "src/core/good_atomic.cc");
+  EXPECT_EQ(count_rule(diags, "atomic-order"), 0);
+}
+
+TEST(LintTest, BadGuardedFiresOncePerBareMember) {
+  const auto diags =
+      lint_fixture("bad_guarded.cc", "src/runtime/bad_guarded.cc");
+  EXPECT_EQ(rules_of(diags), std::set<std::string>{"guarded-member"});
+  // samples_, count_, mean_ — but never the Mutex itself.
+  EXPECT_EQ(count_rule(diags, "guarded-member"), 3);
+}
+
+TEST(LintTest, GuardedMemberScopesToConcurrentDirectories) {
+  for (const std::string dir : {"src/net/", "src/common/", "src/shard/"}) {
+    EXPECT_EQ(count_rule(lint_fixture("bad_guarded.cc", dir + "bad_guarded.cc"),
+                         "guarded-member"),
+              3)
+        << dir;
+  }
+  // The deterministic core and sim are single-threaded by design; a mutex
+  // there is its own smell but not this rule's business.
+  for (const std::string dir : {"src/core/", "src/sim/", "tests/"}) {
+    EXPECT_EQ(count_rule(lint_fixture("bad_guarded.cc", dir + "bad_guarded.cc"),
+                         "guarded-member"),
+              0)
+        << dir;
+  }
+}
+
+TEST(LintTest, GuardedMemberAcceptsAnnotationsPrimitivesAndAllows) {
+  const auto diags =
+      lint_fixture("good_guarded.cc", "src/runtime/good_guarded.cc");
+  EXPECT_EQ(count_rule(diags, "guarded-member"), 0);
+}
+
+TEST(LintTest, GuardedMemberExemptsTheAnnotationHeaderItself) {
+  // Mutex's own std::mutex member is the one legitimately bare mutex member.
+  const auto diags = lint_source("src/common/thread_annotations.h",
+                                 "class Mutex {\n"
+                                 " private:\n"
+                                 "  std::mutex mu_;\n"
+                                 "  int bare_;\n"
+                                 "};\n");
+  EXPECT_EQ(count_rule(diags, "guarded-member"), 0);
+}
+
 TEST(LintTest, RuleSummaryMentionsEveryRule) {
   const std::string summary = rule_summary();
   for (const std::string rule :
        {"determinism-random", "determinism-clock", "time-units",
         "lock-discipline", "header-hygiene", "wire-safety",
-        "control-plane-boundary", "hot-path-map"}) {
+        "control-plane-boundary", "hot-path-map", "atomic-order",
+        "guarded-member"}) {
     EXPECT_NE(summary.find(rule), std::string::npos) << rule;
   }
 }

@@ -7,6 +7,22 @@
 namespace tailguard {
 namespace {
 
+// TSan's instrumentation slows the submit path 5-15x, which is enough to
+// push an open-loop run on a loaded runner under the plain-build throughput
+// floor without any bug. Relax (don't drop) the assertion there, so the
+// whole binary stays in the TSan CI job.
+#if defined(__SANITIZE_THREAD__)
+constexpr double kMinAchievedQps = 20.0;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+constexpr double kMinAchievedQps = 20.0;
+#else
+constexpr double kMinAchievedQps = 300.0;
+#endif
+#else
+constexpr double kMinAchievedQps = 300.0;
+#endif
+
 ServiceOptions tiny_service() {
   ServiceOptions opt;
   opt.num_workers = 4;
@@ -53,7 +69,7 @@ TEST(LoadGen, RateIsApproximatelyHonoured) {
   // Open loop at 1000 q/s for 400 queries ~ 0.4 s; sleep overshoot makes
   // the achieved rate a bit lower, never higher.
   EXPECT_LT(report.achieved_qps, 1100.0);
-  EXPECT_GT(report.achieved_qps, 300.0);
+  EXPECT_GT(report.achieved_qps, kMinAchievedQps);
 }
 
 TEST(LoadGen, PerClassStatsAreOrdered) {

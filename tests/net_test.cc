@@ -621,7 +621,7 @@ TEST(RemoteDispatcher, SubmitsAndCompletesQueries) {
   EXPECT_EQ(dispatcher.failed_tasks(), 0u);
   // Online updating: completions fed the per-server models.
   const auto& model =
-      static_cast<const StreamingCdfModel&>(dispatcher.server_model(0));
+      static_cast<const StreamingCdfModel&>(*dispatcher.server_model(0));
   EXPECT_GT(model.observations(), 0u);
 }
 

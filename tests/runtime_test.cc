@@ -180,7 +180,7 @@ TEST(Service, ExplicitWorkerPlacementHonoured) {
   EXPECT_TRUE(r.admitted);
   // Both tasks target worker 1: its model must have absorbed 2 observations.
   EXPECT_GE(
-      static_cast<const StreamingCdfModel&>(svc.worker_model(1)).observations(),
+      static_cast<const StreamingCdfModel&>(*svc.worker_model(1)).observations(),
       2u);
 }
 
@@ -225,9 +225,39 @@ TEST(Service, OnlineModelLearnsServiceTimes) {
   for (auto& f : futures) f.get();
   // Each worker observed ~100 sleeps of ~2 ms; the learned median must be
   // in that vicinity (sleep overshoot makes it >= 2 ms).
-  const auto& model = svc.worker_model(0);
-  EXPECT_GE(model.quantile(0.5), 1.5);
-  EXPECT_LE(model.quantile(0.5), 20.0);
+  const auto model = svc.worker_model(0);
+  EXPECT_GE(model->quantile(0.5), 1.5);
+  EXPECT_LE(model->quantile(0.5), 20.0);
+}
+
+TEST(Service, WorkerModelSnapshotSafeDuringTraffic) {
+  // Regression: worker_model() used to return a reference into the live
+  // model, which completion callbacks keep mutating — a reader quantile()
+  // racing a StreamingCdfModel refresh (caught by the thread-safety
+  // annotation pass). It now deep-copies under the shard locks; the
+  // snapshot must stay coherent while traffic pounds the live model.
+  ServiceOptions opt = basic_options(Policy::kTfEdf, 2);
+  TailGuardService svc(opt);
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const auto snapshot = svc.worker_model(0);
+      const double q50 = snapshot->quantile(0.5);
+      const double q99 = snapshot->quantile(0.99);
+      // A coherent CDF is monotone; a torn read would not be.
+      EXPECT_LE(q50, q99);
+    }
+  });
+  std::vector<std::future<QueryResult>> futures;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<ServiceTaskSpec> tasks(2);
+    for (auto& t : tasks) t.simulated_service_ms = 0.05;
+    futures.push_back(svc.submit(0, std::move(tasks)));
+  }
+  for (auto& f : futures) f.get();
+  done.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(svc.completed_queries(), 200u);
 }
 
 TEST(Service, DeadlineMissesTrackedUnderBacklog) {

@@ -1,0 +1,21 @@
+// Must NOT compile under -Werror=thread-safety: the second MutexLock
+// acquires a mutex this thread already holds (self-deadlock on std::mutex).
+// tsa-expect: already held
+#include "common/thread_annotations.h"
+
+namespace fixture {
+
+class Counter {
+ public:
+  void bump() {
+    tailguard::MutexLock outer(mu_);
+    tailguard::MutexLock inner(mu_);  // deadlock
+    ++value_;
+  }
+
+ private:
+  mutable tailguard::Mutex mu_;
+  int value_ TG_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

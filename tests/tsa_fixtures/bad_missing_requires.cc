@@ -1,0 +1,19 @@
+// Must NOT compile under -Werror=thread-safety: a TG_REQUIRES(mu_) helper
+// called without the lock held.
+// tsa-expect: requires holding mutex
+#include "common/thread_annotations.h"
+
+namespace fixture {
+
+class Counter {
+ public:
+  void bump() { bump_locked(); }  // caller never takes mu_
+
+ private:
+  void bump_locked() TG_REQUIRES(mu_) { ++value_; }
+
+  mutable tailguard::Mutex mu_;
+  int value_ TG_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

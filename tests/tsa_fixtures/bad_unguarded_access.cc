@@ -1,0 +1,18 @@
+// Must NOT compile under -Werror=thread-safety: both accesses touch a
+// TG_GUARDED_BY member with no lock held.
+// tsa-expect: requires holding mutex
+#include "common/thread_annotations.h"
+
+namespace fixture {
+
+class Counter {
+ public:
+  void bump() { ++value_; }          // write without mu_
+  int read() const { return value_; }  // read without mu_
+
+ private:
+  mutable tailguard::Mutex mu_;
+  int value_ TG_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Must NOT compile under -Werror=thread-safety: the naked lock() is never
+// released, so the mutex leaks out of the function still held.
+// tsa-expect: still held
+#include "common/thread_annotations.h"
+
+namespace fixture {
+
+class Counter {
+ public:
+  void bump() {
+    mu_.lock();
+    ++value_;
+    // missing mu_.unlock()
+  }
+
+ private:
+  mutable tailguard::Mutex mu_;
+  int value_ TG_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

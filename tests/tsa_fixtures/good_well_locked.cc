@@ -1,0 +1,34 @@
+// Control fixture: fully annotated locking in the repo's house style. Must
+// compile WARNING-FREE under -Werror=thread-safety — if this breaks, the
+// harness is rejecting correct code, not catching bugs.
+#include "common/thread_annotations.h"
+
+namespace fixture {
+
+class Counter {
+ public:
+  void bump() TG_EXCLUDES(mu_) {
+    tailguard::MutexLock lock(mu_);
+    bump_locked();
+    cv_.notify_one();
+  }
+
+  void wait_for_nonzero() TG_EXCLUDES(mu_) {
+    tailguard::MutexLock lock(mu_);
+    while (value_ == 0) cv_.wait(mu_);
+  }
+
+  int read() const TG_EXCLUDES(mu_) {
+    tailguard::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  void bump_locked() TG_REQUIRES(mu_) { ++value_; }
+
+  mutable tailguard::Mutex mu_;
+  tailguard::CondVar cv_;
+  int value_ TG_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

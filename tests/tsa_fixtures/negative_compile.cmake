@@ -1,0 +1,85 @@
+# Negative-compile harness for the thread-safety annotations
+# (src/common/thread_annotations.h): proves the annotations actually bite.
+#
+# Every bad_*.cc here is a locking bug Clang TSA must REJECT — the fixture
+# fails the test if it compiles, or if the diagnostic does not contain the
+# fixture's `// tsa-expect: <substring>` line(s). good_*.cc must compile
+# warning-free, guarding against over-eager annotations that reject correct
+# code. Run via ctest (tsa_negative_compile); under a compiler without
+# -Wthread-safety (GCC) it prints [SKIPPED], which ctest maps to a skip.
+#
+# Inputs: -DCOMPILER=<c++ compiler> -DINCLUDE_DIR=<repo src/>
+#         -DFIXTURE_DIR=<this dir> -DTSA_SUPPORTED=<ON/OFF>
+cmake_minimum_required(VERSION 3.16)
+
+if(NOT TSA_SUPPORTED)
+  message(STATUS "[SKIPPED] ${COMPILER} has no -Wthread-safety; "
+                 "negative-compile fixtures need Clang")
+  return()
+endif()
+
+set(flags -std=c++20 -fsyntax-only -I${INCLUDE_DIR}
+          -Wthread-safety -Werror=thread-safety)
+set(failures 0)
+
+file(GLOB bad_fixtures "${FIXTURE_DIR}/bad_*.cc")
+file(GLOB good_fixtures "${FIXTURE_DIR}/good_*.cc")
+list(SORT bad_fixtures)
+list(SORT good_fixtures)
+if(NOT bad_fixtures OR NOT good_fixtures)
+  message(FATAL_ERROR "no fixtures found in ${FIXTURE_DIR}")
+endif()
+
+foreach(fixture IN LISTS bad_fixtures)
+  get_filename_component(name "${fixture}" NAME)
+  file(STRINGS "${fixture}" expect_lines REGEX "tsa-expect:")
+  if(NOT expect_lines)
+    message(SEND_ERROR "FAIL ${name}: no // tsa-expect: line")
+    math(EXPR failures "${failures} + 1")
+    continue()
+  endif()
+  execute_process(
+    COMMAND ${COMPILER} ${flags} "${fixture}"
+    RESULT_VARIABLE rv
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(rv EQUAL 0)
+    message(SEND_ERROR "FAIL ${name}: compiled clean — the locking bug it "
+                       "encodes was not diagnosed")
+    math(EXPR failures "${failures} + 1")
+    continue()
+  endif()
+  set(ok TRUE)
+  foreach(line IN LISTS expect_lines)
+    string(REGEX REPLACE ".*tsa-expect:[ ]*" "" pattern "${line}")
+    string(FIND "${err}" "${pattern}" at)
+    if(at EQUAL -1)
+      message(SEND_ERROR "FAIL ${name}: rejected, but the diagnostic lacks "
+                         "\"${pattern}\":\n${err}")
+      math(EXPR failures "${failures} + 1")
+      set(ok FALSE)
+    endif()
+  endforeach()
+  if(ok)
+    message(STATUS "PASS ${name} (rejected as expected)")
+  endif()
+endforeach()
+
+foreach(fixture IN LISTS good_fixtures)
+  get_filename_component(name "${fixture}" NAME)
+  execute_process(
+    COMMAND ${COMPILER} ${flags} "${fixture}"
+    RESULT_VARIABLE rv
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rv EQUAL 0)
+    message(SEND_ERROR "FAIL ${name}: correct locking rejected:\n${err}")
+    math(EXPR failures "${failures} + 1")
+  else()
+    message(STATUS "PASS ${name} (accepted as expected)")
+  endif()
+endforeach()
+
+if(failures GREATER 0)
+  message(FATAL_ERROR "${failures} fixture(s) failed")
+endif()

@@ -548,6 +548,207 @@ void check_hot_path_map(const FileCtx& ctx) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// atomic-order — every atomic access must pass an explicit std::memory_order
+// ---------------------------------------------------------------------------
+
+/// True when the argument list opening at `(line_idx, open_pos)` contains
+/// `needle` before its matching ')'. Calls may span lines (a store whose
+/// order rides on the continuation line); the scan is bounded at 8 lines.
+bool call_args_contain(const std::vector<std::string_view>& lines,
+                       std::size_t line_idx, std::size_t open_pos,
+                       std::string_view needle) {
+  int depth = 0;
+  std::string args;
+  for (std::size_t l = line_idx; l < lines.size() && l < line_idx + 8; ++l) {
+    const std::string_view line = lines[l];
+    for (std::size_t i = l == line_idx ? open_pos : 0; i < line.size(); ++i) {
+      const char c = line[i];
+      if (c == '(') {
+        ++depth;
+      } else if (c == ')') {
+        if (--depth == 0) return args.find(needle) != std::string::npos;
+      }
+      if (depth >= 1) args += c;
+    }
+    args += ' ';
+  }
+  return args.find(needle) != std::string::npos;  // unterminated: best effort
+}
+
+void check_atomic_order(const FileCtx& ctx) {
+  // Hot-path and tooling code must state its ordering intent; tests and
+  // benches may lean on the seq_cst default for clarity.
+  if (!ctx.in_dir("src/") && !ctx.in_dir("tools/")) return;
+  static constexpr std::array<std::string_view, 11> kOps = {
+      "load",      "store",     "exchange",
+      "fetch_add", "fetch_sub", "fetch_and",
+      "fetch_or",  "fetch_xor", "compare_exchange_weak",
+      "compare_exchange_strong", "test_and_set"};
+  for (std::size_t i = 0; i < ctx.code_lines.size(); ++i) {
+    const std::string_view line = ctx.code_lines[i];
+    for (const auto op : kOps) {
+      std::size_t at = 0;
+      while ((at = find_word(line, op, at)) != std::string_view::npos) {
+        const bool member_call =
+            (at >= 1 && line[at - 1] == '.') ||
+            (at >= 2 && line[at - 2] == '-' && line[at - 1] == '>');
+        const std::size_t after = at + op.size();
+        if (member_call && next_nonspace(line, after) == '(' &&
+            !call_args_contain(ctx.code_lines, i, line.find('(', after),
+                               "memory_order")) {
+          ctx.report(static_cast<int>(i) + 1, "atomic-order",
+                     "atomic ." + std::string(op) +
+                         "() without an explicit std::memory_order; the "
+                         "implicit seq_cst default hides intent on the hot "
+                         "path — state (and justify in a comment) the "
+                         "weakest correct order, or suppress a non-atomic "
+                         "member call with tg-lint: allow(atomic-order)");
+          break;
+        }
+        at = after;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// guarded-member — mutex-owning classes must annotate their mutable members
+// ---------------------------------------------------------------------------
+
+bool brace_balanced(std::string_view line) {
+  int depth = 0;
+  for (const char c : line) {
+    if (c == '{') ++depth;
+    if (c == '}' && --depth < 0) return false;
+  }
+  return depth == 0;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+    s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+    s.remove_suffix(1);
+  return s;
+}
+
+/// In the concurrent directories, a class that directly owns a Mutex must
+/// say — in the type system, via TG_GUARDED_BY — which members that mutex
+/// protects; anything deliberately unguarded (immutable after construction,
+/// thread-private, self-synchronizing) carries an explicit allow with its
+/// why-comment. A heuristic single-pass scanner: it tracks brace scopes,
+/// marks which are class bodies, and collects unannotated data-member lines;
+/// members that are themselves synchronization primitives (atomics, mutexes,
+/// condvars, threads) and function/using/static declarations are exempt.
+void check_guarded_member(const FileCtx& ctx) {
+  const bool concurrent_dir =
+      ctx.in_dir("src/runtime/") || ctx.in_dir("src/net/") ||
+      ctx.in_dir("src/common/") || ctx.in_dir("src/shard/");
+  if (!concurrent_dir) return;
+  // The annotated primitives themselves (Mutex wraps a std::mutex, CondVar a
+  // std::condition_variable_any).
+  if (ctx.path == "src/common/thread_annotations.h") return;
+
+  static constexpr std::array<std::string_view, 4> kMutexWords = {
+      "Mutex", "mutex", "shared_mutex", "recursive_mutex"};
+  static constexpr std::array<std::string_view, 8> kSyncWords = {
+      "atomic",   "atomic_flag", "CondVar", "condition_variable",
+      "thread",   "jthread",     "once_flag", "stop_token"};
+  static constexpr std::array<std::string_view, 15> kDeclExempt = {
+      "public",   "private", "protected", "using",    "typedef",
+      "friend",   "template", "static",   "constexpr", "enum",
+      "struct",   "class",   "union",     "operator", "const"};
+
+  struct Scope {
+    bool is_class = false;
+    bool owns_mutex = false;
+    std::vector<int> unannotated;  // 1-based candidate member lines
+  };
+  std::vector<Scope> stack;
+  bool pending_class = false;
+
+  const auto close_scope = [&ctx](const Scope& scope) {
+    if (!scope.is_class || !scope.owns_mutex) return;
+    for (const int line : scope.unannotated)
+      ctx.report(line, "guarded-member",
+                 "class owns a Mutex, so this mutable member needs "
+                 "TG_GUARDED_BY(<its mutex>) (common/thread_annotations.h) — "
+                 "or document why no lock protects it with tg-lint: "
+                 "allow(guarded-member)");
+  };
+
+  for (std::size_t i = 0; i < ctx.code_lines.size(); ++i) {
+    const std::string_view line = ctx.code_lines[i];
+
+    // Member analysis against the scope state at line start.
+    if (!stack.empty() && stack.back().is_class) {
+      const std::string_view t = trim(line);
+      if (!t.empty() && t.back() == ';' && brace_balanced(line)) {
+        const bool annotated =
+            t.find("TG_GUARDED_BY") != std::string_view::npos ||
+            t.find("TG_PT_GUARDED_BY") != std::string_view::npos;
+        // Parens mean a function declaration, a member with a paren
+        // initializer, or the continuation line of a wrapped declaration —
+        // none of which is a candidate, and none of which may claim mutex
+        // ownership (e.g. a method *returning* locks).
+        const bool has_paren = t.find('(') != std::string_view::npos ||
+                               t.find(')') != std::string_view::npos;
+        bool is_mutex = false;
+        if (!has_paren)
+          for (const auto w : kMutexWords)
+            is_mutex |= find_word(t, w) != std::string_view::npos;
+        if (is_mutex && !annotated) {
+          stack.back().owns_mutex = true;
+        } else if (!annotated && !has_paren) {
+          bool exempt =
+              !(std::isalpha(static_cast<unsigned char>(t.front())) ||
+                t.front() == '_' || t.front() == ':');
+          for (const auto w : kSyncWords)
+            exempt |= find_word(t, w) != std::string_view::npos;
+          const std::size_t tok_end = [&] {
+            std::size_t e = 0;
+            while (e < t.size() && is_ident_char(t[e])) ++e;
+            return e;
+          }();
+          const std::string_view first_tok = t.substr(0, tok_end);
+          for (const auto w : kDeclExempt) exempt |= first_tok == w;
+          // Require a plausible two-token declaration (type then name) so
+          // stray continuation fragments don't fire.
+          exempt |= tok_end == t.size() - 1;
+          if (!exempt)
+            stack.back().unannotated.push_back(static_cast<int>(i) + 1);
+        }
+      }
+    }
+
+    // Class-head detection: `enum class` opens a plain (non-class) scope.
+    if (!pending_class && find_word(line, "enum") == std::string_view::npos &&
+        (find_word(line, "class") != std::string_view::npos ||
+         find_word(line, "struct") != std::string_view::npos ||
+         find_word(line, "union") != std::string_view::npos))
+      pending_class = true;
+
+    for (const char c : line) {
+      if (c == '{') {
+        stack.push_back(Scope{pending_class, false, {}});
+        pending_class = false;
+      } else if (c == '}') {
+        if (!stack.empty()) {
+          close_scope(stack.back());
+          stack.pop_back();
+        }
+      } else if (c == ';' && pending_class) {
+        pending_class = false;  // forward declaration
+      }
+    }
+  }
+  while (!stack.empty()) {  // unbalanced tail: still report what we saw
+    close_scope(stack.back());
+    stack.pop_back();
+  }
+}
+
 }  // namespace
 
 std::vector<Diagnostic> lint_source(const std::string& rel_path,
@@ -568,6 +769,8 @@ std::vector<Diagnostic> lint_source(const std::string& rel_path,
   check_wire_safety(ctx);
   check_control_plane_boundary(ctx);
   check_hot_path_map(ctx);
+  check_atomic_order(ctx);
+  check_guarded_member(ctx);
 
   std::sort(diags.begin(), diags.end(), [](const auto& a, const auto& b) {
     return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
@@ -597,6 +800,10 @@ std::vector<Diagnostic> lint_paths(const std::string& root,
         // The lint self-test's bad fixtures are violations on purpose; they
         // are linted explicitly by tests/lint_test.cc, not by tree walks.
         if (rel.find("lint_fixtures/") != std::string::npos) continue;
+        // Likewise the thread-safety negative-compile fixtures: deliberately
+        // broken locking, compiled (and required to FAIL) by ctest's
+        // tsa_negative_compile, never linted.
+        if (rel.find("tsa_fixtures/") != std::string::npos) continue;
         files.insert(rel);
       }
     } else if (fs::is_regular_file(abs, ec)) {
@@ -645,6 +852,13 @@ std::string rule_summary() {
       "hot-path-map        no std::unordered_map / std::map in src/sim or "
       "src/core; the hot path uses SlabMap / SlabHashCache "
       "(common/slab_map.h) — node-based maps allocate per entry\n"
+      "atomic-order        atomic .load()/.store()/.exchange()/.fetch_*()/"
+      "compare_exchange/.test_and_set() in src/ and tools/ must pass an "
+      "explicit std::memory_order (the seq_cst default hides intent)\n"
+      "guarded-member      in src/runtime, src/net, src/common and "
+      "src/shard, a class owning a Mutex must TG_GUARDED_BY every mutable "
+      "non-atomic member (common/thread_annotations.h) or carry an explicit "
+      "allow explaining why no lock protects it\n"
       "\nSuppress a finding with '// tg-lint: allow(<rule>)' on the line or "
       "the line above.\n";
 }

@@ -34,6 +34,24 @@
 //                       Dense-id state uses SlabMap, memo caches use
 //                       SlabHashCache (common/slab_map.h); genuinely cold
 //                       uses carry an explicit allow(hot-path-map).
+//   atomic-order        Every atomic access in src/ and tools/ (.load(),
+//                       .store(), .exchange(), .fetch_*(),
+//                       .compare_exchange_*(), .test_and_set()) passes an
+//                       explicit std::memory_order. The implicit seq_cst
+//                       default is both the strongest fence and the easiest
+//                       to write, so it says nothing about what the code
+//                       actually needs; forcing the argument forces the
+//                       author to name (and ideally justify in a comment)
+//                       the weakest correct order.
+//   guarded-member      In the concurrent directories (src/runtime, src/net,
+//                       src/common, src/shard) a class that owns a Mutex
+//                       must say which members that mutex protects: every
+//                       mutable non-atomic data member carries
+//                       TG_GUARDED_BY(<mutex>) (common/thread_annotations.h,
+//                       enforced by Clang TSA when available) or an explicit
+//                       allow(guarded-member) with a why-comment. The lint
+//                       form runs under GCC too, so the discipline holds on
+//                       compilers with no thread-safety analysis.
 //
 // Suppression: append `// tg-lint: allow(<rule>[, <rule>...])` to the
 // offending line, or place it on the line directly above. `allow(all)`
