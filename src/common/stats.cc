@@ -47,20 +47,26 @@ double percentile_sorted(std::span<const double> sorted, double p) {
   return sorted[rank - 1];
 }
 
-double percentile(std::span<const double> sample, double p) {
+double percentile_inplace(std::span<double> sample, double p) {
   if (sample.empty()) return std::numeric_limits<double>::quiet_NaN();
   TG_CHECK_MSG(p >= 0.0 && p <= 100.0, "percentile out of range: " << p);
   // nth_element instead of a full sort: the nearest-rank percentile is a
   // single order statistic, so selection returns the identical value in
-  // O(n) — this runs once per metrics group at the end of every sim run.
-  std::vector<double> values(sample.begin(), sample.end());
-  if (p <= 0.0) return *std::min_element(values.begin(), values.end());
-  const auto n = values.size();
+  // O(n). Selection only permutes, so stacking several percentile calls on
+  // one buffer stays exact.
+  if (p <= 0.0) return *std::min_element(sample.begin(), sample.end());
+  const auto n = sample.size();
   auto rank = static_cast<std::size_t>(
       std::ceil(p / 100.0 * static_cast<double>(n)));
   rank = std::min(std::max<std::size_t>(rank, 1), n);
-  std::nth_element(values.begin(), values.begin() + (rank - 1), values.end());
-  return values[rank - 1];
+  std::nth_element(sample.begin(), sample.begin() + (rank - 1), sample.end());
+  return sample[rank - 1];
+}
+
+double percentile(std::span<const double> sample, double p) {
+  if (sample.empty()) return std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> values(sample.begin(), sample.end());
+  return percentile_inplace(values, p);
 }
 
 double mean_of(std::span<const double> sample) {

@@ -32,9 +32,18 @@ class Summary {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
-/// Nearest-rank percentile of an *unsorted* sample (copies + sorts).
+/// Nearest-rank percentile of an *unsorted* sample (copies + selects).
 /// `p` is in percent, e.g. 99.0 for p99. Returns NaN on an empty sample.
 double percentile(std::span<const double> sample, double p);
+
+/// Nearest-rank percentile via in-place partial selection (nth_element):
+/// no copy, no full sort. *Reorders* `sample` — but never changes its
+/// multiset of values, so successive calls (p50, then p95, then p99) on the
+/// same buffer all return exactly what a sort-then-index would. Callers
+/// needing the mean must take it BEFORE this call: floating-point summation
+/// is order-sensitive, and the means this repo reports are pinned to
+/// insertion order (see stats_test).
+double percentile_inplace(std::span<double> sample, double p);
 
 /// Nearest-rank percentile of an already-sorted (ascending) sample.
 double percentile_sorted(std::span<const double> sorted, double p);

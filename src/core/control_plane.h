@@ -26,6 +26,8 @@
 #include "core/admission.h"
 #include "core/deadline.h"
 #include "core/placement.h"
+#include "core/placement/policy.h"
+#include "core/placement/slack_tracker.h"
 #include "core/query_tracker.h"
 
 namespace tailguard {
@@ -36,6 +38,9 @@ struct ControlPlaneOptions {
   std::vector<ClassSpec> classes;
   /// Admission control (§III.C); disabled when unset.
   std::optional<AdmissionOptions> admission;
+  /// Distinct-server placement policy (core/placement/policy.h). The
+  /// default, least_loaded, reproduces the paper's behaviour bit-for-bit.
+  PlacementPolicyOptions placement;
   /// Seeds the control plane's own Rng (placement tie-breaks, proportional
   /// admission coins). Backends that need replayable randomness (the sim)
   /// pass their own draws instead and never touch this stream.
@@ -64,6 +69,20 @@ struct QueryPlan {
   /// Policy ordering key: t_D for TF-EDFQ, t0 + SLO for T-EDFQ, t0 for
   /// FIFO/PRIQ (unused for ordering there).
   TimeMs order_deadline = 0.0;
+};
+
+/// Placement observability: per-decision counters so benches can correlate
+/// policy choice and histogram staleness with placement quality.
+struct PlacementStats {
+  std::uint64_t decisions = 0;
+  /// Candidates the policy actually examined (pow_d looks at d per pick,
+  /// the full-scan policies at all n per decision).
+  std::uint64_t candidates_considered = 0;
+  /// tail_risk only: sum over decisions of the mean age (now − last slack
+  /// observation) across candidates that had slack data, plus how many
+  /// decisions had any. Mean staleness = sum / decisions_with_slack.
+  double slack_staleness_ms_sum = 0.0;
+  std::uint64_t decisions_with_slack = 0;
 };
 
 /// Per-class completion/miss tallies, maintained by complete_task and
@@ -106,10 +125,33 @@ class QueryControlPlane {
 
   // --- Placement ----------------------------------------------------------
 
-  /// Least-loaded distinct placement over `candidates` with the control
-  /// plane's Rng breaking ties (see core/placement.h for the contract).
-  std::vector<ServerId> place_least_loaded(
-      std::vector<PlacementCandidate> candidates, std::size_t count);
+  /// Picks `count` servers from `candidates` under the configured placement
+  /// policy, drawing randomness from the control plane's Rng (see
+  /// core/placement/policy.h for the per-policy contracts; the default
+  /// least_loaded is bit-identical to the former hardcoded pick). `cls` and
+  /// `now` feed the tail-risk policy's budget hint and staleness accounting;
+  /// the other policies ignore them.
+  std::vector<ServerId> place(std::vector<PlacementCandidate> candidates,
+                              std::size_t count, ClassId cls = 0,
+                              TimeMs now = 0.0);
+
+  PlacementPolicyKind placement_kind() const {
+    return placement_policy_->kind();
+  }
+  const PlacementStats& placement_stats() const { return placement_stats_; }
+
+  /// Whether this plane tracks per-server slack histograms (tail_risk only).
+  bool slack_tracking_enabled() const { return slack_ != nullptr; }
+
+  /// Merges one remote slack observation (a peer shard's enqueue, shipped
+  /// via delta-sync) into `server`'s slack histogram. No-op unless slack
+  /// tracking is enabled.
+  void observe_slack(ServerId server, double slack_ms, TimeMs now) {
+    if (slack_) slack_->record_enqueue(server, slack_ms, now);
+  }
+
+  /// The slack tracker, or nullptr outside tail_risk (tests/benches).
+  const SlackTracker* slack_tracker() const { return slack_.get(); }
 
   // --- Deadlines & query lifecycle ---------------------------------------
 
@@ -196,6 +238,12 @@ class QueryControlPlane {
   QueryTracker tracker_;
   std::optional<AdmissionController> admission_;
   Rng rng_;
+  std::unique_ptr<PlacementPolicy> placement_policy_;
+  /// Allocated only under tail_risk; nullptr keeps the default path free of
+  /// per-enqueue histogram work.
+  std::unique_ptr<SlackTracker> slack_;
+  PlacementStats placement_stats_;
+  std::vector<ServerId> budget_hint_servers_;  // place() scratch
   std::vector<ClassAccounting> per_class_;
   std::uint64_t queries_admitted_ = 0;
   std::uint64_t queries_rejected_ = 0;

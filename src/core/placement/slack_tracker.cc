@@ -1,0 +1,28 @@
+#include "core/placement/slack_tracker.h"
+
+#include "common/check.h"
+
+namespace tailguard {
+
+SlackTracker::SlackTracker(std::size_t num_servers,
+                           StreamingHistogramOptions options) {
+  TG_CHECK_MSG(num_servers > 0, "slack tracker needs at least one server");
+  servers_.reserve(num_servers);
+  for (std::size_t s = 0; s < num_servers; ++s) servers_.emplace_back(options);
+}
+
+void SlackTracker::record_enqueue(ServerId server, double slack_ms,
+                                  TimeMs now) {
+  PerServer& state = servers_[server];
+  // Negative slack (budget already blown at enqueue, e.g. an Eq. 7 override
+  // tighter than the unloaded tail) clamps into the histogram's bottom
+  // bucket: it still counts as maximally-urgent mass.
+  state.slack.add(slack_ms);
+  state.last_update_ms = now;
+}
+
+void SlackTracker::record_service(ServerId server, double service_ms) {
+  servers_[server].service.add(service_ms);
+}
+
+}  // namespace tailguard

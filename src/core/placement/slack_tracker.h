@@ -1,0 +1,82 @@
+// Per-server slack and service-time histograms feeding tail-risk placement.
+//
+// ROADMAP's "slack-distribution-aware placement" item (after Malcolm-Strict's
+// critique of least-loaded): to estimate P(server s blows a task's budget)
+// the placer needs, per server, (a) the distribution of *slack* — t_D − now
+// at enqueue time — of the tasks already queued there, and (b) the server's
+// service-time distribution. Both ride the existing streaming-histogram
+// machinery (common/streaming_histogram): O(1) per observation, exponential
+// decay so a server that drains its urgent backlog stops looking risky.
+//
+// Ownership: one SlackTracker lives inside each QueryControlPlane (allocated
+// only when the tail-risk policy is selected). The sharded facade ships slack
+// samples between shards as ShardDelta entries (in-process StateSyncBus only;
+// the wire never carries them — daemons do not place tasks).
+//
+// Thread safety: none, same contract as QueryControlPlane.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/streaming_histogram.h"
+#include "core/types.h"
+
+namespace tailguard {
+
+class SlackTracker {
+ public:
+  SlackTracker(std::size_t num_servers, StreamingHistogramOptions options);
+
+  std::size_t num_servers() const { return servers_.size(); }
+
+  /// One task enqueued on `server` with `slack_ms` = t_D − now headroom.
+  /// `now` timestamps the observation for staleness accounting.
+  void record_enqueue(ServerId server, double slack_ms, TimeMs now);
+
+  /// One observed post-queuing (service + queuing) time on `server`.
+  void record_service(ServerId server, double service_ms);
+
+  /// Fraction of `server`'s tracked slack mass at or below `slack_ms` — the
+  /// "urgent fraction" of its queue relative to a budget. 0 when no data.
+  double slack_cdf(ServerId server, double slack_ms) const {
+    return servers_[server].slack.cdf(slack_ms);
+  }
+
+  /// Estimated P(post-queuing time <= x) on `server`. 0 when no data.
+  double service_cdf(ServerId server, double x) const {
+    return servers_[server].service.cdf(x);
+  }
+
+  /// Decayed mean post-queuing time on `server`; 0 when no observations.
+  double mean_service_ms(ServerId server) const {
+    return servers_[server].service.observations() > 0
+               ? servers_[server].service.mean()
+               : 0.0;
+  }
+
+  std::uint64_t slack_observations(ServerId server) const {
+    return servers_[server].slack.observations();
+  }
+
+  /// Timestamp of the last slack observation for `server`; meaningful only
+  /// when slack_observations(server) > 0.
+  TimeMs last_update_ms(ServerId server) const {
+    return servers_[server].last_update_ms;
+  }
+
+ private:
+  struct PerServer {
+    StreamingHistogram slack;
+    StreamingHistogram service;
+    TimeMs last_update_ms = 0.0;
+
+    explicit PerServer(const StreamingHistogramOptions& options)
+        : slack(options), service(options) {}
+  };
+
+  std::vector<PerServer> servers_;
+};
+
+}  // namespace tailguard

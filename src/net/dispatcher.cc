@@ -28,6 +28,8 @@ ControlPlaneOptions make_control_plane_options(
   cp.policy = options.policy;
   cp.classes = options.classes;
   cp.admission = options.admission;
+  cp.placement =
+      options.placement ? *options.placement : placement_from_env();
   cp.seed = options.seed;
   return cp;
 }
@@ -151,12 +153,13 @@ std::future<QueryResult> RemoteDispatcher::submit(
       if (alive.empty()) {
         for (std::size_t i : unassigned) failed_at_submit[i] = true;
       } else {
-        const auto picked = control_.place_least_loaded(
-            /*shard=*/0, std::move(alive), unassigned.size());
+        const auto picked = control_.place(
+            /*shard=*/0, std::move(alive), unassigned.size(), cls, t0);
         for (std::size_t j = 0; j < unassigned.size(); ++j)
           placement[unassigned[j]] = picked[j];
       }
     }
+    if (options_.placement_observer) options_.placement_observer(placement);
 
     // With no server reachable the query degrades to an immediate failure —
     // callers get a resolved future, never a hang.
@@ -303,6 +306,16 @@ std::uint64_t RemoteDispatcher::gossip_deltas_absorbed() const {
 std::uint64_t RemoteDispatcher::gossip_duplicates_dropped() const {
   MutexLock lock(mu_);
   return gossip_duplicates_dropped_;
+}
+
+PlacementPolicyKind RemoteDispatcher::placement_kind() const {
+  MutexLock lock(mu_);
+  return control_.placement_kind();
+}
+
+PlacementStats RemoteDispatcher::placement_stats() const {
+  MutexLock lock(mu_);
+  return control_.placement_stats();
 }
 
 // ------------------------------------------------------------ task endings

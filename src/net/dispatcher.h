@@ -77,6 +77,17 @@ struct DispatcherOptions {
   /// exactly like the in-process runtime.
   std::optional<AdmissionOptions> admission;
   std::uint64_t seed = 42;
+  /// Placement policy for auto-placed tasks (core/placement/policy.h).
+  /// Unset resolves from the environment (TAILGUARD_PLACEMENT /
+  /// TAILGUARD_PLACEMENT_D), defaulting to least_loaded. Candidates are the
+  /// alive servers ranked by our in-flight count plus the daemon's last
+  /// gossiped queue-depth gauge, whatever the policy.
+  std::optional<PlacementPolicyOptions> placement;
+  /// Observer called once per submitted (admitted) query with the servers
+  /// its tasks landed on (explicit targets included), in task order. Runs
+  /// under the dispatcher lock — keep it cheap. Purely observational, for
+  /// the cross-backend placement parity tests.
+  std::function<void(std::span<const ServerId>)> placement_observer;
   std::string name = "tailguard-dispatcher";
 };
 
@@ -129,6 +140,11 @@ class RemoteDispatcher {
   std::size_t gossip_capable_servers() const;
   std::uint64_t gossip_deltas_absorbed() const;
   std::uint64_t gossip_duplicates_dropped() const;
+
+  /// Placement observability: which policy ran and its per-decision
+  /// counters.
+  PlacementPolicyKind placement_kind() const;
+  PlacementStats placement_stats() const;
 
  private:
   enum class ConnState {

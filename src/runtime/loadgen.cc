@@ -80,14 +80,17 @@ LoadGenReport run_load(TailGuardService& service, const LoadGenOptions& options,
   report.deadline_miss_ratio = service.deadline_miss_ratio();
 
   for (auto& [cls, values] : latencies) {
-    std::sort(values.begin(), values.end());
     ClassLoadStats stats;
     stats.cls = cls;
     stats.queries = values.size();
-    stats.p50_ms = percentile_sorted(values, 50.0);
-    stats.p95_ms = percentile_sorted(values, 95.0);
-    stats.p99_ms = percentile_sorted(values, 99.0);
+    // Mean first, over completion order (in-place selection below permutes
+    // the buffer, and floating-point sums are order-sensitive); then each
+    // percentile via nth_element — selection only permutes, so the three
+    // stacked calls return exactly what a full sort would, in O(n) each.
     stats.mean_ms = mean_of(values);
+    stats.p50_ms = percentile_inplace(values, 50.0);
+    stats.p95_ms = percentile_inplace(values, 95.0);
+    stats.p99_ms = percentile_inplace(values, 99.0);
     report.per_class.push_back(stats);
   }
   return report;

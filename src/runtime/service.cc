@@ -24,6 +24,8 @@ ControlPlaneOptions make_control_plane_options(const ServiceOptions& options) {
   cp.policy = options.policy;
   cp.classes = options.classes;
   cp.admission = options.admission;
+  cp.placement =
+      options.placement ? *options.placement : placement_from_env();
   cp.seed = options.seed;
   return cp;
 }
@@ -102,7 +104,8 @@ void TailGuardService::seed_profile(std::span<const double> samples_ms) {
 }
 
 std::vector<ServerId> TailGuardService::pick_workers(std::uint32_t shard,
-                                                     std::size_t count) {
+                                                     std::size_t count,
+                                                     ClassId cls, TimeMs now) {
   TG_CHECK_MSG(count <= workers_.size(),
                "query fanout " << count << " exceeds worker count "
                                << workers_.size());
@@ -115,7 +118,7 @@ std::vector<ServerId> TailGuardService::pick_workers(std::uint32_t shard,
       control_.update_local_load(shard, id,
                                  static_cast<std::uint32_t>(depth));
   }
-  return control_.place_least_loaded(shard, std::move(load), count);
+  return control_.place(shard, std::move(load), count, cls, now);
 }
 
 std::future<QueryResult> TailGuardService::submit(
@@ -155,10 +158,11 @@ std::future<QueryResult> TailGuardService::submit(
       }
     }
     if (!unassigned.empty()) {
-      const auto picked = pick_workers(shard, unassigned.size());
+      const auto picked = pick_workers(shard, unassigned.size(), cls, t0);
       for (std::size_t j = 0; j < unassigned.size(); ++j)
         placement[unassigned[j]] = picked[j];
     }
+    if (options_.placement_observer) options_.placement_observer(placement);
 
     // Admission decision (paper §III.C).
     if (!control_.should_admit(shard, t0)) {
@@ -252,6 +256,15 @@ std::uint64_t TailGuardService::rejected_queries() const {
 double TailGuardService::deadline_miss_ratio() const {
   auto locks = lock_all();
   return control_.task_miss_ratio();
+}
+
+PlacementPolicyKind TailGuardService::placement_kind() const {
+  return control_.placement_kind();  // immutable after construction
+}
+
+PlacementStats TailGuardService::placement_stats() const {
+  auto locks = lock_all();
+  return control_.placement_stats();
 }
 
 std::shared_ptr<const CdfModel> TailGuardService::worker_model(

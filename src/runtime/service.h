@@ -60,6 +60,16 @@ struct ServiceOptions {
   TimeMs shard_sync_interval_ms = 0.0;
   /// Round-robin keeps concurrent submitters evenly spread by default.
   RouterKind shard_router = RouterKind::kRoundRobin;
+  /// Placement policy for auto-placed tasks (core/placement/policy.h).
+  /// Unset resolves from the environment (TAILGUARD_PLACEMENT /
+  /// TAILGUARD_PLACEMENT_D), defaulting to least_loaded — the pre-policy
+  /// behaviour, bit-for-bit.
+  std::optional<PlacementPolicyOptions> placement;
+  /// Observer called once per submitted query with the workers its tasks
+  /// landed on (explicit targets included), in task order, before the
+  /// admission decision. Runs under the shard lock — keep it cheap. Purely
+  /// observational, for the cross-backend placement parity tests.
+  std::function<void(std::span<const ServerId>)> placement_observer;
 };
 
 /// One task of a submitted query.
@@ -118,6 +128,11 @@ class TailGuardService {
   double deadline_miss_ratio() const;
   std::size_t num_workers() const { return workers_.size(); }
 
+  /// Placement observability: which policy ran and its per-decision
+  /// counters, summed across handler shards.
+  PlacementPolicyKind placement_kind() const;
+  PlacementStats placement_stats() const;
+
   /// Snapshot of a worker's CDF model (e.g. to inspect learned quantiles):
   /// a deep copy taken under the shard locks, safe to read while queries are
   /// still in flight. (Returning a reference here used to let the model
@@ -146,7 +161,8 @@ class TailGuardService {
   /// Caller must hold the submitting shard's mutex (which one is a runtime
   /// value, so the requirement is not expressible as a TSA capability —
   /// control_ state is per-shard as documented on Shard).
-  std::vector<ServerId> pick_workers(std::uint32_t shard, std::size_t count);
+  std::vector<ServerId> pick_workers(std::uint32_t shard, std::size_t count,
+                                     ClassId cls, TimeMs now);
   /// N-ary ordered acquisition through a dynamic container: inherently
   /// outside TSA's static capability model, like std::lock. unique_lock
   /// works on the annotated Mutex (a Lockable); the std header is simply

@@ -52,6 +52,8 @@ ShardedControlPlane::ShardedControlPlane(
     p.dropped.assign(num_servers_, 0);
     p.load.assign(num_servers_, 0);
     p.has_load.assign(num_servers_, 0);
+    p.slack.resize(num_servers_);
+    p.slack_dropped.assign(num_servers_, 0);
   }
   next_seq_.assign(num_shards_, 1);
   dedup_.resize(num_shards_);
@@ -66,6 +68,21 @@ void ShardedControlPlane::accumulate_dequeue(std::uint32_t shard,
   PendingDelta& p = pending_[shard];
   ++p.recorded;
   if (missed) ++p.missed;
+  p.any = true;
+}
+
+void ShardedControlPlane::accumulate_slack(std::uint32_t shard,
+                                           std::span<const ServerId> servers,
+                                           TimeMs budget_ms) {
+  PendingDelta& p = pending_[shard];
+  for (const ServerId server : servers) {
+    std::vector<double>& buf = p.slack[server];
+    if (buf.size() < kMaxPendingPerServer) {
+      buf.push_back(budget_ms);
+    } else {
+      ++p.slack_dropped[server];
+    }
+  }
   p.any = true;
 }
 
@@ -110,27 +127,39 @@ ShardDelta ShardedControlPlane::collect_delta(std::uint32_t shard) {
   delta.dequeues_recorded = p.recorded;
   delta.dequeues_missed = p.missed;
   const std::size_t cap = sharding_.max_sync_samples_per_server;
+  // Deterministic thinning to the per-server cap: an evenly-strided subset
+  // of the buffer, counting what the stride lost.
+  const auto thin = [cap](std::vector<double>& buf, std::vector<double>& out,
+                          std::uint64_t& dropped) {
+    if (cap > 0 && buf.size() > cap) {
+      out.reserve(cap);
+      for (std::size_t i = 0; i < cap; ++i) {
+        out.push_back(buf[i * buf.size() / cap]);
+      }
+      dropped += buf.size() - cap;
+    } else {
+      out = std::move(buf);
+    }
+    buf.clear();
+  };
   for (std::size_t s = 0; s < num_servers_; ++s) {
     std::vector<double>& buf = p.samples[s];
-    if (buf.empty() && p.dropped[s] == 0 && !p.has_load[s]) continue;
+    std::vector<double>& slack_buf = p.slack[s];
+    if (buf.empty() && p.dropped[s] == 0 && !p.has_load[s] &&
+        slack_buf.empty() && p.slack_dropped[s] == 0) {
+      continue;
+    }
     ShardDelta::ServerEntry entry;
     entry.server = static_cast<ServerId>(s);
     entry.samples_dropped = p.dropped[s];
-    if (cap > 0 && buf.size() > cap) {
-      // Deterministic thinning: an evenly-strided subset of the buffer.
-      entry.samples_ms.reserve(cap);
-      for (std::size_t i = 0; i < cap; ++i) {
-        entry.samples_ms.push_back(buf[i * buf.size() / cap]);
-      }
-      entry.samples_dropped += buf.size() - cap;
-    } else {
-      entry.samples_ms = std::move(buf);
-    }
+    thin(buf, entry.samples_ms, entry.samples_dropped);
+    entry.slack_dropped = p.slack_dropped[s];
+    thin(slack_buf, entry.slack_samples_ms, entry.slack_dropped);
     entry.load_estimate = p.load[s];
     entry.has_load = p.has_load[s] != 0;
     delta.servers.push_back(std::move(entry));
-    buf.clear();
     p.dropped[s] = 0;
+    p.slack_dropped[s] = 0;
     p.has_load[s] = 0;
   }
   p.recorded = 0;
@@ -158,8 +187,17 @@ bool ShardedControlPlane::absorb_remote_delta(std::uint32_t shard,
       loads[std::size_t{delta.origin} * num_servers_ + entry.server] =
           entry.load_estimate;
     }
+    // Remote slack samples merge into the replica's tracker directly (same
+    // no-echo rule as CDF samples above). Aged as of `now`: the delta does
+    // not carry per-sample timestamps, and a sync interval of staleness is
+    // exactly what the staleness counters should show.
+    for (double slack_ms : entry.slack_samples_ms) {
+      plane.observe_slack(entry.server, slack_ms, now);
+    }
     stats_.samples_shipped += entry.samples_ms.size();
     stats_.samples_dropped += entry.samples_dropped;
+    stats_.slack_samples_shipped += entry.slack_samples_ms.size();
+    stats_.slack_samples_dropped += entry.slack_dropped;
   }
   plane.absorb_remote_dequeues(now, delta.dequeues_recorded,
                                delta.dequeues_missed);
@@ -255,6 +293,18 @@ double ShardedControlPlane::task_miss_ratio() const {
   return total == 0 ? 0.0
                     : static_cast<double>(tasks_missed()) /
                           static_cast<double>(total);
+}
+
+PlacementStats ShardedControlPlane::placement_stats() const {
+  PlacementStats sum;
+  for (const auto& s : shards_) {
+    const PlacementStats& p = s->placement_stats();
+    sum.decisions += p.decisions;
+    sum.candidates_considered += p.candidates_considered;
+    sum.slack_staleness_ms_sum += p.slack_staleness_ms_sum;
+    sum.decisions_with_slack += p.decisions_with_slack;
+  }
+  return sum;
 }
 
 ClassAccounting ShardedControlPlane::class_accounting(ClassId cls) const {

@@ -111,11 +111,20 @@ class ShardedControlPlane {
     return shards_[shard]->admission_miss_ratio(now);
   }
 
-  std::vector<ServerId> place_least_loaded(
-      std::uint32_t shard, std::vector<PlacementCandidate> candidates,
-      std::size_t count) {
-    return shards_[shard]->place_least_loaded(std::move(candidates), count);
+  /// Placement under the shard's configured policy (every shard shares one
+  /// PlacementPolicyOptions; see QueryControlPlane::place).
+  std::vector<ServerId> place(std::uint32_t shard,
+                              std::vector<PlacementCandidate> candidates,
+                              std::size_t count, ClassId cls = 0,
+                              TimeMs now = 0.0) {
+    return shards_[shard]->place(std::move(candidates), count, cls, now);
   }
+
+  PlacementPolicyKind placement_kind() const {
+    return shards_[0]->placement_kind();
+  }
+  /// Placement counters summed across shards.
+  PlacementStats placement_stats() const;
 
   TimeMs budget(std::uint32_t shard, ClassId cls,
                 std::span<const ServerId> servers) {
@@ -126,8 +135,14 @@ class ShardedControlPlane {
                         std::span<const ServerId> servers,
                         std::optional<TimeMs> budget_override = std::nullopt,
                         std::optional<TimeMs> order_slo_ms = std::nullopt) {
-    return shards_[shard]->begin_query(t0, cls, servers, budget_override,
-                                       order_slo_ms);
+    const QueryPlan plan = shards_[shard]->begin_query(
+        t0, cls, servers, budget_override, order_slo_ms);
+    // Under tail_risk, each enqueue's slack sample (= the plan budget) also
+    // rides the next delta so peer shards' risk views track this shard's
+    // queue composition, exactly like CDF samples.
+    if (accumulate_ && shards_[shard]->slack_tracking_enabled())
+      accumulate_slack(shard, servers, plan.budget_ms);
+    return plan;
   }
 
   /// Capacity hint: about `queries_per_shard` begin_query calls and
@@ -222,6 +237,8 @@ class ShardedControlPlane {
     std::uint64_t duplicates_dropped = 0;
     std::uint64_t samples_shipped = 0;
     std::uint64_t samples_dropped = 0;
+    std::uint64_t slack_samples_shipped = 0;
+    std::uint64_t slack_samples_dropped = 0;
   };
   const SyncStats& sync_stats() const { return stats_; }
 
@@ -255,6 +272,8 @@ class ShardedControlPlane {
     std::vector<std::uint64_t> dropped;
     std::vector<std::uint32_t> load;
     std::vector<std::uint8_t> has_load;
+    std::vector<std::vector<double>> slack;  ///< server -> new slack samples
+    std::vector<std::uint64_t> slack_dropped;
     std::uint64_t recorded = 0;
     std::uint64_t missed = 0;
     bool any = false;
@@ -262,6 +281,8 @@ class ShardedControlPlane {
   static constexpr std::size_t kMaxPendingPerServer = 4096;
 
   void accumulate_dequeue(std::uint32_t shard, bool missed);
+  void accumulate_slack(std::uint32_t shard, std::span<const ServerId> servers,
+                        TimeMs budget_ms);
   void run_sync_round(TimeMs now);
   void rearm_after(TimeMs now);
 

@@ -44,6 +44,13 @@ struct ShardDelta {
     /// when has_load. A gauge: receivers overwrite, never add.
     std::uint32_t load_estimate = 0;
     bool has_load = false;
+    /// Enqueue-time slack observations (t_D − enqueue time) for tail-risk
+    /// placement, same increment semantics and thinning as samples_ms.
+    /// In-process StateSyncBus only: the wire GossipDeltaMsg deliberately
+    /// does not carry them — daemons never place tasks, so shipping their
+    /// slack view would be dead weight on every gossip frame.
+    std::vector<double> slack_samples_ms;
+    std::uint64_t slack_dropped = 0;
 
     friend bool operator==(const ServerEntry&, const ServerEntry&) = default;
   };

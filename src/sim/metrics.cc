@@ -10,6 +10,13 @@ TimeMs LatencySample::percentile(double pct) const {
 
 TimeMs LatencySample::mean() const { return mean_of(values_); }
 
+LatencySample::TailAndMean LatencySample::tail_and_mean(double pct) {
+  TailAndMean out;
+  out.mean_ms = mean_of(values_);  // before selection: insertion-order sum
+  out.tail_ms = percentile_inplace(values_, pct);
+  return out;
+}
+
 void MetricsCollector::record_query(ClassId cls, std::uint32_t fanout,
                                     TimeMs latency_ms) {
   const GroupKey key{cls, fanout};

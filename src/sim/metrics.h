@@ -26,6 +26,17 @@ class LatencySample {
   TimeMs mean() const;
   const std::vector<double>& values() const { return values_; }
 
+  struct TailAndMean {
+    TimeMs tail_ms = 0.0;
+    TimeMs mean_ms = 0.0;
+  };
+  /// Both summary stats without copying the sample: the mean is computed
+  /// first, over insertion order (floating-point summation is
+  /// order-sensitive and the reported means are pinned to that order), then
+  /// the percentile selects in place, permuting values_. Collection-time
+  /// only — add() after this is fine, ordered reads of values() are not.
+  TailAndMean tail_and_mean(double pct);
+
  private:
   std::vector<double> values_;
 };
@@ -57,6 +68,11 @@ class MetricsCollector {
 
   /// Groups in first-recorded order (callers sort as needed).
   const std::vector<std::pair<GroupKey, LatencySample>>& groups() const {
+    return groups_;
+  }
+  /// Mutable view for collection-time in-place selection
+  /// (LatencySample::tail_and_mean).
+  std::vector<std::pair<GroupKey, LatencySample>>& mutable_groups() {
     return groups_;
   }
 

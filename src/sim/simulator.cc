@@ -557,10 +557,13 @@ SimResult run_simulation(const SimConfig& config) {
   // interval boundaries (a single shard is the transparent default).
   const ShardingOptions sharding =
       config.sharding ? *config.sharding : sharding_from_env();
+  const PlacementPolicyOptions placement_opts =
+      config.placement_policy ? *config.placement_policy : placement_from_env();
   ControlPlaneOptions cp_options;
   cp_options.policy = config.policy;
   cp_options.classes = config.classes;
   cp_options.admission = config.admission;
+  cp_options.placement = placement_opts;
   cp_options.seed = config.seed;
   ShardedControlPlane control(
       sharding, std::move(cp_options),
@@ -629,7 +632,17 @@ SimResult run_simulation(const SimConfig& config) {
   };
   // Dispatch placement with a branch instead of wrapping the default in a
   // std::function: the default shuffle then inlines into issue_query.
+  // A custom `placement` functor takes precedence over the policy knob
+  // (tests pin exact placements through it). least_loaded keeps the legacy
+  // shuffle path above byte-for-byte: every simulator server is an equal
+  // candidate, so least-loaded over an unweighted candidate view is exactly
+  // uniform distinct sampling — and the Rng stream (one draw per replica)
+  // stays bit-identical to the pre-policy simulator. The informed policies
+  // route through the control plane over live queue-depth candidates.
   const bool custom_placement = static_cast<bool>(config.placement);
+  const bool informed_placement =
+      !custom_placement &&
+      placement_opts.kind != PlacementPolicyKind::kLeastLoaded;
 
   // --- bookkeeping -------------------------------------------------------------
   std::vector<bool> record_query_flag;  // indexed by admitted QueryId
@@ -726,6 +739,8 @@ SimResult run_simulation(const SimConfig& config) {
 
   std::vector<ServerId> chosen;
   chosen.reserve(config.num_servers);
+  std::vector<PlacementCandidate> cand_scratch;
+  cand_scratch.reserve(config.num_servers);
 
   // Draws a class id from the configured mix.
   const auto sample_class = [&]() -> ClassId {
@@ -752,10 +767,27 @@ SimResult run_simulation(const SimConfig& config) {
       config.placement(rng, cls, kf, chosen);
       TG_DCHECK(chosen.size() == kf);
       placed = chosen;
+    } else if (informed_placement) {
+      // pow_d / tail_risk: live queue depths (queued + in service) as the
+      // candidate loads, decided by the shard's policy. Per-decision cost
+      // (an O(n) candidate build and a returned vector) is acceptable on
+      // this opt-in path; the default path below stays allocation-free.
+      TG_CHECK_MSG(kf <= servers.size(),
+                   "fanout " << kf << " exceeds cluster size "
+                             << servers.size());
+      cand_scratch.clear();
+      for (std::size_t s = 0; s < servers.size(); ++s) {
+        cand_scratch.emplace_back(
+            servers[s].queue_len + (servers[s].busy ? 1 : 0),
+            static_cast<ServerId>(s));
+      }
+      chosen = control.place(shard, std::move(cand_scratch), kf, cls, t);
+      placed = chosen;
     } else {
       default_placement(rng, cls, kf);
       placed = std::span<const ServerId>(perm.data(), kf);
     }
+    if (config.on_query_placed) config.on_query_placed(cls, placed);
 
     // The control plane computes the budget (Eq. 6, or the Eq. 7 request
     // decomposition via the override), the shared t_D and the policy
@@ -1024,6 +1056,19 @@ SimResult run_simulation(const SimConfig& config) {
   result.shards = control.num_shards();
   result.shard_sync_rounds = control.sync_stats().rounds;
   result.shard_samples_shipped = control.sync_stats().samples_shipped;
+  result.shard_slack_samples_shipped =
+      control.sync_stats().slack_samples_shipped;
+  result.placement_kind = control.placement_kind();
+  {
+    const PlacementStats pstats = control.placement_stats();
+    result.placement_decisions = pstats.decisions;
+    result.placement_candidates_considered = pstats.candidates_considered;
+    result.placement_mean_staleness_ms =
+        pstats.decisions_with_slack > 0
+            ? pstats.slack_staleness_ms_sum /
+                  static_cast<double>(pstats.decisions_with_slack)
+            : 0.0;
+  }
 
   double busy_total = 0.0;
   result.server_utilization.reserve(servers.size());
@@ -1035,9 +1080,9 @@ SimResult run_simulation(const SimConfig& config) {
       now > 0.0 ? busy_total / (static_cast<double>(config.num_servers) * now)
                 : 0.0;
 
-  std::vector<const std::pair<GroupKey, LatencySample>*> sorted_groups;
+  std::vector<std::pair<GroupKey, LatencySample>*> sorted_groups;
   sorted_groups.reserve(metrics.groups().size());
-  for (const auto& group : metrics.groups()) sorted_groups.push_back(&group);
+  for (auto& group : metrics.mutable_groups()) sorted_groups.push_back(&group);
   std::sort(sorted_groups.begin(), sorted_groups.end(),
             [](const auto* a, const auto* b) {
               return a->first.cls != b->first.cls
@@ -1045,22 +1090,31 @@ SimResult run_simulation(const SimConfig& config) {
                          : a->first.fanout < b->first.fanout;
             });
 
+  // Percentiles select in place (no copy, no full sort), permuting each
+  // sample buffer — so everything that depends on insertion order happens
+  // strictly before the selection that consumes it: per-class concatenation
+  // and means first (floating-point sums are order-sensitive; the reported
+  // means are pinned to insertion order by stats_test), then the destructive
+  // tail extraction.
   std::vector<std::vector<double>> per_class_values(config.classes.size());
   for (const auto* group : sorted_groups) {
+    auto& acc = per_class_values[group->first.cls];
+    const std::vector<double>& values = group->second.values();
+    acc.insert(acc.end(), values.begin(), values.end());
+  }
+  for (auto* group : sorted_groups) {
     const GroupKey& key = group->first;
-    const LatencySample& sample = group->second;
     const ClassSpec& spec = config.classes[key.cls];
     GroupResult g;
     g.cls = key.cls;
     g.fanout = key.fanout;
-    g.queries = sample.count();
-    g.tail_latency_ms = sample.percentile(spec.percentile);
-    g.mean_latency_ms = sample.mean();
+    g.queries = group->second.count();
+    const auto tm = group->second.tail_and_mean(spec.percentile);
+    g.tail_latency_ms = tm.tail_ms;
+    g.mean_latency_ms = tm.mean_ms;
     g.slo = spec.slo_ms;
     g.met = g.tail_latency_ms <= spec.slo_ms;
     result.groups.push_back(g);
-    auto& acc = per_class_values[key.cls];
-    acc.insert(acc.end(), sample.values().begin(), sample.values().end());
   }
 
   for (std::size_t cls = 0; cls < config.classes.size(); ++cls) {
@@ -1069,8 +1123,9 @@ SimResult run_simulation(const SimConfig& config) {
     ClassResult c;
     c.cls = static_cast<ClassId>(cls);
     c.queries = per_class_values[cls].size();
-    c.tail_latency_ms = percentile(per_class_values[cls], spec.percentile);
     c.mean_latency_ms = mean_of(per_class_values[cls]);
+    c.tail_latency_ms =
+        percentile_inplace(per_class_values[cls], spec.percentile);
     c.slo = spec.slo_ms;
     c.met = c.tail_latency_ms <= spec.slo_ms;
     result.class_results.push_back(c);
@@ -1079,9 +1134,9 @@ SimResult run_simulation(const SimConfig& config) {
   if (request_mode && !request_latencies.empty()) {
     const ClassSpec& rslo = config.request->request_slo;
     result.requests_recorded = request_latencies.size();
-    result.request_tail_latency_ms =
-        percentile(request_latencies, rslo.percentile);
     result.request_mean_latency_ms = mean_of(request_latencies);
+    result.request_tail_latency_ms =
+        percentile_inplace(request_latencies, rslo.percentile);
     result.request_slo_met = result.request_tail_latency_ms <= rslo.slo_ms;
   }
 

@@ -10,6 +10,7 @@
 
 #include <functional>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/admission.h"
@@ -170,9 +171,25 @@ struct SimConfig {
 
   /// Task placement: fills `servers` with `fanout` distinct server ids.
   /// Default: uniform distinct sampling over all servers (fanout == N means
-  /// all servers, the OLDI case).
+  /// all servers, the OLDI case). Takes precedence over `placement_policy`
+  /// (tests pin exact placements through it).
   std::function<void(Rng&, ClassId, std::uint32_t, std::vector<ServerId>&)>
       placement;
+
+  /// Control-plane placement policy (core/placement/policy.h). Unset
+  /// resolves from the environment — TAILGUARD_PLACEMENT
+  /// (least_loaded|pow_d|tail_risk), TAILGUARD_PLACEMENT_D — defaulting to
+  /// least_loaded, which in the simulator keeps the exact legacy uniform
+  /// distinct sampling path (all servers are equal candidates, so
+  /// least-loaded over an unweighted view degenerates to it). pow_d and
+  /// tail_risk route each query through ShardedControlPlane::place() over
+  /// live queue-depth candidates.
+  std::optional<PlacementPolicyOptions> placement_policy;
+
+  /// Observer called once per admitted query with the servers its tasks
+  /// landed on, in placement order. Purely observational — used by the
+  /// cross-backend placement parity tests.
+  std::function<void(ClassId, std::span<const ServerId>)> on_query_placed;
 };
 
 struct GroupResult {
@@ -224,6 +241,18 @@ struct SimResult {
   std::uint32_t shards = 1;
   std::uint64_t shard_sync_rounds = 0;
   std::uint64_t shard_samples_shipped = 0;
+  std::uint64_t shard_slack_samples_shipped = 0;
+
+  /// Placement observability: which policy ran and its per-decision
+  /// counters. `placement_decisions` counts control-plane place() calls
+  /// (0 under the default least_loaded, which keeps the legacy sampling
+  /// path, and under a custom `placement` functor);
+  /// `placement_mean_staleness_ms` is the mean age of the slack data behind
+  /// each tail_risk decision (0 for other policies).
+  PlacementPolicyKind placement_kind = PlacementPolicyKind::kLeastLoaded;
+  std::uint64_t placement_decisions = 0;
+  std::uint64_t placement_candidates_considered = 0;
+  double placement_mean_staleness_ms = 0.0;
 
   /// Heap allocations made inside the event loop, as observed through the
   /// common/alloc_probe.h hook — always 0 unless the running binary installed

@@ -165,7 +165,7 @@ TEST(ControlPlane, ProportionalAdmissionConsumesTheCoin) {
 
 TEST(ControlPlane, PlacementPicksLeastLoaded) {
   QueryControlPlane cp(basic_options(Policy::kTfEdf), fixed_models(4, 5.0));
-  const auto picked = cp.place_least_loaded({{3, 0}, {0, 1}, {1, 2}}, 2);
+  const auto picked = cp.place({{3, 0}, {0, 1}, {1, 2}}, 2);
   ASSERT_EQ(picked.size(), 2u);
   EXPECT_EQ(picked[0], 1u);
   EXPECT_EQ(picked[1], 2u);

@@ -194,6 +194,48 @@ TEST(LintTest, ControlPlaneComponentsLegalOutsideBackends) {
   }
 }
 
+TEST(LintTest, BadPlacementFiresInEveryBackend) {
+  for (const std::string path :
+       {"src/sim/bad_placement.cc", "src/runtime/bad_placement.cc",
+        "src/net/bad_placement.cc", "src/sas/bad_placement.cc",
+        "src/shard/bad_placement.cc"}) {
+    const auto diags = lint_fixture("bad_placement.cc", path);
+    EXPECT_EQ(rules_of(diags), std::set<std::string>{"control-plane-boundary"})
+        << path;
+    // One finding per token: the three concrete policy classes plus the raw
+    // pick_least_loaded call.
+    EXPECT_EQ(count_rule(diags, "control-plane-boundary"), 4) << path;
+  }
+}
+
+TEST(LintTest, PlacementTokensBannedEvenInTheFacade) {
+  // Unlike QueryControlPlane ownership, placement names have no sanctioned
+  // home in src/shard: the facade forwards place() and ships slack deltas,
+  // but policy construction belongs to core/placement/policy.cc alone.
+  for (const std::string path : {"src/shard/sharded_control_plane.cc",
+                                 "src/shard/sharded_control_plane.h"}) {
+    const auto diags = lint_fixture("bad_placement.cc", path);
+    EXPECT_EQ(count_rule(diags, "control-plane-boundary"), 4) << path;
+  }
+}
+
+TEST(LintTest, PlacementTokensLegalOutsideBackends) {
+  // core owns the policies; tests and tools may name them directly.
+  for (const std::string path :
+       {"src/core/placement/policy.cc", "tests/bad_placement.cc",
+        "tools/bad_placement.cc"}) {
+    EXPECT_EQ(count_rule(lint_fixture("bad_placement.cc", path),
+                         "control-plane-boundary"),
+              0)
+        << path;
+  }
+}
+
+TEST(LintTest, GoodPlacementIsClean) {
+  EXPECT_TRUE(
+      lint_fixture("good_placement.cc", "src/net/good_placement.cc").empty());
+}
+
 TEST(LintTest, GoodControlPlaneIsClean) {
   EXPECT_TRUE(
       lint_fixture("good_control_plane.cc", "src/net/good_control_plane.cc")
